@@ -1,0 +1,64 @@
+//! End-to-end register allocators built on top of the coalescing library.
+//!
+//! *On the Complexity of Register Coalescing* frames every coalescing
+//! problem inside a register allocator: either a Chaitin-like allocator
+//! where spilling, coalescing and coloring share one framework (§1), or the
+//! newer **two-phase** allocators (Appel–George, Hack et al.) where a first
+//! phase spills down to `Maxlive ≤ k` and a second phase colors and
+//! coalesces with *no additional spill* (§1, §4).  The end-to-end
+//! experiments (E8 and the allocator ablation E10) need both allocator
+//! families as executable artefacts; this crate provides them, operating on
+//! the [`coalesce_ir`] functions and reporting a common
+//! [`assignment::RegisterAssignment`]:
+//!
+//! * [`chaitin`] — the classic iterate-until-no-spill Chaitin–Briggs
+//!   allocator: build the interference graph, run the IRC
+//!   simplify/coalesce/freeze/spill/select engine of
+//!   [`coalesce_core::irc`], insert spill code for the actual spills, and
+//!   repeat;
+//! * [`ssa_based`] — the two-phase allocator: spill the strict-SSA function
+//!   to `Maxlive ≤ k`, translate out of SSA (which materialises the
+//!   parallel-copy affinities), coalesce with a configurable strategy, and
+//!   color the coalesced graph with a biased select phase;
+//! * [`biased`] — biased coloring: a select phase that prefers giving
+//!   affinity-related vertices the same color, removing moves *for free*
+//!   on top of whatever the coalescer achieved (§1 mentions it among the
+//!   "smarter coloring schemes");
+//! * [`assignment`] — the common output type: a register (color) per
+//!   variable, validation against the program's interference, and the move
+//!   / spill cost metrics the experiment tables report;
+//! * [`pipeline`] — one-call comparison of every allocator configuration on
+//!   the same input function, producing the rows of the E8/E10 tables.
+//!
+//! # Example
+//!
+//! ```
+//! use coalesce_alloc::pipeline::{run_allocator, AllocatorKind};
+//! use coalesce_ir::function::FunctionBuilder;
+//!
+//! let mut b = FunctionBuilder::new("example");
+//! let entry = b.entry_block();
+//! let x = b.def(entry, "x");
+//! let y = b.op(entry, "y", &[x]);
+//! let z = b.copy(entry, "z", y);
+//! b.ret(entry, &[z, x]);
+//! let f = b.finish();
+//!
+//! let report = run_allocator(&f, 2, AllocatorKind::ChaitinBriggs);
+//! assert!(report.valid);
+//! assert_eq!(report.spilled_values, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assignment;
+pub mod biased;
+pub mod chaitin;
+pub mod pipeline;
+pub mod ssa_based;
+
+pub use assignment::RegisterAssignment;
+pub use chaitin::{chaitin_allocate, ChaitinConfig, ChaitinOutcome};
+pub use pipeline::{compare_allocators, run_allocator, AllocationReport, AllocatorKind};
+pub use ssa_based::{ssa_allocate, CoalescingStrategy, SsaAllocOutcome};

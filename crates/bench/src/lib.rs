@@ -1,0 +1,1 @@
+//! Benchmark-only crate. All content lives in `benches/`.

@@ -1,0 +1,211 @@
+//! Aggressive coalescing (§3 of the paper).
+//!
+//! Aggressive coalescing removes as many moves as possible regardless of
+//! the colorability of the resulting graph: only interferences can prevent
+//! a merge.  The decision problem is NP-complete (Theorem 2, by reduction
+//! from multiway cut), so this module provides:
+//!
+//! * [`aggressive_heuristic`] — the classical greedy heuristic: consider the
+//!   affinities by decreasing weight and merge whenever the two classes do
+//!   not (yet) interfere;
+//! * [`aggressive_exact`] — an exponential branch-and-bound that minimises
+//!   the **weight** of the uncoalesced affinities, used on small instances
+//!   to validate the Theorem 2 reduction and to measure the heuristic's
+//!   optimality gap.
+
+use crate::affinity::{Affinity, AffinityGraph, Coalescing, CoalescingStats};
+
+/// Result of an aggressive coalescing run.
+#[derive(Debug, Clone)]
+pub struct AggressiveResult {
+    /// The computed coalescing.
+    pub coalescing: Coalescing,
+    /// Summary statistics against the instance's affinities.
+    pub stats: CoalescingStats,
+}
+
+/// Greedy aggressive coalescing: process affinities by decreasing weight and
+/// merge whenever the current classes do not interfere.
+pub fn aggressive_heuristic(ag: &AffinityGraph) -> AggressiveResult {
+    let mut coalescing = Coalescing::identity(&ag.graph);
+    for aff in ag.affinities_by_weight() {
+        if coalescing.can_merge(aff.a, aff.b) {
+            coalescing.merge(aff.a, aff.b);
+        }
+    }
+    let stats = coalescing.stats(&ag.affinities);
+    AggressiveResult { coalescing, stats }
+}
+
+/// Exact aggressive coalescing by branch and bound over the affinity list:
+/// minimises the total **weight** of uncoalesced affinities (with unit
+/// weights this is the number of uncoalesced moves, the paper's `K`).
+///
+/// Exponential in the number of affinities; intended for instances with at
+/// most ~25 affinities.
+pub fn aggressive_exact(ag: &AffinityGraph) -> AggressiveResult {
+    let affinities = ag.affinities_by_weight();
+    let mut best: Option<(u64, Coalescing)> = None;
+    let initial = Coalescing::identity(&ag.graph);
+    // Suffix sums of weights for pruning.
+    let mut suffix = vec![0u64; affinities.len() + 1];
+    for i in (0..affinities.len()).rev() {
+        suffix[i] = suffix[i + 1] + affinities[i].weight;
+    }
+
+    fn search(
+        affinities: &[Affinity],
+        suffix: &[u64],
+        index: usize,
+        current: &Coalescing,
+        lost: u64,
+        best: &mut Option<(u64, Coalescing)>,
+    ) {
+        if let Some((best_lost, _)) = best {
+            if lost >= *best_lost {
+                return;
+            }
+        }
+        if index == affinities.len() {
+            let better = best.as_ref().map_or(true, |(b, _)| lost < *b);
+            if better {
+                *best = Some((lost, current.clone()));
+            }
+            return;
+        }
+        let aff = affinities[index];
+        let mut cur = current.clone();
+        // Branch 1: coalesce this affinity if possible (no extra cost).
+        if cur.can_merge(aff.a, aff.b) {
+            cur.merge(aff.a, aff.b);
+            search(affinities, suffix, index + 1, &cur, lost, best);
+        } else if cur.same_class(aff.a, aff.b) {
+            // Already coalesced by transitivity: no cost, no choice.
+            search(affinities, suffix, index + 1, current, lost, best);
+            return;
+        }
+        // Branch 2: give this affinity up.
+        search(affinities, suffix, index + 1, current, lost + aff.weight, best);
+    }
+
+    search(&affinities, &suffix, 0, &initial, 0, &mut best);
+    let (_, mut coalescing) = best.expect("search always yields a solution");
+    let stats = coalescing.stats(&ag.affinities);
+    AggressiveResult { coalescing, stats }
+}
+
+/// Decision form of the aggressive coalescing problem (the paper's
+/// `AGGRESSIVE COALESCING`): can all but at most `max_uncoalesced`
+/// affinities be coalesced?
+pub fn aggressive_decision(ag: &AffinityGraph, max_uncoalesced: usize) -> bool {
+    // Use unit weights for the decision version.
+    let unit = AffinityGraph {
+        graph: ag.graph.clone(),
+        affinities: ag
+            .affinities
+            .iter()
+            .map(|a| Affinity::new(a.a, a.b))
+            .collect(),
+    };
+    let exact = aggressive_exact(&unit);
+    exact.stats.uncoalesced() <= max_uncoalesced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::{Graph, VertexId};
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn chain_of_affinities_fully_coalesces_without_interference() {
+        let g = Graph::new(4);
+        let ag = AffinityGraph::new(
+            g,
+            vec![
+                Affinity::new(v(0), v(1)),
+                Affinity::new(v(1), v(2)),
+                Affinity::new(v(2), v(3)),
+            ],
+        );
+        let res = aggressive_heuristic(&ag);
+        assert_eq!(res.stats.uncoalesced(), 0);
+        assert_eq!(res.coalescing.merged_graph.num_vertices(), 1);
+    }
+
+    #[test]
+    fn interference_forces_some_affinity_to_fail() {
+        // Triangle of affinities around an interference 0-2: at least one of
+        // the affinities (0,1), (1,2) must be given up.
+        let g = Graph::with_edges(3, [(v(0), v(2))]);
+        let ag = AffinityGraph::new(
+            g,
+            vec![Affinity::new(v(0), v(1)), Affinity::new(v(1), v(2))],
+        );
+        let exact = aggressive_exact(&ag);
+        assert_eq!(exact.stats.uncoalesced(), 1);
+        let heur = aggressive_heuristic(&ag);
+        assert!(heur.stats.uncoalesced() >= 1);
+    }
+
+    #[test]
+    fn exact_beats_or_matches_greedy_on_weighted_instance() {
+        // Star: center 2 is affine to 0, 1, 3; 0-1 interfere, so the center
+        // can join only one of {0,1}; weights make the greedy order matter.
+        let g = Graph::with_edges(4, [(v(0), v(1))]);
+        let ag = AffinityGraph::new(
+            g,
+            vec![
+                Affinity::weighted(v(2), v(0), 1),
+                Affinity::weighted(v(2), v(1), 2),
+                Affinity::weighted(v(2), v(3), 4),
+            ],
+        );
+        let exact = aggressive_exact(&ag);
+        let heur = aggressive_heuristic(&ag);
+        assert!(exact.stats.coalesced_weight >= heur.stats.coalesced_weight);
+        assert_eq!(exact.stats.uncoalesced_weight(), 1);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_exact_is_not() {
+        // 0 -aff- 1 -aff- 2 with weights 5 and 5, and 0 -aff- 2 impossible
+        // because 0-2 interfere: greedy coalesces both (0,1) then (1,2)?  The
+        // second merge is blocked, so exactly one survives; exact agrees
+        // because the interference is unavoidable.
+        let g = Graph::with_edges(3, [(v(0), v(2))]);
+        let ag = AffinityGraph::new(
+            g,
+            vec![
+                Affinity::weighted(v(0), v(1), 5),
+                Affinity::weighted(v(1), v(2), 5),
+            ],
+        );
+        let exact = aggressive_exact(&ag);
+        assert_eq!(exact.stats.coalesced_weight, 5);
+    }
+
+    #[test]
+    fn decision_problem_matches_exact_optimum() {
+        let g = Graph::with_edges(3, [(v(0), v(2))]);
+        let ag = AffinityGraph::new(
+            g,
+            vec![Affinity::new(v(0), v(1)), Affinity::new(v(1), v(2))],
+        );
+        assert!(!aggressive_decision(&ag, 0));
+        assert!(aggressive_decision(&ag, 1));
+        assert!(aggressive_decision(&ag, 2));
+    }
+
+    #[test]
+    fn no_affinities_is_trivially_optimal() {
+        let g = Graph::with_edges(2, [(v(0), v(1))]);
+        let ag = AffinityGraph::new(g, vec![]);
+        let res = aggressive_exact(&ag);
+        assert_eq!(res.stats.total, 0);
+        assert_eq!(res.stats.uncoalesced(), 0);
+    }
+}

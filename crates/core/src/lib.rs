@@ -1,0 +1,58 @@
+//! Register coalescing algorithms — the subject of *On the Complexity of
+//! Register Coalescing* (Bouchez, Darte, Rastello).
+//!
+//! The paper classifies the complexity of four coalescing optimisations;
+//! this crate implements all of them, both as the heuristics used in real
+//! allocators and as exact (exponential) references used to validate the
+//! paper's reductions and to measure optimality gaps:
+//!
+//! | Problem (paper §) | Heuristic | Exact reference |
+//! |---|---|---|
+//! | Aggressive coalescing (§3, Thm 2) | [`aggressive::aggressive_heuristic`] | [`aggressive::aggressive_exact`] |
+//! | Conservative coalescing (§4, Thm 3) | [`conservative::conservative_coalesce`] (Briggs / George / brute force) | [`conservative::conservative_exact`] |
+//! | Incremental conservative coalescing (§4, Thms 4–5) | [`incremental::chordal_incremental`] (polynomial, chordal graphs) | [`incremental::incremental_exact`] |
+//! | Optimistic coalescing / de-coalescing (§5, Thm 6) | [`optimistic::optimistic_coalesce`] | [`optimistic::decoalesce_exact`] |
+//!
+//! The shared vocabulary lives in [`affinity`]: an [`AffinityGraph`] is an
+//! interference graph plus weighted affinities, and a [`Coalescing`] is the
+//! paper's function `f` — a partition of the variables into interference-free
+//! classes.  [`irc`] adds a compact iterated-register-coalescing allocator
+//! (simplify / coalesce / freeze / spill / select) so that end-to-end
+//! experiments can report resulting spills.
+//!
+//! # Example
+//!
+//! ```
+//! use coalesce_core::affinity::{Affinity, AffinityGraph};
+//! use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+//! use coalesce_graph::{Graph, VertexId};
+//!
+//! // Two values that interfere, each affine to a third value.
+//! let v = VertexId::new;
+//! let graph = Graph::with_edges(3, [(v(0), v(1))]);
+//! let affinities = vec![Affinity::new(v(0), v(2)), Affinity::new(v(1), v(2))];
+//! let instance = AffinityGraph::new(graph, affinities);
+//! let result = conservative_coalesce(&instance, 2, ConservativeRule::BruteForce);
+//! // Only one of the two moves can be removed: the merged graph must stay
+//! // 2-colorable.
+//! assert_eq!(result.stats.coalesced, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod affinity;
+pub mod aggressive;
+pub mod chordal_strategy;
+pub mod conservative;
+pub mod incremental;
+pub mod irc;
+pub mod optimistic;
+
+pub use affinity::{Affinity, AffinityGraph, Coalescing, CoalescingStats};
+pub use aggressive::{aggressive_exact, aggressive_heuristic};
+pub use chordal_strategy::{chordal_conservative_coalesce, ChordalMode, ChordalStrategyResult};
+pub use conservative::{conservative_coalesce, conservative_exact, ConservativeRule};
+pub use incremental::{chordal_incremental, incremental_exact, IncrementalAnswer};
+pub use irc::{allocate, IrcResult};
+pub use optimistic::{decoalesce_exact, optimistic_coalesce};

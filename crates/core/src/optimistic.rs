@@ -1,0 +1,377 @@
+//! Optimistic coalescing (§5, Theorem 6).
+//!
+//! Park and Moon's optimistic coalescing first coalesces *aggressively*
+//! (ignoring colorability), then **de-coalesces**: it gives up as few moves
+//! as possible so that the graph becomes greedy-`k`-colorable again.  The
+//! paper proves the de-coalescing problem NP-complete (Theorem 6, by
+//! reduction from vertex cover), even on chordal graphs and for `k = 4`.
+//!
+//! This module provides:
+//!
+//! * [`optimistic_coalesce`] — the full heuristic pipeline: aggressive
+//!   phase (greedy), then iterative de-coalescing of the cheapest blocking
+//!   classes until the graph is greedy-`k`-colorable;
+//! * [`decoalesce_exact`] — an exponential search for the minimum number of
+//!   affinities to give up, used to validate the Theorem 6 reduction and to
+//!   measure the heuristic's gap on small instances.
+
+use crate::affinity::{Affinity, AffinityGraph, Coalescing, CoalescingStats};
+use coalesce_graph::{greedy, DisjointSets, VertexId};
+use std::collections::BTreeSet;
+
+/// Result of an optimistic coalescing run.
+#[derive(Debug, Clone)]
+pub struct OptimisticResult {
+    /// The final coalescing (after de-coalescing).
+    pub coalescing: Coalescing,
+    /// Statistics of the final coalescing.
+    pub stats: CoalescingStats,
+    /// Number of classes that had to be split during de-coalescing.
+    pub declassified: usize,
+}
+
+/// Full optimistic coalescing: aggressive phase followed by de-coalescing
+/// until the merged graph is greedy-`k`-colorable.
+///
+/// De-coalescing strategy (Park–Moon in spirit): while the merged graph is
+/// not greedy-`k`-colorable, find the classes that are stuck in the
+/// high-degree core, and completely split the one whose split loses the
+/// least affinity weight.
+pub fn optimistic_coalesce(ag: &AffinityGraph, k: usize) -> OptimisticResult {
+    // The aggressive phase is the first `rebuild` with every affinity kept;
+    // `aggressive_heuristic` is re-exported separately for callers that only
+    // want that phase.
+    let mut kept: Vec<bool> = vec![true; ag.affinities.len()];
+    let mut declassified = 0usize;
+
+    loop {
+        let (coalescing, _) = rebuild(ag, &kept);
+        let core = match greedy::high_degree_core(&coalescing.merged_graph, k) {
+            None => {
+                let mut coalescing = coalescing;
+                let stats = coalescing.stats(&ag.affinities);
+                return OptimisticResult {
+                    coalescing,
+                    stats,
+                    declassified,
+                };
+            }
+            Some(core) => core,
+        };
+        // Classes (representatives) present in the stuck core that currently
+        // contain at least one kept affinity.
+        let mut immut = coalescing;
+        let core_set: BTreeSet<VertexId> = core.into_iter().collect();
+        let mut candidates: Vec<(u64, usize, VertexId)> = Vec::new();
+        for rep in core_set {
+            let weight: u64 = ag
+                .affinities
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| {
+                    kept[*i]
+                        && immut.class_of(a.a) == rep
+                        && immut.class_of(a.b) == rep
+                })
+                .map(|(_, a)| a.weight)
+                .sum();
+            let count = ag
+                .affinities
+                .iter()
+                .enumerate()
+                .filter(|(i, a)| {
+                    kept[*i]
+                        && immut.class_of(a.a) == rep
+                        && immut.class_of(a.b) == rep
+                })
+                .count();
+            if count > 0 {
+                candidates.push((weight, count, rep));
+            }
+        }
+        if candidates.is_empty() {
+            // Nothing left to de-coalesce: the instance is simply not
+            // greedy-k-colorable even without any coalescing.  Return the
+            // current state.
+            let mut coalescing = rebuild(ag, &kept).0;
+            let stats = coalescing.stats(&ag.affinities);
+            return OptimisticResult {
+                coalescing,
+                stats,
+                declassified,
+            };
+        }
+        candidates.sort();
+        let (_, _, victim) = candidates[0];
+        // Give up every kept affinity fully inside the victim class.
+        for (i, aff) in ag.affinities.iter().enumerate() {
+            if kept[i] && immut.class_of(aff.a) == victim && immut.class_of(aff.b) == victim {
+                kept[i] = false;
+            }
+        }
+        declassified += 1;
+    }
+}
+
+/// Rebuilds the coalescing obtained by merging (when possible) exactly the
+/// affinities marked `true` in `kept`, in decreasing weight order.
+fn rebuild(ag: &AffinityGraph, kept: &[bool]) -> (Coalescing, usize) {
+    let mut order: Vec<(usize, &Affinity)> = ag
+        .affinities
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| kept[*i])
+        .collect();
+    order.sort_by(|(_, x), (_, y)| y.weight.cmp(&x.weight).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b)));
+    let mut coalescing = Coalescing::identity(&ag.graph);
+    let mut merged = 0;
+    for (_, aff) in order {
+        if coalescing.can_merge(aff.a, aff.b) {
+            coalescing.merge(aff.a, aff.b);
+            merged += 1;
+        }
+    }
+    (coalescing, merged)
+}
+
+/// Exact de-coalescing: finds the minimum number of affinities to give up
+/// so that the graph obtained by coalescing the rest (component-wise) is
+/// greedy-`k`-colorable.  Returns that minimum and the corresponding
+/// coalescing, or `None` if even the fully de-coalesced (original) graph is
+/// not greedy-`k`-colorable.
+///
+/// Exponential in the number of affinities (it enumerates subsets by
+/// increasing size); intended for reduction validation on small instances.
+pub fn decoalesce_exact(ag: &AffinityGraph, k: usize) -> Option<(usize, Coalescing)> {
+    let n = ag.affinities.len();
+    if !greedy::is_greedy_k_colorable(&ag.graph, k) {
+        return None;
+    }
+    for give_up in 0..=n {
+        let mut subset: Vec<usize> = (0..give_up).collect();
+        loop {
+            // Build the kept mask for this subset.
+            let mut kept = vec![true; n];
+            for &i in &subset {
+                kept[i] = false;
+            }
+            if let Some(coalescing) = coalesce_components(ag, &kept) {
+                if greedy::is_greedy_k_colorable(&coalescing.merged_graph, k) {
+                    return Some((give_up, coalescing));
+                }
+            }
+            if !next_combination(&mut subset, n) {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Coalesces the connected components of the kept-affinity graph, failing if
+/// a component contains an interference (such a subset cannot be realised by
+/// any coalescing).
+fn coalesce_components(ag: &AffinityGraph, kept: &[bool]) -> Option<Coalescing> {
+    let mut dsu = DisjointSets::new(ag.graph.capacity());
+    for (i, aff) in ag.affinities.iter().enumerate() {
+        if kept[i] {
+            dsu.union(aff.a.index(), aff.b.index());
+        }
+    }
+    // Check component-internal interference.
+    for (u, v) in ag.graph.edges() {
+        if dsu.same_set(u.index(), v.index()) {
+            return None;
+        }
+    }
+    let mut coalescing = Coalescing::identity(&ag.graph);
+    for (i, aff) in ag.affinities.iter().enumerate() {
+        if kept[i] {
+            coalescing.merge(aff.a, aff.b)?;
+        }
+    }
+    Some(coalescing)
+}
+
+/// Advances `subset` to the next combination of the same size out of `n`
+/// items; returns `false` when exhausted.
+fn next_combination(subset: &mut [usize], n: usize) -> bool {
+    let k = subset.len();
+    if k == 0 {
+        return false;
+    }
+    let mut i = k;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if subset[i] != i + n - k {
+            break;
+        }
+    }
+    subset[i] += 1;
+    for j in i + 1..k {
+        subset[j] = subset[j - 1] + 1;
+    }
+    true
+}
+
+/// Checks the precondition of the optimistic problem as stated in the
+/// paper: all affinities can be aggressively coalesced simultaneously.
+pub fn all_affinities_coalescible(ag: &AffinityGraph) -> bool {
+    coalesce_components(ag, &vec![true; ag.affinities.len()]).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::Graph;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// A gadget where aggressive coalescing ruins colorability: vertices
+    /// a0, a1 are affine; each is part of a triangle; merging them creates a
+    /// vertex of degree 4, and with k = 3 the merged graph is still
+    /// greedy-3-colorable... make it harsher by tying the triangles
+    /// together.
+    fn blocking_instance() -> AffinityGraph {
+        // K4 minus an edge, whose two non-adjacent vertices (0, 1) are
+        // affine; merging them creates K3+ structure: still fine for k = 3.
+        // For k = 2: the original graph (path-ish) is greedy-2-colorable
+        // only without the merge.
+        let mut g = Graph::new(4);
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(0), v(3));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(1), v(3));
+        AffinityGraph::new(g, vec![Affinity::new(v(0), v(1))])
+    }
+
+    #[test]
+    fn optimistic_keeps_coalescing_when_it_is_safe() {
+        let ag = blocking_instance();
+        // k = 3: merging 0 and 1 yields a triangle, greedy-3-colorable.
+        let res = optimistic_coalesce(&ag, 3);
+        assert_eq!(res.stats.uncoalesced(), 0);
+        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, 3));
+    }
+
+    #[test]
+    fn optimistic_de_coalesces_when_necessary() {
+        let ag = blocking_instance();
+        // k = 2: the original graph is C4, greedy-2-colorable? no -- C4 has
+        // all degrees 2, so it is NOT greedy-2-colorable; with k = 3 it is.
+        // Use k = 3 for the "safe" case above; here use a graph that is
+        // greedy-2-colorable before coalescing: a path 2-0-3, plus 1
+        // adjacent to 3 only, affinity (0,1).
+        let mut g = Graph::new(4);
+        g.add_edge(v(2), v(0));
+        g.add_edge(v(0), v(3));
+        g.add_edge(v(1), v(3));
+        let ag2 = AffinityGraph::new(g, vec![Affinity::new(v(0), v(1))]);
+        assert!(greedy::is_greedy_k_colorable(&ag2.graph, 2));
+        let res = optimistic_coalesce(&ag2, 2);
+        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, 2));
+        // Exact de-coalescing agrees with whatever the heuristic achieved or
+        // does better.
+        let (opt, _) = decoalesce_exact(&ag2, 2).unwrap();
+        assert!(opt <= res.stats.uncoalesced());
+        let _ = ag;
+    }
+
+    #[test]
+    fn exact_decoalescing_minimum_on_two_affinity_instance() {
+        // Two affinities; coalescing either alone breaks greedy-2-
+        // colorability, coalescing neither is fine, coalescing both is
+        // impossible (interference by transitivity).  The exact minimum
+        // number of given-up affinities is 1 or 2 depending on structure;
+        // here we build an instance where giving up one suffices.
+        //
+        // Graph: square 0-2-1-3-0 (C4) is not greedy-2-colorable, so use a
+        // tree: 0-2, 2-1, affinities (0,1) [merging makes a multi-edge to 2
+        // -> still a tree shape] and (0,3) with 3 isolated.
+        let mut g = Graph::new(4);
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(2), v(1));
+        let ag = AffinityGraph::new(
+            g,
+            vec![Affinity::new(v(0), v(1)), Affinity::new(v(0), v(3))],
+        );
+        let (min_giveup, mut c) = decoalesce_exact(&ag, 2).unwrap();
+        assert_eq!(min_giveup, 0);
+        assert!(c.same_class(v(0), v(1)));
+        assert!(c.same_class(v(0), v(3)));
+    }
+
+    #[test]
+    fn decoalesce_exact_rejects_uncolorable_base_graph() {
+        // K4 with k = 3 can never become greedy-3-colorable.
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_edge(v(i), v(j));
+            }
+        }
+        let ag = AffinityGraph::new(g, vec![]);
+        assert!(decoalesce_exact(&ag, 3).is_none());
+    }
+
+    #[test]
+    fn heuristic_never_returns_uncolorable_graph_when_base_is_colorable() {
+        // Chain of affinities over an independent set plus a clique context.
+        let mut g = Graph::new(6);
+        // Clique on 3,4,5 with k = 3.
+        g.add_edge(v(3), v(4));
+        g.add_edge(v(3), v(5));
+        g.add_edge(v(4), v(5));
+        // 0,1,2 each adjacent to two clique vertices.
+        g.add_edge(v(0), v(3));
+        g.add_edge(v(0), v(4));
+        g.add_edge(v(1), v(4));
+        g.add_edge(v(1), v(5));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(2), v(5));
+        let ag = AffinityGraph::new(
+            g,
+            vec![
+                Affinity::weighted(v(0), v(1), 3),
+                Affinity::weighted(v(1), v(2), 2),
+                Affinity::weighted(v(0), v(2), 1),
+            ],
+        );
+        assert!(greedy::is_greedy_k_colorable(&ag.graph, 3));
+        let res = optimistic_coalesce(&ag, 3);
+        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, 3));
+    }
+
+    #[test]
+    fn all_affinities_coalescible_detects_transitive_interference() {
+        // Affinities (0,1) and (1,2) but 0 interferes with 2: both cannot be
+        // coalesced simultaneously.
+        let g = Graph::with_edges(3, [(v(0), v(2))]);
+        let ag = AffinityGraph::new(
+            g,
+            vec![Affinity::new(v(0), v(1)), Affinity::new(v(1), v(2))],
+        );
+        assert!(!all_affinities_coalescible(&ag));
+        let g2 = Graph::new(3);
+        let ag2 = AffinityGraph::new(
+            g2,
+            vec![Affinity::new(v(0), v(1)), Affinity::new(v(1), v(2))],
+        );
+        assert!(all_affinities_coalescible(&ag2));
+    }
+
+    #[test]
+    fn next_combination_enumerates_all_subsets_of_fixed_size() {
+        let mut c = vec![0, 1];
+        let mut seen = vec![c.clone()];
+        while next_combination(&mut c, 4) {
+            seen.push(c.clone());
+        }
+        assert_eq!(seen.len(), 6); // C(4,2)
+    }
+}

@@ -1,0 +1,233 @@
+//! Named graph families used by the benchmarks and the complexity
+//! experiments.
+//!
+//! The NP-completeness constructions and the heuristics behave very
+//! differently on structured graphs (cycles, grids, bipartite-like
+//! permutation gadgets) than on random ones; this module provides the
+//! deterministic families the experiment tables sweep over, plus the
+//! classical triangle-free-but-high-chromatic Mycielski family used to
+//! stress the gap between clique number and chromatic number (the gap that
+//! makes conservative coalescing on arbitrary graphs hard).
+
+use coalesce_graph::{Graph, VertexId};
+
+fn v(i: usize) -> VertexId {
+    VertexId::new(i)
+}
+
+/// The cycle `C_n` (`n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(v(i), v((i + 1) % n));
+    }
+    g
+}
+
+/// The path `P_n` (`n ≥ 1`).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(v(i - 1), v(i));
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_edge(v(i), v(j));
+        }
+    }
+    g
+}
+
+/// The wheel `W_n`: a cycle of `n` vertices plus a hub adjacent to all of
+/// them (`n + 1` vertices in total).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn wheel(n: usize) -> Graph {
+    let mut g = cycle(n);
+    let hub = g.add_vertex();
+    for i in 0..n {
+        g.add_edge(hub, v(i));
+    }
+    g
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let at = |r: usize, c: usize| v(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            g.add_edge(v(i), v(a + j));
+        }
+    }
+    g
+}
+
+/// The Mycielskian of `g`: a triangle-free-preserving transformation that
+/// raises the chromatic number by one.  Starting from `K_2` and iterating
+/// yields the Grötzsch-like family of triangle-free graphs with arbitrary
+/// chromatic number — graphs where `ω(G) = 2` but `χ(G)` is large, the
+/// regime in which greedy/clique-based reasoning about colorability is
+/// maximally wrong.
+pub fn mycielskian(g: &Graph) -> Graph {
+    let originals: Vec<VertexId> = g.vertices().collect();
+    let n = originals.len();
+    let mut out = Graph::new(2 * n + 1);
+    // Index mapping: original i -> i, shadow of i -> n + i, apex -> 2n.
+    let index_of = |x: VertexId| originals.iter().position(|&o| o == x).expect("live vertex");
+    for (i, &a) in originals.iter().enumerate() {
+        for b in g.neighbors(a) {
+            let j = index_of(b);
+            if i < j {
+                out.add_edge(v(i), v(j)); // original edges
+            }
+            // Shadow of i is adjacent to the neighbors of i (originals).
+            out.add_edge(v(n + i), v(j));
+        }
+    }
+    let apex = v(2 * n);
+    for i in 0..n {
+        out.add_edge(apex, v(n + i));
+    }
+    out
+}
+
+/// The `i`-th Mycielski graph `M_i` (`M_2 = K_2`, `M_3 = C_5`, `M_4` is the
+/// Grötzsch graph): triangle-free with chromatic number `i`.
+///
+/// # Panics
+///
+/// Panics if `i < 2`.
+pub fn mycielski(i: usize) -> Graph {
+    assert!(i >= 2, "the Mycielski family starts at M_2 = K_2");
+    let mut g = complete(2);
+    for _ in 2..i {
+        g = mycielskian(&g);
+    }
+    g
+}
+
+/// The "book" graph used as a chordal stress case: `pages` triangles all
+/// sharing one common edge.  Chordal, `ω = 3`.
+pub fn triangle_book(pages: usize) -> Graph {
+    let mut g = Graph::new(pages + 2);
+    g.add_edge(v(0), v(1));
+    for p in 0..pages {
+        g.add_edge(v(p + 2), v(0));
+        g.add_edge(v(p + 2), v(1));
+    }
+    g
+}
+
+/// An interval "staircase": `n` unit intervals each overlapping the next
+/// `width` ones — an interval (hence chordal) graph with clique number
+/// `width + 1`, the typical shape of straight-line-code interference.
+pub fn interval_staircase(n: usize, width: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..(i + width + 1).min(n) {
+            g.add_edge(v(i), v(j));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::{chordal, cliques, coloring, greedy, interval};
+
+    #[test]
+    fn cycles_paths_and_completes_have_the_expected_sizes() {
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(wheel(5).num_edges(), 10);
+        assert_eq!(grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(complete_bipartite(2, 3).num_edges(), 6);
+    }
+
+    #[test]
+    fn chordality_of_the_families_is_as_expected() {
+        assert!(!chordal::is_chordal(&cycle(4)));
+        assert!(chordal::is_chordal(&path(6)));
+        assert!(chordal::is_chordal(&complete(4)));
+        assert!(chordal::is_chordal(&triangle_book(5)));
+        assert!(chordal::is_chordal(&interval_staircase(10, 3)));
+        assert!(!chordal::is_chordal(&grid(3, 3)));
+    }
+
+    #[test]
+    fn interval_staircase_is_an_interval_graph_with_the_right_clique_number() {
+        let g = interval_staircase(12, 3);
+        assert!(interval::is_interval_graph(&g));
+        assert_eq!(cliques::clique_number(&g), 4);
+        assert!(greedy::is_greedy_k_colorable(&g, 4));
+        assert!(!greedy::is_greedy_k_colorable(&g, 3));
+    }
+
+    #[test]
+    fn mycielski_graphs_are_triangle_free_with_growing_chromatic_number() {
+        for i in 2..=4 {
+            let g = mycielski(i);
+            assert_eq!(cliques::clique_number(&g), 2.min(g.num_vertices()), "M_{i} has a triangle");
+            assert_eq!(coloring::chromatic_number(&g), i, "χ(M_{i})");
+        }
+        // M_3 is the 5-cycle.
+        let m3 = mycielski(3);
+        assert_eq!(m3.num_vertices(), 5);
+        assert_eq!(m3.num_edges(), 5);
+    }
+
+    #[test]
+    fn wheel_chromatic_number_depends_on_cycle_parity() {
+        // Even rims are 2-chromatic, so the wheel needs 3 colors; odd rims
+        // are 3-chromatic, so the wheel needs 4.
+        assert_eq!(coloring::chromatic_number(&wheel(4)), 3);
+        assert_eq!(coloring::chromatic_number(&wheel(5)), 4);
+        assert_eq!(coloring::chromatic_number(&wheel(6)), 3);
+        assert_eq!(coloring::chromatic_number(&wheel(7)), 4);
+    }
+
+    #[test]
+    fn grid_is_bipartite() {
+        let g = grid(4, 4);
+        assert_eq!(coloring::chromatic_number(&g), 2);
+        assert!(greedy::is_greedy_k_colorable(&g, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycles_are_rejected() {
+        let _ = cycle(2);
+    }
+}

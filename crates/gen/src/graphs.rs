@@ -1,0 +1,154 @@
+//! Random graph generators.
+
+use coalesce_graph::{Graph, VertexId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Erdős–Rényi random graph `G(n, p)`.
+pub fn random_graph(n: usize, p: f64, rng: &mut ChaCha8Rng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(VertexId::new(i), VertexId::new(j));
+            }
+        }
+    }
+    g
+}
+
+/// Random interval graph on `n` vertices: each vertex is an interval with a
+/// random start in `0..span` and a random length in `1..=max_len`.  Interval
+/// graphs are chordal, so this doubles as a chordal-graph generator whose
+/// clique number is the maximum interval overlap.
+pub fn random_interval_graph(
+    n: usize,
+    span: usize,
+    max_len: usize,
+    rng: &mut ChaCha8Rng,
+) -> (Graph, Vec<(usize, usize)>) {
+    let span = span.max(1);
+    let max_len = max_len.max(1);
+    let intervals: Vec<(usize, usize)> = (0..n)
+        .map(|_| {
+            let start = rng.gen_range(0..span);
+            let len = rng.gen_range(1..=max_len);
+            (start, start + len)
+        })
+        .collect();
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a1, b1) = intervals[i];
+            let (a2, b2) = intervals[j];
+            if a1.max(a2) <= b1.min(b2) {
+                g.add_edge(VertexId::new(i), VertexId::new(j));
+            }
+        }
+    }
+    (g, intervals)
+}
+
+/// Random connected chordal graph built by the "add a vertex adjacent to a
+/// random clique" process: vertex `i` is connected to a random clique of at
+/// most `max_clique - 1` earlier vertices, which keeps the graph chordal
+/// with clique number at most `max_clique`.
+pub fn random_chordal_graph(n: usize, max_clique: usize, rng: &mut ChaCha8Rng) -> Graph {
+    let mut g = Graph::new(n);
+    // cliques[i] = a maximal clique the vertex i belongs to, as a seed for
+    // later attachments.
+    let mut cliques: Vec<Vec<VertexId>> = Vec::new();
+    for i in 0..n {
+        let vi = VertexId::new(i);
+        if i == 0 {
+            cliques.push(vec![vi]);
+            continue;
+        }
+        // Pick an existing clique and a random subset of it.
+        let base = &cliques[rng.gen_range(0..cliques.len())];
+        let take = rng.gen_range(0..base.len().min(max_clique.saturating_sub(1)) + 1);
+        let mut chosen: Vec<VertexId> = base.clone();
+        while chosen.len() > take {
+            let idx = rng.gen_range(0..chosen.len());
+            chosen.swap_remove(idx);
+        }
+        for &u in &chosen {
+            g.add_edge(vi, u);
+        }
+        chosen.push(vi);
+        cliques.push(chosen);
+    }
+    g
+}
+
+/// Random greedy-`k`-colorable graph: a random graph repaired by removing
+/// edges from its high-degree core until the greedy elimination succeeds.
+pub fn random_greedy_k_colorable(n: usize, p: f64, k: usize, rng: &mut ChaCha8Rng) -> Graph {
+    let mut g = random_graph(n, p, rng);
+    loop {
+        match coalesce_graph::greedy::high_degree_core(&g, k) {
+            None => return g,
+            Some(core) => {
+                // Remove a random edge inside the core.
+                let edges: Vec<(VertexId, VertexId)> = g
+                    .edges()
+                    .filter(|(u, v)| core.contains(u) && core.contains(v))
+                    .collect();
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                g.remove_edge(u, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::{chordal, cliques, greedy};
+
+    #[test]
+    fn random_graph_respects_density_extremes() {
+        let mut r = crate::rng(1);
+        let empty = random_graph(10, 0.0, &mut r);
+        assert_eq!(empty.num_edges(), 0);
+        let full = random_graph(10, 1.0, &mut r);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn interval_graphs_are_chordal() {
+        for seed in 0..10 {
+            let mut r = crate::rng(seed);
+            let (g, _) = random_interval_graph(20, 30, 6, &mut r);
+            assert!(chordal::is_chordal(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chordal_generator_is_chordal_and_respects_clique_bound() {
+        for seed in 0..10 {
+            let mut r = crate::rng(seed);
+            let g = random_chordal_graph(25, 4, &mut r);
+            assert!(chordal::is_chordal(&g), "seed {seed}");
+            assert!(cliques::clique_number(&g) <= 4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn greedy_generator_output_is_greedy_k_colorable() {
+        for seed in 0..5 {
+            let mut r = crate::rng(seed);
+            let g = random_greedy_k_colorable(20, 0.4, 4, &mut r);
+            assert!(greedy::is_greedy_k_colorable(&g, 4), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = random_graph(15, 0.3, &mut crate::rng(42));
+        let b = random_graph(15, 0.3, &mut crate::rng(42));
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,128 @@
+//! The Figure 3 gadgets: permutations of values and the incremental trap.
+
+use coalesce_core::affinity::{Affinity, AffinityGraph};
+use coalesce_graph::{Graph, VertexId};
+
+/// Builds the interference/affinity pattern of a permutation of `n` values
+/// (Figure 3, left): sources `u_1..u_n` are simultaneously live before the
+/// parallel copy, destinations `v_1..v_n` after it, and the affinity
+/// `(u_i, v_i)` represents the move `v_i = u_σ(i)` for the identity-like
+/// pairing used in the figure.
+///
+/// `context` extra vertices, each interfering with every `u_i` and `v_i`
+/// and with each other, model surrounding register pressure: with
+/// `context = k - n` the pressure reaches `k` and the local rules of §4
+/// start failing while the permutation is still coalescible.
+pub fn permutation_instance(n: usize, context: usize) -> AffinityGraph {
+    // Sources pairwise interfere, destinations pairwise interfere, and u_i
+    // interferes with every v_j except j = i (the value it carries).
+    let mut g = Graph::new(2 * n + context);
+    let u = |i: usize| VertexId::new(i);
+    let v = |i: usize| VertexId::new(n + i);
+    let c = |i: usize| VertexId::new(2 * n + i);
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_edge(u(i), u(j));
+            g.add_edge(v(i), v(j));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(u(i), v(j));
+            }
+        }
+    }
+    for x in 0..context {
+        for i in 0..n {
+            g.add_edge(c(x), u(i));
+            g.add_edge(c(x), v(i));
+        }
+        for y in x + 1..context {
+            g.add_edge(c(x), c(y));
+        }
+    }
+    let affinities = (0..n).map(|i| Affinity::new(u(i), v(i))).collect();
+    AffinityGraph::new(g, affinities)
+}
+
+/// The incremental trap of Figure 3 (right): a greedy-3-colorable graph
+/// with two affinities `(a, b)` and `(a, c)` such that coalescing **both**
+/// keeps the graph greedy-3-colorable but coalescing `(a, b)` alone does
+/// not — an incremental, one-affinity-at-a-time strategy that starts with
+/// `(a, b)` is stuck, while the simultaneous coalescing is conservative.
+pub fn incremental_trap() -> AffinityGraph {
+    let mut g = Graph::new(6);
+    let v = VertexId::new;
+    let (a, b, c, x, y, z) = (v(0), v(1), v(2), v(3), v(4), v(5));
+    g.add_edge(x, z);
+    g.add_edge(y, z);
+    g.add_edge(b, x);
+    g.add_edge(b, y);
+    g.add_edge(c, x);
+    g.add_edge(c, y);
+    g.add_edge(c, z);
+    g.add_edge(a, z);
+    AffinityGraph::new(g, vec![Affinity::new(a, b), Affinity::new(a, c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_core::conservative::{brute_force_test, conservative_coalesce, ConservativeRule};
+    use coalesce_graph::greedy;
+
+    #[test]
+    fn permutation_instance_shape() {
+        let ag = permutation_instance(4, 0);
+        assert_eq!(ag.graph.num_vertices(), 8);
+        assert_eq!(ag.num_affinities(), 4);
+        // Sources form a clique, destinations form a clique.
+        assert_eq!(ag.graph.num_edges(), 6 + 6 + 12);
+    }
+
+    #[test]
+    fn permutation_is_fully_coalescible_simultaneously() {
+        // Coalescing every (u_i, v_i) at once yields K_n: greedy-n-colorable.
+        let n = 4;
+        let ag = permutation_instance(n, 0);
+        let res = coalesce_core::aggressive::aggressive_heuristic(&ag);
+        assert_eq!(res.stats.uncoalesced(), 0);
+        let merged = &res.coalescing.merged_graph;
+        assert_eq!(merged.num_vertices(), n);
+        assert!(greedy::is_greedy_k_colorable(merged, n));
+    }
+
+    #[test]
+    fn context_pressure_defeats_local_rules_but_not_simultaneous_coalescing() {
+        // Figure 3: permutation of 4 values under surrounding pressure with
+        // k = 6.  Every merged vertex would have 6 or more significant
+        // neighbors, so the local Briggs rule (and even the one-affinity-at-
+        // a-time brute-force check) refuses every single move, yet
+        // coalescing all four moves *simultaneously* yields a K6, which is
+        // greedy-6-colorable.
+        let n = 4;
+        let k = 6;
+        let ag = permutation_instance(n, k - n);
+        let briggs = conservative_coalesce(&ag, k, ConservativeRule::Briggs);
+        assert_eq!(briggs.stats.coalesced, 0);
+        let incremental_brute = conservative_coalesce(&ag, k, ConservativeRule::BruteForce);
+        assert_eq!(incremental_brute.stats.coalesced, 0);
+        // Simultaneous coalescing of the whole permutation.
+        let all = coalesce_core::aggressive::aggressive_heuristic(&ag);
+        assert_eq!(all.stats.uncoalesced(), 0);
+        assert!(greedy::is_greedy_k_colorable(&all.coalescing.merged_graph, k));
+    }
+
+    #[test]
+    fn trap_matches_the_figure_3_description() {
+        let ag = incremental_trap();
+        assert!(greedy::is_greedy_k_colorable(&ag.graph, 3));
+        let (a, b, c) = (VertexId::new(0), VertexId::new(1), VertexId::new(2));
+        assert!(!brute_force_test(&ag.graph, 3, a, b));
+        let mut both = ag.graph.clone();
+        both.merge(a, b);
+        both.merge(a, c);
+        assert!(greedy::is_greedy_k_colorable(&both, 3));
+    }
+}

@@ -1,0 +1,192 @@
+//! Random structured SSA program generator.
+
+use coalesce_ir::function::{Function, FunctionBuilder, Var};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the program generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramParams {
+    /// Number of if/else diamonds chained one after another.
+    pub diamonds: usize,
+    /// Number of ordinary operations per basic block.
+    pub ops_per_block: usize,
+    /// Target number of simultaneously live values the generator tries to
+    /// maintain (register pressure knob).
+    pub pressure: usize,
+    /// Number of φ-functions created at each join block.
+    pub phis_per_join: usize,
+}
+
+impl Default for ProgramParams {
+    fn default() -> Self {
+        ProgramParams {
+            diamonds: 3,
+            ops_per_block: 4,
+            pressure: 6,
+            phis_per_join: 2,
+        }
+    }
+}
+
+/// Generates a strict SSA program made of a chain of if/else diamonds.
+///
+/// Every block defines fresh values from randomly chosen live values; each
+/// join block defines `phis_per_join` φ-functions merging values produced
+/// in the two branches, which become affinities (and, after out-of-SSA
+/// translation, explicit copies).
+pub fn random_ssa_program(params: &ProgramParams, rng: &mut ChaCha8Rng) -> Function {
+    let mut b = FunctionBuilder::new("generated");
+    let entry = b.entry_block();
+    let mut live: Vec<Var> = Vec::new();
+    for i in 0..params.pressure.max(1) {
+        live.push(b.def(entry, format!("init{i}")));
+    }
+    let mut current = entry;
+
+    for d in 0..params.diamonds {
+        // Straight-line ops in the current block.
+        for i in 0..params.ops_per_block {
+            let uses = pick_uses(&live, rng);
+            let v = b.op(current, format!("s{d}_{i}"), &uses);
+            push_live(&mut live, v, params.pressure, rng);
+        }
+        // Branch on a fresh condition.
+        let cond = b.def(current, format!("c{d}"));
+        let then_block = b.new_block();
+        let else_block = b.new_block();
+        let join = b.new_block();
+        b.branch(current, cond, then_block, else_block);
+
+        // Each branch defines candidate values for the φs plus some noise.
+        let mut then_vals = Vec::new();
+        let mut else_vals = Vec::new();
+        for i in 0..params.phis_per_join.max(1) {
+            let uses_t = pick_uses(&live, rng);
+            then_vals.push(b.op(then_block, format!("t{d}_{i}"), &uses_t));
+            let uses_e = pick_uses(&live, rng);
+            else_vals.push(b.op(else_block, format!("e{d}_{i}"), &uses_e));
+        }
+        for i in 0..params.ops_per_block / 2 {
+            let uses = pick_uses(&live, rng);
+            let _ = b.op(then_block, format!("tn{d}_{i}"), &uses);
+            let uses = pick_uses(&live, rng);
+            let _ = b.op(else_block, format!("en{d}_{i}"), &uses);
+        }
+        b.jump(then_block, join);
+        b.jump(else_block, join);
+
+        for i in 0..params.phis_per_join {
+            let p = b.phi(
+                join,
+                format!("phi{d}_{i}"),
+                &[(then_block, then_vals[i]), (else_block, else_vals[i])],
+            );
+            push_live(&mut live, p, params.pressure, rng);
+        }
+        current = join;
+    }
+    // Final uses so the surviving values are live until the end.  They are
+    // consumed pairwise (rather than by one wide `return`) so that no single
+    // instruction needs more operands than two: an instruction of arity `a`
+    // forces `Maxlive ≥ a` no matter how much is spilled, which would make
+    // "spill down to k" instances impossible for small k.
+    let tail: Vec<Var> = live.iter().copied().take(params.pressure).collect();
+    for pair in tail.chunks(2) {
+        b.effect(current, pair);
+    }
+    b.ret(current, &[]);
+    let f = b.finish();
+    debug_assert!(coalesce_ir::ssa::is_strict(&f), "generator must emit strict SSA");
+    f
+}
+
+fn pick_uses(live: &[Var], rng: &mut ChaCha8Rng) -> Vec<Var> {
+    if live.is_empty() {
+        return Vec::new();
+    }
+    let count = rng.gen_range(1..=2.min(live.len()));
+    (0..count)
+        .map(|_| live[rng.gen_range(0..live.len())])
+        .collect()
+}
+
+fn push_live(live: &mut Vec<Var>, v: Var, pressure: usize, rng: &mut ChaCha8Rng) {
+    live.push(v);
+    while live.len() > pressure.max(1) {
+        let idx = rng.gen_range(0..live.len());
+        live.swap_remove(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::chordal;
+    use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
+    use coalesce_ir::{liveness::Liveness, ssa};
+
+    #[test]
+    fn generated_programs_are_valid_strict_ssa() {
+        for seed in 0..8 {
+            let mut r = crate::rng(seed);
+            let f = random_ssa_program(&ProgramParams::default(), &mut r);
+            assert!(f.validate().is_ok(), "seed {seed}");
+            assert!(ssa::is_ssa(&f), "seed {seed}");
+            assert!(ssa::is_strict(&f), "seed {seed}");
+            assert!(f.num_phis() > 0);
+        }
+    }
+
+    #[test]
+    fn theorem_1_holds_on_generated_programs() {
+        // The interference graph of every generated strict SSA program is
+        // chordal with clique number Maxlive.
+        for seed in 0..8 {
+            let mut r = crate::rng(seed);
+            let f = random_ssa_program(&ProgramParams::default(), &mut r);
+            let live = Liveness::compute(&f);
+            let ig = InterferenceGraph::build_with(
+                &f,
+                &live,
+                BuildOptions {
+                    kind: InterferenceKind::Intersection,
+                    ..Default::default()
+                },
+            );
+            assert!(chordal::is_chordal(&ig.graph), "seed {seed}");
+            let omega = chordal::chordal_clique_number(&ig.graph).unwrap();
+            assert_eq!(omega, live.maxlive_precise(&f), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pressure_parameter_controls_maxlive() {
+        let mut r1 = crate::rng(7);
+        let low = random_ssa_program(
+            &ProgramParams {
+                pressure: 3,
+                ..Default::default()
+            },
+            &mut r1,
+        );
+        let mut r2 = crate::rng(7);
+        let high = random_ssa_program(
+            &ProgramParams {
+                pressure: 10,
+                ..Default::default()
+            },
+            &mut r2,
+        );
+        let ml_low = Liveness::compute(&low).maxlive_precise(&low);
+        let ml_high = Liveness::compute(&high).maxlive_precise(&high);
+        assert!(ml_high > ml_low);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_ssa_program(&ProgramParams::default(), &mut crate::rng(11));
+        let b = random_ssa_program(&ProgramParams::default(), &mut crate::rng(11));
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

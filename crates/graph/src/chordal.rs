@@ -1,0 +1,361 @@
+//! Chordal graph machinery: Maximum Cardinality Search, perfect elimination
+//! orderings, chordality testing, optimal coloring of chordal graphs, and
+//! clique number computation.
+//!
+//! Chordal graphs are central to the paper: Theorem 1 shows that the
+//! interference graph of a strict SSA program is chordal with clique number
+//! equal to `Maxlive`, and Theorem 5 gives a polynomial incremental
+//! conservative coalescing algorithm on chordal graphs.
+//!
+//! A graph is *chordal* iff every cycle of length at least 4 has a chord,
+//! or equivalently iff it admits a *perfect elimination ordering* (PEO):
+//! an ordering `v1, ..., vn` such that for every `vi`, the neighbors of
+//! `vi` occurring **later** in the ordering form a clique.  Maximum
+//! Cardinality Search (MCS) produces such an ordering exactly when the
+//! graph is chordal (Golumbic, *Algorithmic Graph Theory and Perfect
+//! Graphs*, the reference [20] of the paper).
+
+use crate::coloring::Coloring;
+use crate::graph::{Graph, VertexId};
+use std::collections::BTreeSet;
+
+/// Runs Maximum Cardinality Search on the live part of `g`.
+///
+/// Returns the vertices in **elimination order**: the returned sequence is a
+/// perfect elimination ordering iff `g` is chordal.  (MCS itself numbers
+/// vertices from `n` down to `1`; we return the order `1..n`, i.e. the
+/// reverse of the visit order.)
+///
+/// ```
+/// use coalesce_graph::{Graph, chordal};
+/// let g = Graph::with_edges(3, [(0.into(), 1.into()), (1.into(), 2.into())]);
+/// let order = chordal::maximum_cardinality_search(&g);
+/// assert_eq!(order.len(), 3);
+/// ```
+pub fn maximum_cardinality_search(g: &Graph) -> Vec<VertexId> {
+    let cap = g.capacity();
+    let mut weight = vec![0usize; cap];
+    let mut visited = vec![false; cap];
+    let mut visit_order = Vec::with_capacity(g.num_vertices());
+    // Buckets of vertices by weight for O((V+E) log V)-ish behaviour without
+    // a dedicated priority structure; graphs here are small enough.
+    for _ in 0..g.num_vertices() {
+        let v = g
+            .vertices()
+            .filter(|v| !visited[v.index()])
+            .max_by_key(|v| weight[v.index()])
+            .expect("live vertex must exist");
+        visited[v.index()] = true;
+        visit_order.push(v);
+        for u in g.neighbors(v) {
+            if !visited[u.index()] {
+                weight[u.index()] += 1;
+            }
+        }
+    }
+    visit_order.reverse();
+    visit_order
+}
+
+/// Checks whether `order` (a permutation of the live vertices of `g`) is a
+/// perfect elimination ordering of `g`.
+///
+/// Uses the classical parent test: for each vertex `v`, let `p` be its first
+/// later neighbor in the order; every other later neighbor of `v` must also
+/// be a neighbor of `p`.
+pub fn is_perfect_elimination_ordering(g: &Graph, order: &[VertexId]) -> bool {
+    if order.len() != g.num_vertices() {
+        return false;
+    }
+    let cap = g.capacity();
+    let mut position = vec![usize::MAX; cap];
+    for (i, &v) in order.iter().enumerate() {
+        if !g.is_live(v) || position[v.index()] != usize::MAX {
+            return false;
+        }
+        position[v.index()] = i;
+    }
+    for &v in order {
+        let pv = position[v.index()];
+        // Later neighbors of v.
+        let mut later: Vec<VertexId> = g
+            .neighbors(v)
+            .filter(|u| position[u.index()] > pv)
+            .collect();
+        if later.len() <= 1 {
+            continue;
+        }
+        later.sort_by_key(|u| position[u.index()]);
+        let parent = later[0];
+        for &u in &later[1..] {
+            if !g.has_edge(parent, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns a perfect elimination ordering of `g`, or `None` if `g` is not
+/// chordal.
+pub fn perfect_elimination_ordering(g: &Graph) -> Option<Vec<VertexId>> {
+    let order = maximum_cardinality_search(g);
+    if is_perfect_elimination_ordering(g, &order) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` iff the live part of `g` is a chordal graph.
+///
+/// ```
+/// use coalesce_graph::{Graph, chordal};
+/// // C4 is the smallest non-chordal graph.
+/// let c4 = Graph::with_edges(4, [
+///     (0.into(), 1.into()), (1.into(), 2.into()),
+///     (2.into(), 3.into()), (3.into(), 0.into()),
+/// ]);
+/// assert!(!chordal::is_chordal(&c4));
+/// ```
+pub fn is_chordal(g: &Graph) -> bool {
+    perfect_elimination_ordering(g).is_some()
+}
+
+/// Returns `true` if `v` is a *simplicial* vertex of `g`, i.e. its
+/// neighborhood is a clique.  Every chordal graph has a simplicial vertex
+/// (used by Property 1 of the paper).
+pub fn is_simplicial(g: &Graph, v: VertexId) -> bool {
+    let nbrs: Vec<VertexId> = g.neighbors(v).collect();
+    g.is_clique(&nbrs)
+}
+
+/// Finds a simplicial vertex of `g`, if any.
+pub fn find_simplicial_vertex(g: &Graph) -> Option<VertexId> {
+    g.vertices().find(|&v| is_simplicial(g, v))
+}
+
+/// Computes the clique number `ω(G)` of a **chordal** graph from a perfect
+/// elimination ordering, in linear time: `ω(G) = 1 + max_v |later
+/// neighbors of v|`.
+///
+/// Returns `None` if `g` is not chordal (use [`crate::cliques`] for general
+/// graphs).
+pub fn chordal_clique_number(g: &Graph) -> Option<usize> {
+    let order = perfect_elimination_ordering(g)?;
+    if order.is_empty() {
+        return Some(0);
+    }
+    let cap = g.capacity();
+    let mut position = vec![usize::MAX; cap];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut omega = 1;
+    for &v in &order {
+        let later = g
+            .neighbors(v)
+            .filter(|u| position[u.index()] > position[v.index()])
+            .count();
+        omega = omega.max(later + 1);
+    }
+    Some(omega)
+}
+
+/// Enumerates the maximal cliques of a **chordal** graph.
+///
+/// For each vertex `v` in a perfect elimination ordering, the set
+/// `{v} ∪ {later neighbors of v}` is a clique; the maximal ones (those not
+/// strictly contained in the clique of an earlier vertex) are exactly the
+/// maximal cliques of the graph.  A chordal graph on `n` vertices has at
+/// most `n` maximal cliques.
+///
+/// Returns `None` if `g` is not chordal.
+pub fn chordal_maximal_cliques(g: &Graph) -> Option<Vec<BTreeSet<VertexId>>> {
+    let order = perfect_elimination_ordering(g)?;
+    let cap = g.capacity();
+    let mut position = vec![usize::MAX; cap];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut cliques: Vec<BTreeSet<VertexId>> = Vec::new();
+    for &v in &order {
+        let mut clique: BTreeSet<VertexId> = g
+            .neighbors(v)
+            .filter(|u| position[u.index()] > position[v.index()])
+            .collect();
+        clique.insert(v);
+        if !cliques.iter().any(|c| clique.is_subset(c)) {
+            cliques.retain(|c| !c.is_subset(&clique));
+            cliques.push(clique);
+        }
+    }
+    if cliques.is_empty() && g.num_vertices() == 0 {
+        return Some(Vec::new());
+    }
+    Some(cliques)
+}
+
+/// Optimally colors a **chordal** graph with `ω(G)` colors by coloring the
+/// vertices in reverse perfect elimination order, greedily.
+///
+/// Returns `None` if `g` is not chordal.
+pub fn chordal_coloring(g: &Graph) -> Option<Coloring> {
+    let order = perfect_elimination_ordering(g)?;
+    let mut coloring = Coloring::new(g.capacity());
+    for &v in order.iter().rev() {
+        let used: BTreeSet<usize> = g
+            .neighbors(v)
+            .filter_map(|u| coloring.color_of(u))
+            .collect();
+        let mut c = 0;
+        while used.contains(&c) {
+            c += 1;
+        }
+        coloring.assign(v, c);
+    }
+    Some(coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::with_edges(
+            n,
+            (0..n).map(|i| (VertexId::new(i), VertexId::new((i + 1) % n))),
+        )
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i.into(), j.into());
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_and_single_vertex_are_chordal() {
+        assert!(is_chordal(&Graph::new(0)));
+        assert!(is_chordal(&Graph::new(1)));
+        assert_eq!(chordal_clique_number(&Graph::new(0)), Some(0));
+        assert_eq!(chordal_clique_number(&Graph::new(1)), Some(1));
+    }
+
+    #[test]
+    fn trees_and_cliques_are_chordal() {
+        let path = Graph::with_edges(4, (1..4).map(|i| (VertexId::new(i - 1), VertexId::new(i))));
+        assert!(is_chordal(&path));
+        assert!(is_chordal(&complete(5)));
+    }
+
+    #[test]
+    fn cycles_of_length_at_least_4_are_not_chordal() {
+        assert!(is_chordal(&cycle(3)));
+        assert!(!is_chordal(&cycle(4)));
+        assert!(!is_chordal(&cycle(5)));
+        assert!(!is_chordal(&cycle(6)));
+    }
+
+    #[test]
+    fn chorded_cycle_is_chordal() {
+        let mut g = cycle(5);
+        g.add_edge(0.into(), 2.into());
+        g.add_edge(0.into(), 3.into());
+        assert!(is_chordal(&g));
+    }
+
+    #[test]
+    fn clique_number_of_clique() {
+        assert_eq!(chordal_clique_number(&complete(4)), Some(4));
+    }
+
+    #[test]
+    fn clique_number_of_triangle_with_pendant() {
+        let mut g = complete(3);
+        let v = g.add_vertex();
+        g.add_edge(v, 0.into());
+        assert_eq!(chordal_clique_number(&g), Some(3));
+    }
+
+    #[test]
+    fn non_chordal_reports_none() {
+        assert_eq!(chordal_clique_number(&cycle(4)), None);
+        assert!(chordal_coloring(&cycle(4)).is_none());
+        assert!(chordal_maximal_cliques(&cycle(4)).is_none());
+    }
+
+    #[test]
+    fn chordal_coloring_is_optimal_on_interval_like_graph() {
+        // Interval graph: [0,2], [1,3], [2,4], [5,6] -> clique number 2... build explicitly:
+        let mut g = Graph::new(4);
+        g.add_edge(0.into(), 1.into());
+        g.add_edge(1.into(), 2.into());
+        let coloring = chordal_coloring(&g).unwrap();
+        assert!(coloring.is_proper(&g));
+        assert_eq!(coloring.num_colors(), 2);
+        assert_eq!(chordal_clique_number(&g), Some(2));
+    }
+
+    #[test]
+    fn chordal_coloring_uses_omega_colors_on_clique() {
+        let g = complete(5);
+        let c = chordal_coloring(&g).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 5);
+    }
+
+    #[test]
+    fn simplicial_vertices() {
+        let mut g = complete(3);
+        let v = g.add_vertex();
+        g.add_edge(v, 0.into());
+        assert!(is_simplicial(&g, v));
+        assert!(is_simplicial(&g, 1.into()));
+        assert!(find_simplicial_vertex(&cycle(4)).is_none());
+    }
+
+    #[test]
+    fn maximal_cliques_of_two_triangles_sharing_an_edge() {
+        // Triangles {0,1,2} and {1,2,3}.
+        let g = Graph::with_edges(
+            4,
+            [
+                (0.into(), 1.into()),
+                (0.into(), 2.into()),
+                (1.into(), 2.into()),
+                (1.into(), 3.into()),
+                (2.into(), 3.into()),
+            ],
+        );
+        let cliques = chordal_maximal_cliques(&g).unwrap();
+        assert_eq!(cliques.len(), 2);
+        assert!(cliques.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn peo_check_rejects_wrong_order_on_path() {
+        // For the path 0-1-2, the order [1, 0, 2] is not a PEO because 1's
+        // later neighbors {0, 2} are not adjacent.
+        let g = Graph::with_edges(3, [(0.into(), 1.into()), (1.into(), 2.into())]);
+        assert!(!is_perfect_elimination_ordering(
+            &g,
+            &[1.into(), 0.into(), 2.into()]
+        ));
+        assert!(is_perfect_elimination_ordering(
+            &g,
+            &[0.into(), 2.into(), 1.into()]
+        ));
+    }
+
+    #[test]
+    fn peo_check_rejects_non_permutations() {
+        let g = Graph::new(2);
+        assert!(!is_perfect_elimination_ordering(&g, &[0.into()]));
+        assert!(!is_perfect_elimination_ordering(&g, &[0.into(), 0.into()]));
+    }
+}

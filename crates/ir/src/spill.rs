@@ -1,0 +1,280 @@
+//! Spilling passes.
+//!
+//! The two-phase register allocators the paper discusses (Appel–George,
+//! Hack et al.) first spill enough variables to bring `Maxlive` down to the
+//! number of registers `k`, and only then color/coalesce.  This module
+//! provides the simple *spill-everywhere* strategy used by the evaluation
+//! harness: a spilled variable lives in memory and is reloaded into a fresh
+//! short-lived temporary right before every use, so its contribution to the
+//! register pressure shrinks to single program points.
+//!
+//! The spill-candidate choice is deliberately basic (highest pressure
+//! reduction first); the point of the reproduction is the coalescing phase,
+//! not the spilling heuristics.
+
+use crate::function::{BlockId, Function, Instr, Terminator, Var};
+use crate::liveness::Liveness;
+use std::collections::BTreeSet;
+
+/// Result of a spilling pass.
+#[derive(Debug, Clone, Default)]
+pub struct SpillResult {
+    /// Variables that were spilled (original, pre-rewrite names).
+    pub spilled: Vec<Var>,
+    /// Number of reload temporaries introduced.
+    pub reloads: usize,
+}
+
+/// Spills variables of `f` until `Maxlive ≤ k` (or no candidate remains),
+/// using a spill-everywhere rewrite.  Returns the list of spilled variables
+/// and rewrites `f` in place.
+///
+/// Variables that are already "short-lived" (live at only one point, e.g.
+/// reload temporaries) are never selected, which guarantees termination.
+pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
+    let mut result = SpillResult::default();
+    let mut not_spillable: BTreeSet<Var> = BTreeSet::new();
+    loop {
+        let liveness = Liveness::compute(f);
+        if liveness.maxlive_precise(f) <= k {
+            break;
+        }
+        // Pick the candidate live at the largest number of program points
+        // among those live at some over-pressured point.
+        let mut occurrences: Vec<usize> = vec![0; f.num_vars()];
+        let mut candidates: BTreeSet<Var> = BTreeSet::new();
+        for b in f.block_ids() {
+            let points = liveness.live_points(f, b);
+            for p in &points {
+                for &v in p {
+                    occurrences[v.index()] += 1;
+                }
+                if p.len() > k {
+                    candidates.extend(p.iter().copied());
+                }
+            }
+        }
+        let candidate = candidates
+            .into_iter()
+            .filter(|v| !not_spillable.contains(v))
+            .max_by_key(|v| occurrences[v.index()]);
+        let Some(victim) = candidate else { break };
+        if occurrences[victim.index()] <= 2 {
+            // Already as short-lived as a reload temp; spilling it cannot
+            // reduce pressure.  Mark and retry with another candidate.
+            not_spillable.insert(victim);
+            continue;
+        }
+        let vars_before = f.num_vars();
+        spill_everywhere(f, victim, &mut result);
+        // Never re-spill a reload temporary (or the victim itself): reload
+        // temps of early spills can grow long again as later reloads are
+        // inserted between them and their use, and re-spilling them would
+        // loop forever without lowering the pressure.
+        not_spillable.insert(victim);
+        not_spillable.extend((vars_before..f.num_vars()).map(Var::new));
+        result.spilled.push(victim);
+    }
+    result
+}
+
+/// Rewrites `f` so that `victim` is reloaded into a fresh temporary before
+/// every use (spill-everywhere).  The original definition of `victim` is
+/// kept (it represents the value being stored to memory) but the variable
+/// itself dies immediately after its definition.
+pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult) {
+    let block_ids: Vec<BlockId> = f.block_ids().collect();
+    for b in block_ids {
+        // Rewrite φ arguments: reload at the end of the predecessor.
+        let mut pending_pred_reloads: Vec<(BlockId, Var)> = Vec::new();
+        {
+            let nb = f.block(b).instrs.len();
+            for i in 0..nb {
+                if let Instr::Phi { dst, args } = f.block(b).instrs[i].clone() {
+                    let mut new_args = args.clone();
+                    let mut changed = false;
+                    for (p, v) in new_args.iter_mut() {
+                        if *v == victim {
+                            let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
+                            pending_pred_reloads.push((*p, reload));
+                            *v = reload;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        f.block_mut(b).instrs[i] = Instr::Phi {
+                            dst,
+                            args: new_args,
+                        };
+                    }
+                }
+            }
+        }
+        for (pred, reload) in pending_pred_reloads {
+            f.block_mut(pred).instrs.push(Instr::Op {
+                dst: Some(reload),
+                uses: Vec::new(),
+            });
+            result.reloads += 1;
+        }
+
+        // Rewrite ordinary uses inside the block.
+        let mut i = 0;
+        while i < f.block(b).instrs.len() {
+            let instr = f.block(b).instrs[i].clone();
+            let uses_victim = match &instr {
+                Instr::Op { uses, .. } => uses.contains(&victim),
+                Instr::Copy { src, .. } => *src == victim,
+                Instr::Phi { .. } => false,
+            };
+            if uses_victim {
+                let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
+                let new_instr = match instr {
+                    Instr::Op { dst, uses } => Instr::Op {
+                        dst,
+                        uses: uses
+                            .into_iter()
+                            .map(|u| if u == victim { reload } else { u })
+                            .collect(),
+                    },
+                    Instr::Copy { dst, .. } => Instr::Copy { dst, src: reload },
+                    phi @ Instr::Phi { .. } => phi,
+                };
+                f.block_mut(b).instrs[i] = new_instr;
+                f.block_mut(b).instrs.insert(
+                    i,
+                    Instr::Op {
+                        dst: Some(reload),
+                        uses: Vec::new(),
+                    },
+                );
+                result.reloads += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Rewrite terminator uses.
+        let term = f.block(b).terminator.clone();
+        let term_uses_victim = term.uses().contains(&victim);
+        if term_uses_victim {
+            let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
+            let new_term = match term {
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => Terminator::Branch {
+                    cond: if cond == victim { reload } else { cond },
+                    then_block,
+                    else_block,
+                },
+                Terminator::Return { uses } => Terminator::Return {
+                    uses: uses
+                        .into_iter()
+                        .map(|u| if u == victim { reload } else { u })
+                        .collect(),
+                },
+                t @ Terminator::Jump(_) => t,
+            };
+            f.block_mut(b).terminator = new_term;
+            f.block_mut(b).instrs.push(Instr::Op {
+                dst: Some(reload),
+                uses: Vec::new(),
+            });
+            result.reloads += 1;
+        }
+    }
+    debug_assert!(f.validate().is_ok());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+
+    /// A straight-line block with `n` values all live at the same point.
+    fn high_pressure(n: usize) -> Function {
+        let mut b = FunctionBuilder::new("pressure");
+        let entry = b.entry_block();
+        let vars: Vec<Var> = (0..n).map(|i| b.def(entry, format!("v{i}"))).collect();
+        let _sum = b.op(entry, "sum", &vars);
+        b.ret(entry, &[]);
+        b.finish()
+    }
+
+    #[test]
+    fn no_spill_needed_below_threshold() {
+        let mut f = high_pressure(3);
+        let live = Liveness::compute(&f);
+        assert_eq!(live.maxlive_precise(&f), 3);
+        let result = spill_to_pressure(&mut f, 4);
+        assert!(result.spilled.is_empty());
+    }
+
+    #[test]
+    fn spilling_reduces_maxlive() {
+        let mut f = high_pressure(6);
+        let before = Liveness::compute(&f).maxlive_precise(&f);
+        assert_eq!(before, 6);
+        let result = spill_to_pressure(&mut f, 6);
+        assert!(result.spilled.is_empty());
+        // Note: with all six operands feeding a single instruction, every
+        // reload is live at the use, so pressure at that point cannot drop
+        // below 6; ask for 6 and we are already there.
+        assert!(Liveness::compute(&f).maxlive_precise(&f) <= 6);
+    }
+
+    #[test]
+    fn spilling_long_live_range_helps() {
+        // x is live across a long chain; spilling it removes the overlap.
+        let mut b = FunctionBuilder::new("long");
+        let entry = b.entry_block();
+        let x = b.def(entry, "x");
+        let mut prev = b.def(entry, "a0");
+        for i in 1..5usize {
+            prev = b.op(entry, format!("a{i}"), &[prev]);
+        }
+        let last = b.op(entry, "use_x", &[x, prev]);
+        b.ret(entry, &[last]);
+        let mut f = b.finish();
+        let before = Liveness::compute(&f).maxlive_precise(&f);
+        assert_eq!(before, 2);
+        let result = spill_to_pressure(&mut f, 1);
+        // x (or the chain variable) gets spilled; pressure can only go so
+        // low because the final op uses two operands at once.
+        assert!(!result.spilled.is_empty() || before <= 1);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn spill_everywhere_rewrites_uses() {
+        let mut b = FunctionBuilder::new("f");
+        let entry = b.entry_block();
+        let x = b.def(entry, "x");
+        let y = b.op(entry, "y", &[x]);
+        let z = b.op(entry, "z", &[x, y]);
+        b.ret(entry, &[z, x]);
+        let mut f = b.finish();
+        let mut result = SpillResult::default();
+        spill_everywhere(&mut f, x, &mut result);
+        assert_eq!(result.reloads, 3);
+        // x itself no longer appears as a use anywhere.
+        for (_, _, instr) in f.instructions() {
+            assert!(!instr.local_uses().contains(&x));
+        }
+        for bid in f.block_ids() {
+            assert!(!f.block(bid).terminator.uses().contains(&x));
+        }
+    }
+
+    #[test]
+    fn spill_terminates_when_target_unreachable() {
+        // Asking for pressure 0 can never fully succeed; the pass must not
+        // loop forever.
+        let mut f = high_pressure(3);
+        let _ = spill_to_pressure(&mut f, 0);
+        assert!(f.validate().is_ok());
+    }
+}

@@ -1,0 +1,453 @@
+//! SSA construction and validation.
+//!
+//! [`construct_ssa`] rewrites a function with arbitrary (multiply-defined)
+//! variables into strict SSA form using the classical Cytron et al.
+//! algorithm: φ-functions are placed at the iterated dominance frontier of
+//! every variable's definition blocks, then variables are renamed along the
+//! dominator tree.  [`is_ssa`] and [`is_strict`] check the two defining
+//! properties of strict SSA that Theorem 1 relies on: unique textual
+//! definitions, and definitions dominating uses.
+
+use crate::dom::DominatorTree;
+use crate::function::{BlockId, Function, Instr, Terminator, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Returns `true` if every variable of `f` has at most one definition.
+pub fn is_ssa(f: &Function) -> bool {
+    let mut defined = vec![false; f.num_vars()];
+    for (_, _, instr) in f.instructions() {
+        if let Some(d) = instr.def() {
+            if defined[d.index()] {
+                return false;
+            }
+            defined[d.index()] = true;
+        }
+    }
+    true
+}
+
+/// Returns `true` if `f` is in *strict* SSA form: single definitions and
+/// every use dominated by the definition of the used variable.
+///
+/// φ-function arguments are considered used at the end of the corresponding
+/// predecessor block.
+pub fn is_strict(f: &Function) -> bool {
+    if !is_ssa(f) {
+        return false;
+    }
+    let dom = DominatorTree::compute(f);
+    // Definition site (block) of every variable.
+    let mut def_block: Vec<Option<BlockId>> = vec![None; f.num_vars()];
+    let mut def_pos: Vec<usize> = vec![usize::MAX; f.num_vars()];
+    for (b, i, instr) in f.instructions() {
+        if let Some(d) = instr.def() {
+            def_block[d.index()] = Some(b);
+            def_pos[d.index()] = i;
+        }
+    }
+    let use_dominated = |used: Var, block: BlockId, pos: usize| -> bool {
+        match def_block[used.index()] {
+            None => false, // used but never defined
+            Some(db) => {
+                if db == block {
+                    def_pos[used.index()] < pos
+                } else {
+                    dom.dominates(db, block)
+                }
+            }
+        }
+    };
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        let block = f.block(b);
+        for (i, instr) in block.instrs.iter().enumerate() {
+            match instr {
+                Instr::Phi { args, .. } => {
+                    for (pred, v) in args {
+                        // Used at the end of `pred`.
+                        if !use_dominated(*v, *pred, usize::MAX - 1) {
+                            return false;
+                        }
+                    }
+                }
+                _ => {
+                    for v in instr.local_uses() {
+                        if !use_dominated(v, b, i) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        for v in block.terminator.uses() {
+            if !use_dominated(v, b, usize::MAX - 1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Converts `f` into strict SSA form.
+///
+/// Variables that are already singly-defined and only used in their defining
+/// block are left untouched; all others get φ-functions at their iterated
+/// dominance frontier and fresh names per definition.
+///
+/// # Panics
+///
+/// Panics if a reachable use has no reaching definition on some path (the
+/// input must be a *strict* program in the paper's sense).
+pub fn construct_ssa(f: &Function) -> Function {
+    let mut out = f.clone();
+    let dom = DominatorTree::compute(&out);
+    let preds = out.predecessors();
+
+    // 1. Collect definition blocks per original variable.
+    let num_orig = out.num_vars();
+    let mut def_blocks: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); num_orig];
+    let mut def_count: Vec<usize> = vec![0; num_orig];
+    for (b, _, instr) in out.instructions() {
+        if let Some(d) = instr.def() {
+            def_blocks[d.index()].insert(b);
+            def_count[d.index()] += 1;
+        }
+    }
+    // A variable needs renaming as soon as it has more than one textual
+    // definition (even within a single block).
+    let needs_rename: Vec<bool> = def_count.iter().map(|&c| c > 1).collect();
+
+    // 2. Place φ-functions at iterated dominance frontiers.
+    let frontiers = dom.dominance_frontiers(&out);
+    // phi_placed[v] = blocks where a φ for original variable v was inserted.
+    let mut phi_for: BTreeMap<(BlockId, usize), usize> = BTreeMap::new(); // (block, orig var) -> instr index
+    for v in 0..num_orig {
+        if def_blocks[v].len() <= 1 {
+            // A single static definition never needs a φ for correctness of
+            // renaming (its definition dominates every use in a strict
+            // program).
+            continue;
+        }
+        let mut work: Vec<BlockId> = def_blocks[v].iter().copied().collect();
+        let mut has_phi: BTreeSet<BlockId> = BTreeSet::new();
+        while let Some(b) = work.pop() {
+            for &y in &frontiers[b.index()] {
+                if has_phi.insert(y) {
+                    // Insert a φ defining the *original* variable v for now;
+                    // renaming will replace both the def and the args.
+                    let var = Var::new(v);
+                    let args: Vec<(BlockId, Var)> = preds[y.index()]
+                        .iter()
+                        .map(|&p| (p, var))
+                        .collect();
+                    let block = out.block_mut(y);
+                    let pos = block.instrs.iter().take_while(|i| i.is_phi()).count();
+                    block.instrs.insert(pos, Instr::Phi { dst: var, args });
+                    phi_for.insert((y, v), pos);
+                    if !def_blocks[v].contains(&y) {
+                        work.push(y);
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Rename along the dominator tree.
+    let mut stacks: Vec<Vec<Var>> = vec![Vec::new(); num_orig];
+    let children = dom.children();
+    let mut renamed = out.clone();
+
+    // Recursive renaming over the dominator tree, iteratively with an
+    // explicit stack of (block, phase) where phase 0 = enter, 1 = exit.
+    #[derive(Clone, Copy)]
+    enum Phase {
+        Enter,
+        Exit,
+    }
+    let mut stack = vec![(out.entry, Phase::Enter)];
+    // Remember how many names each block pushed per variable, to pop on exit.
+    let mut pushed: Vec<Vec<(usize, usize)>> = vec![Vec::new(); out.num_blocks()];
+
+    let orig_of = |v: Var, num_orig: usize| -> Option<usize> {
+        if v.index() < num_orig {
+            Some(v.index())
+        } else {
+            None
+        }
+    };
+
+    while let Some((b, phase)) = stack.pop() {
+        match phase {
+            Phase::Enter => {
+                stack.push((b, Phase::Exit));
+                let mut pushes: Vec<(usize, usize)> = Vec::new();
+                // Rename definitions and uses inside the block.
+                let nb = renamed.block_mut(b).instrs.len();
+                for i in 0..nb {
+                    let instr = renamed.block(b).instrs[i].clone();
+                    let new_instr = match instr {
+                        Instr::Phi { dst, args } => {
+                            // Only the def is renamed here; args are renamed
+                            // from the predecessors (below).
+                            let o = orig_of(dst, num_orig);
+                            let new_dst = match o {
+                                Some(ov) if needs_rename[ov] => {
+                                    let name =
+                                        format!("{}_{}", f.var_name(Var::new(ov)), b.index());
+                                    let nv = renamed.new_var(name);
+                                    stacks[ov].push(nv);
+                                    pushes.push((ov, 1));
+                                    nv
+                                }
+                                _ => dst,
+                            };
+                            Instr::Phi { dst: new_dst, args }
+                        }
+                        Instr::Op { dst, uses } => {
+                            let new_uses: Vec<Var> = uses
+                                .iter()
+                                .map(|&u| rename_use(u, &stacks, num_orig, &needs_rename))
+                                .collect();
+                            let new_dst = dst.map(|d| {
+                                rename_def(d, &mut stacks, &mut pushes, &mut renamed, f, num_orig, &needs_rename, b)
+                            });
+                            Instr::Op {
+                                dst: new_dst,
+                                uses: new_uses,
+                            }
+                        }
+                        Instr::Copy { dst, src } => {
+                            let new_src = rename_use(src, &stacks, num_orig, &needs_rename);
+                            let new_dst = rename_def(
+                                dst, &mut stacks, &mut pushes, &mut renamed, f, num_orig, &needs_rename, b,
+                            );
+                            Instr::Copy {
+                                dst: new_dst,
+                                src: new_src,
+                            }
+                        }
+                    };
+                    renamed.block_mut(b).instrs[i] = new_instr;
+                }
+                // Rename terminator uses.
+                let term = renamed.block(b).terminator.clone();
+                let new_term = match term {
+                    Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                    } => Terminator::Branch {
+                        cond: rename_use(cond, &stacks, num_orig, &needs_rename),
+                        then_block,
+                        else_block,
+                    },
+                    Terminator::Return { uses } => Terminator::Return {
+                        uses: uses
+                            .iter()
+                            .map(|&u| rename_use(u, &stacks, num_orig, &needs_rename))
+                            .collect(),
+                    },
+                    t @ Terminator::Jump(_) => t,
+                };
+                renamed.block_mut(b).terminator = new_term;
+
+                // Fill in φ arguments of the successors coming from `b`.
+                for s in renamed.successors(b) {
+                    let ns = renamed.block(s).instrs.len();
+                    for i in 0..ns {
+                        if let Instr::Phi { dst, args } = renamed.block(s).instrs[i].clone() {
+                            let new_args: Vec<(BlockId, Var)> = args
+                                .iter()
+                                .map(|&(p, v)| {
+                                    if p == b {
+                                        (p, rename_use(v, &stacks, num_orig, &needs_rename))
+                                    } else {
+                                        (p, v)
+                                    }
+                                })
+                                .collect();
+                            renamed.block_mut(s).instrs[i] = Instr::Phi {
+                                dst,
+                                args: new_args,
+                            };
+                        } else if !renamed.block(s).instrs[i].is_phi() {
+                            break;
+                        }
+                    }
+                }
+
+                pushed[b.index()] = pushes;
+                for &c in children[b.index()].iter().rev() {
+                    stack.push((c, Phase::Enter));
+                }
+            }
+            Phase::Exit => {
+                for &(ov, n) in &pushed[b.index()] {
+                    for _ in 0..n {
+                        stacks[ov].pop();
+                    }
+                }
+            }
+        }
+    }
+
+    renamed
+}
+
+fn rename_use(v: Var, stacks: &[Vec<Var>], num_orig: usize, needs_rename: &[bool]) -> Var {
+    if v.index() < num_orig && needs_rename[v.index()] {
+        *stacks[v.index()]
+            .last()
+            .unwrap_or_else(|| panic!("use of {v:?} with no reaching definition (non-strict program)"))
+    } else {
+        v
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rename_def(
+    d: Var,
+    stacks: &mut [Vec<Var>],
+    pushes: &mut Vec<(usize, usize)>,
+    renamed: &mut Function,
+    original: &Function,
+    num_orig: usize,
+    needs_rename: &[bool],
+    b: BlockId,
+) -> Var {
+    if d.index() < num_orig && needs_rename[d.index()] {
+        let name = format!("{}_{}", original.var_name(d), b.index());
+        let nv = renamed.new_var(name);
+        stacks[d.index()].push(nv);
+        pushes.push((d.index(), 1));
+        nv
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+
+    /// A diamond where `x` is assigned in both branches and used after.
+    fn non_ssa_diamond() -> Function {
+        let mut b = FunctionBuilder::new("f");
+        let entry = b.entry_block();
+        let then_ = b.new_block();
+        let else_ = b.new_block();
+        let join = b.new_block();
+        let c = b.def(entry, "c");
+        let x = b.def(entry, "x"); // x = ...
+        b.branch(entry, c, then_, else_);
+        // then: x = op(x)
+        b.function_mut().block_mut(then_).instrs.push(Instr::Op {
+            dst: Some(x),
+            uses: vec![x],
+        });
+        b.jump(then_, join);
+        // else: x = op()
+        b.function_mut().block_mut(else_).instrs.push(Instr::Op {
+            dst: Some(x),
+            uses: vec![],
+        });
+        b.jump(else_, join);
+        b.ret(join, &[x]);
+        b.finish()
+    }
+
+    #[test]
+    fn detects_non_ssa() {
+        let f = non_ssa_diamond();
+        assert!(!is_ssa(&f));
+        assert!(!is_strict(&f));
+    }
+
+    #[test]
+    fn construction_produces_strict_ssa() {
+        let f = non_ssa_diamond();
+        let ssa = construct_ssa(&f);
+        assert!(ssa.validate().is_ok(), "{}", ssa);
+        assert!(is_ssa(&ssa), "{}", ssa);
+        assert!(is_strict(&ssa), "{}", ssa);
+        // A φ for x must have been inserted at the join block.
+        assert_eq!(ssa.num_phis(), 1);
+    }
+
+    #[test]
+    fn already_ssa_function_gets_no_phis() {
+        let mut b = FunctionBuilder::new("straight");
+        let entry = b.entry_block();
+        let x = b.def(entry, "x");
+        let y = b.op(entry, "y", &[x]);
+        b.ret(entry, &[y]);
+        let f = b.finish();
+        assert!(is_ssa(&f));
+        assert!(is_strict(&f));
+        let ssa = construct_ssa(&f);
+        assert_eq!(ssa.num_phis(), 0);
+        assert_eq!(ssa.num_vars(), f.num_vars());
+    }
+
+    #[test]
+    fn loop_variable_gets_phi_at_header() {
+        // i = 0; while (c) { i = op(i); }  return i
+        let mut b = FunctionBuilder::new("loop");
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.def(entry, "c");
+        let i = b.def(entry, "i");
+        b.jump(entry, header);
+        b.branch(header, c, body, exit);
+        b.function_mut().block_mut(body).instrs.push(Instr::Op {
+            dst: Some(i),
+            uses: vec![i],
+        });
+        b.jump(body, header);
+        b.ret(exit, &[i]);
+        let f = b.finish();
+        assert!(!is_ssa(&f));
+        let ssa = construct_ssa(&f);
+        assert!(is_ssa(&ssa), "{}", ssa);
+        assert!(is_strict(&ssa), "{}", ssa);
+        // The loop header needs a φ for i.
+        assert!(ssa
+            .block(header)
+            .instrs
+            .iter()
+            .any(|ins| ins.is_phi()));
+    }
+
+    #[test]
+    fn strictness_rejects_use_before_def() {
+        // Uses y in entry without defining it anywhere dominating.
+        let mut b = FunctionBuilder::new("bad");
+        let entry = b.entry_block();
+        let later = b.new_block();
+        let y = b.fresh_var("y");
+        let _ = b.op(entry, "x", &[y]);
+        b.jump(entry, later);
+        b.function_mut().block_mut(later).instrs.push(Instr::Op {
+            dst: Some(y),
+            uses: vec![],
+        });
+        b.ret(later, &[]);
+        let f = b.finish();
+        assert!(is_ssa(&f)); // singly defined...
+        assert!(!is_strict(&f)); // ...but the def does not dominate the use
+    }
+
+    #[test]
+    fn ssa_construction_is_idempotent_on_its_output() {
+        let f = non_ssa_diamond();
+        let ssa = construct_ssa(&f);
+        let again = construct_ssa(&ssa);
+        assert_eq!(again.num_phis(), ssa.num_phis());
+        assert_eq!(again.num_vars(), ssa.num_vars());
+    }
+}

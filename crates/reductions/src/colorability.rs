@@ -1,0 +1,169 @@
+//! Graph `k`-colorability and the reduction to conservative coalescing
+//! (Theorem 3, Figure 2).
+//!
+//! Given a graph `G = (V, E)` and `k`, the reduction builds an interference
+//! graph whose vertices are `V` plus one disjoint interference edge
+//! `(x_e, y_e)` per edge `e = (u, v)` of `G`, and whose affinities are
+//! `(u, x_e)` and `(y_e, v)`.  Every affinity can be coalesced aggressively
+//! and the resulting graph is exactly `G`; hence the conservative
+//! coalescing instance is positive for `K = 0` iff `G` is `k`-colorable.
+//! The module also implements the extension used in the second half of the
+//! proof (affinities `(u, x_{u,v})`, `(v, x_{u,v})` for every vertex pair)
+//! that forces an optimal coalescing to produce a clique — a graph that is
+//! both chordal and greedy-`k`-colorable.
+
+use coalesce_core::affinity::{Affinity, AffinityGraph};
+use coalesce_graph::{coloring, Graph, VertexId};
+
+/// The output of the Theorem 3 reduction.
+#[derive(Debug, Clone)]
+pub struct ConservativeReduction {
+    /// The conservative-coalescing instance.
+    pub instance: AffinityGraph,
+    /// Number of original vertices (they keep identifiers `0..n`).
+    pub num_original: usize,
+}
+
+/// Builds the conservative-coalescing instance of Theorem 3 / Figure 2.
+pub fn reduce_to_conservative(g: &Graph) -> ConservativeReduction {
+    let originals: Vec<VertexId> = g.vertices().collect();
+    let mut index_of = vec![usize::MAX; g.capacity()];
+    for (i, &v) in originals.iter().enumerate() {
+        index_of[v.index()] = i;
+    }
+    let mut graph = Graph::new(originals.len());
+    let mut affinities = Vec::new();
+    for (u, v) in g.edges() {
+        let xe = graph.add_vertex();
+        let ye = graph.add_vertex();
+        graph.add_edge(xe, ye);
+        affinities.push(Affinity::new(VertexId::new(index_of[u.index()]), xe));
+        affinities.push(Affinity::new(ye, VertexId::new(index_of[v.index()])));
+    }
+    ConservativeReduction {
+        instance: AffinityGraph::new(graph, affinities),
+        num_original: originals.len(),
+    }
+}
+
+/// Builds the *clique-forcing* extension: in addition to the Figure 2
+/// instance, every pair of original vertices `(u, v)` gets a fresh vertex
+/// `x_{u,v}` with affinities `(u, x_{u,v})` and `(v, x_{u,v})`.  An optimal
+/// conservative coalescing of this instance merges the original vertices
+/// into at most `k` classes forming a clique, which is chordal and
+/// greedy-`k`-colorable.
+pub fn reduce_to_conservative_clique_target(g: &Graph) -> ConservativeReduction {
+    let mut reduction = reduce_to_conservative(g);
+    let n = reduction.num_original;
+    let mut graph = reduction.instance.graph.clone();
+    let mut affinities = reduction.instance.affinities.clone();
+    for u in 0..n {
+        for v in u + 1..n {
+            let x = graph.add_vertex();
+            affinities.push(Affinity::new(VertexId::new(u), x));
+            affinities.push(Affinity::new(VertexId::new(v), x));
+        }
+    }
+    reduction.instance = AffinityGraph::new(graph, affinities);
+    reduction
+}
+
+/// Returns `true` iff `g` is `k`-colorable (exact, exponential).
+pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
+    coloring::is_k_colorable(g, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_core::conservative::conservative_exact;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn cycle(n: usize) -> Graph {
+        Graph::with_edges(n, (0..n).map(|i| (v(i), v((i + 1) % n))))
+    }
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                g.add_edge(v(i), v(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn reduction_structure_matches_figure_2() {
+        let g = cycle(5);
+        let r = reduce_to_conservative(&g);
+        // 5 original vertices + 2 per edge; interference edges only between
+        // the x_e / y_e pairs; 2 affinities per edge.
+        assert_eq!(r.instance.graph.num_vertices(), 5 + 10);
+        assert_eq!(r.instance.graph.num_edges(), 5);
+        assert_eq!(r.instance.num_affinities(), 10);
+        // The instance graph is greedy-2-colorable (disjoint edges), as the
+        // proof notes.
+        assert!(coalesce_graph::greedy::is_greedy_k_colorable(
+            &r.instance.graph,
+            2
+        ));
+    }
+
+    #[test]
+    fn zero_budget_coalescing_iff_3_colorable() {
+        // C5 is 3-colorable but not 2-colorable; K4 is not 3-colorable.
+        for (g, k, expected) in [
+            (cycle(5), 3, true),
+            (cycle(5), 2, false),
+            (complete(4), 3, false),
+            (complete(4), 4, true),
+        ] {
+            let r = reduce_to_conservative(&g);
+            let res = conservative_exact(&r.instance, k, false);
+            let all_coalesced = res.stats.uncoalesced() == 0;
+            assert_eq!(
+                all_coalesced, expected,
+                "graph with {} vertices, k = {k}",
+                g.num_vertices()
+            );
+            assert_eq!(is_k_colorable(&g, k), expected);
+        }
+    }
+
+    #[test]
+    fn aggressively_coalescing_everything_rebuilds_the_original_graph() {
+        let g = cycle(4);
+        let r = reduce_to_conservative(&g);
+        let result = coalesce_core::aggressive::aggressive_heuristic(&r.instance);
+        assert_eq!(result.stats.uncoalesced(), 0);
+        let merged = &result.coalescing.merged_graph;
+        assert_eq!(merged.num_vertices(), g.num_vertices());
+        assert_eq!(merged.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn clique_target_extension_yields_chordal_greedy_result() {
+        // A 3-colorable graph: the optimal conservative coalescing of the
+        // extended instance produces (at most) a k-clique.
+        let g = complete(3);
+        let r = reduce_to_conservative_clique_target(&g);
+        let res = conservative_exact(&r.instance, 3, false);
+        let merged = &res.coalescing.merged_graph;
+        assert!(coalesce_graph::chordal::is_chordal(merged));
+        assert!(coalesce_graph::greedy::is_greedy_k_colorable(merged, 3));
+        assert!(coloring::is_k_colorable(merged, 3));
+    }
+
+    #[test]
+    fn bipartite_graph_coalesces_fully_with_two_colors() {
+        // Even cycle: 2-colorable.
+        let g = cycle(6);
+        let r = reduce_to_conservative(&g);
+        let res = conservative_exact(&r.instance, 2, false);
+        assert_eq!(res.stats.uncoalesced(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Executable NP-completeness reductions from *On the Complexity of
+//! Register Coalescing*, plus exact solvers for the source problems.
+//!
+//! Each module contains (a) a small combinatorial problem with an exact
+//! (exponential) solver, and (b) the paper's reduction from that problem to
+//! a coalescing problem, returning a ready-to-solve
+//! [`coalesce_core::AffinityGraph`] instance:
+//!
+//! * [`multiway_cut`] — multiway cut → **aggressive coalescing**
+//!   (Theorem 2, Figure 1);
+//! * [`colorability`] — graph `k`-colorability → **conservative coalescing**
+//!   with `K = 0` (Theorem 3, Figure 2), including the extension that forces
+//!   the coalesced graph to be a clique (hence chordal and
+//!   greedy-`k`-colorable);
+//! * [`sat`] — 3SAT → 4SAT → **incremental conservative coalescing** with
+//!   `k = 3` (Theorem 4, Figure 4);
+//! * [`vertex_cover`] — vertex cover (max degree 3) → **optimistic
+//!   coalescing / de-coalescing** with `k = 4` (Theorem 6, Figures 6–7; the
+//!   per-vertex widget is a functionally equivalent reconstruction, see the
+//!   module documentation).
+//!
+//! The reductions are validated by the crate's tests and by the workspace
+//! integration tests: on small instances, the optimum of the source problem
+//! equals the optimum of the produced coalescing instance, computed with the
+//! exact solvers of `coalesce-core`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod colorability;
+pub mod multiway_cut;
+pub mod sat;
+pub mod vertex_cover;

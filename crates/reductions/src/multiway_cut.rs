@@ -1,0 +1,280 @@
+//! Multiway cut and the reduction to aggressive coalescing (Theorem 2,
+//! Figure 1).
+//!
+//! A multiway-cut instance is a graph with `k` terminals; the question is
+//! whether at most `K` edges can be removed so that every terminal ends up
+//! in a different connected component.  The reduction subdivides every edge
+//! `e = (u, v)` with a fresh vertex `x_e`, makes the terminals a clique of
+//! **interferences**, and turns every subdivided edge into an **affinity**:
+//! a coalescing of the affinity graph that leaves at most `K` affinities
+//! uncoalesced corresponds exactly to a multiway cut of at most `K` edges.
+
+use coalesce_core::affinity::{Affinity, AffinityGraph};
+use coalesce_graph::{DisjointSets, Graph, VertexId};
+
+/// A multiway-cut instance.
+#[derive(Debug, Clone)]
+pub struct MultiwayCutInstance {
+    /// The graph to be cut.
+    pub graph: Graph,
+    /// The terminals that must end up in pairwise different components.
+    pub terminals: Vec<VertexId>,
+}
+
+impl MultiwayCutInstance {
+    /// Creates an instance; terminals must be distinct live vertices.
+    pub fn new(graph: Graph, terminals: Vec<VertexId>) -> Self {
+        for (i, &t) in terminals.iter().enumerate() {
+            assert!(graph.is_live(t), "terminal {t} is not a live vertex");
+            assert!(!terminals[..i].contains(&t), "duplicate terminal {t}");
+        }
+        MultiwayCutInstance { graph, terminals }
+    }
+
+    /// Exact minimum multiway cut, computed by enumerating assignments of
+    /// the non-terminal vertices to terminals (exponential; ≲ 15 non-terminal
+    /// vertices).
+    ///
+    /// The minimum number of edges to remove equals the minimum, over all
+    /// partitions of the vertices into one block per terminal, of the number
+    /// of cross-block edges.
+    pub fn minimum_cut(&self) -> usize {
+        let k = self.terminals.len();
+        if k <= 1 {
+            return 0;
+        }
+        let vertices: Vec<VertexId> = self
+            .graph
+            .vertices()
+            .filter(|v| !self.terminals.contains(v))
+            .collect();
+        let n = vertices.len();
+        let mut side = vec![0usize; self.graph.capacity()];
+        for (i, &t) in self.terminals.iter().enumerate() {
+            side[t.index()] = i;
+        }
+        let mut best = usize::MAX;
+        let mut assignment = vec![0usize; n];
+        loop {
+            for (i, &v) in vertices.iter().enumerate() {
+                side[v.index()] = assignment[i];
+            }
+            let cut = self
+                .graph
+                .edges()
+                .filter(|&(u, v)| side[u.index()] != side[v.index()])
+                .count();
+            best = best.min(cut);
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == n {
+                    return best;
+                }
+                assignment[pos] += 1;
+                if assignment[pos] < k {
+                    break;
+                }
+                assignment[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Decision version: can at most `budget` edges be removed?
+    pub fn is_cuttable_with(&self, budget: usize) -> bool {
+        self.minimum_cut() <= budget
+    }
+}
+
+/// The output of the Theorem 2 reduction.
+#[derive(Debug, Clone)]
+pub struct AggressiveReduction {
+    /// The aggressive-coalescing instance (interference clique on the
+    /// terminals, one affinity per subdivided edge).
+    pub instance: AffinityGraph,
+    /// For every original vertex, the corresponding vertex of the instance.
+    pub vertex_map: Vec<VertexId>,
+    /// For every original edge `(u, v)`, the subdivision vertex `x_e` and
+    /// the two affinities `(u, x_e)` and `(x_e, v)` it produced (as indices
+    /// into `instance.affinities`).
+    pub edge_map: Vec<(VertexId, usize, usize)>,
+}
+
+/// Builds the aggressive-coalescing instance of Theorem 2 / Figure 1 from a
+/// multiway-cut instance.
+pub fn reduce_to_aggressive(instance: &MultiwayCutInstance) -> AggressiveReduction {
+    let originals: Vec<VertexId> = instance.graph.vertices().collect();
+    let mut vertex_map = vec![VertexId::new(0); instance.graph.capacity()];
+    // The interference graph has one vertex per original vertex plus one per
+    // edge; the only interferences form a clique on the terminals.
+    let mut graph = Graph::new(originals.len());
+    for (new_index, &orig) in originals.iter().enumerate() {
+        vertex_map[orig.index()] = VertexId::new(new_index);
+    }
+    for (i, &s) in instance.terminals.iter().enumerate() {
+        for &t in &instance.terminals[i + 1..] {
+            graph.add_edge(vertex_map[s.index()], vertex_map[t.index()]);
+        }
+    }
+    let mut affinities = Vec::new();
+    let mut edge_map = Vec::new();
+    for (u, v) in instance.graph.edges() {
+        let xe = graph.add_vertex();
+        let first = affinities.len();
+        affinities.push(Affinity::new(vertex_map[u.index()], xe));
+        affinities.push(Affinity::new(xe, vertex_map[v.index()]));
+        edge_map.push((xe, first, first + 1));
+    }
+    AggressiveReduction {
+        instance: AffinityGraph::new(graph, affinities),
+        vertex_map,
+        edge_map,
+    }
+}
+
+/// Recovers a multiway cut from a coalescing of the reduced instance: the
+/// original edges whose two half-affinities are not both coalesced.
+///
+/// The size of the recovered cut is at most the number of uncoalesced
+/// affinities of the coalescing.
+pub fn recover_cut(
+    reduction: &AggressiveReduction,
+    coalescing: &mut coalesce_core::Coalescing,
+) -> Vec<usize> {
+    let mut cut = Vec::new();
+    for (edge_index, &(xe, a1, a2)) in reduction.edge_map.iter().enumerate() {
+        let f1 = reduction.instance.affinities[a1];
+        let f2 = reduction.instance.affinities[a2];
+        let both = coalescing.same_class(f1.a, f1.b) && coalescing.same_class(f2.a, f2.b);
+        let _ = xe;
+        if !both {
+            cut.push(edge_index);
+        }
+    }
+    cut
+}
+
+/// Checks that removing the edges `cut` (indices into the original edge
+/// list, in [`Graph::edges`] order) separates all terminals.
+pub fn cut_separates(instance: &MultiwayCutInstance, cut: &[usize]) -> bool {
+    let edges: Vec<(VertexId, VertexId)> = instance.graph.edges().collect();
+    let mut dsu = DisjointSets::new(instance.graph.capacity());
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if !cut.contains(&i) {
+            dsu.union(u.index(), v.index());
+        }
+    }
+    for (i, &s) in instance.terminals.iter().enumerate() {
+        for &t in &instance.terminals[i + 1..] {
+            if dsu.same_set(s.index(), t.index()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_core::aggressive::aggressive_exact;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// The example of Figure 1: a small graph with three terminals.
+    fn figure_1_like_instance() -> MultiwayCutInstance {
+        // Vertices: s1, s2, s3 (terminals), u, v, w.
+        // Edges: s1-u, u-s2, u-v, v-s3, v-w, w-s1 (6 edges).
+        let mut g = Graph::new(6);
+        let (s1, s2, s3, u, vv, w) = (v(0), v(1), v(2), v(3), v(4), v(5));
+        g.add_edge(s1, u);
+        g.add_edge(u, s2);
+        g.add_edge(u, vv);
+        g.add_edge(vv, s3);
+        g.add_edge(vv, w);
+        g.add_edge(w, s1);
+        MultiwayCutInstance::new(g, vec![s1, s2, s3])
+    }
+
+    #[test]
+    fn minimum_cut_of_triangle_of_terminals() {
+        // Terminals pairwise connected: every edge must be cut.
+        let mut g = Graph::new(3);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        g.add_edge(v(0), v(2));
+        let inst = MultiwayCutInstance::new(g, vec![v(0), v(1), v(2)]);
+        assert_eq!(inst.minimum_cut(), 3);
+        assert!(!inst.is_cuttable_with(2));
+    }
+
+    #[test]
+    fn minimum_cut_with_shared_middle_vertex() {
+        // Star: center c adjacent to three terminals; cutting 2 edges
+        // suffices (the center joins one terminal's side).
+        let mut g = Graph::new(4);
+        for t in 0..3 {
+            g.add_edge(v(3), v(t));
+        }
+        let inst = MultiwayCutInstance::new(g, vec![v(0), v(1), v(2)]);
+        assert_eq!(inst.minimum_cut(), 2);
+    }
+
+    #[test]
+    fn figure_1_reduction_preserves_the_optimum() {
+        let inst = figure_1_like_instance();
+        let optimum_cut = inst.minimum_cut();
+        let reduction = reduce_to_aggressive(&inst);
+        // The reduced instance has one affinity pair per edge and an
+        // interference triangle on the terminals.
+        assert_eq!(reduction.instance.graph.num_edges(), 3);
+        assert_eq!(
+            reduction.instance.num_affinities(),
+            2 * inst.graph.num_edges()
+        );
+        let result = aggressive_exact(&reduction.instance);
+        assert_eq!(
+            result.stats.uncoalesced(),
+            optimum_cut,
+            "optimal aggressive coalescing must leave exactly min-cut affinities uncoalesced"
+        );
+    }
+
+    #[test]
+    fn recovered_cut_is_a_valid_multiway_cut() {
+        let inst = figure_1_like_instance();
+        let reduction = reduce_to_aggressive(&inst);
+        let mut result = aggressive_exact(&reduction.instance);
+        let cut = recover_cut(&reduction, &mut result.coalescing);
+        assert!(cut_separates(&inst, &cut));
+        assert!(cut.len() <= result.stats.uncoalesced());
+    }
+
+    #[test]
+    fn zero_terminal_and_single_terminal_instances_are_trivial() {
+        let g = Graph::with_edges(3, [(v(0), v(1)), (v(1), v(2))]);
+        let inst = MultiwayCutInstance::new(g.clone(), vec![]);
+        assert_eq!(inst.minimum_cut(), 0);
+        let inst1 = MultiwayCutInstance::new(g, vec![v(0)]);
+        assert_eq!(inst1.minimum_cut(), 0);
+    }
+
+    #[test]
+    fn subdivision_means_cut_never_needs_both_halves() {
+        // For every edge, an optimal coalescing loses at most one of the two
+        // half-affinities.
+        let inst = figure_1_like_instance();
+        let reduction = reduce_to_aggressive(&inst);
+        let mut result = aggressive_exact(&reduction.instance);
+        for &(_, a1, a2) in &reduction.edge_map {
+            let f1 = reduction.instance.affinities[a1];
+            let f2 = reduction.instance.affinities[a2];
+            let lost_both = !result.coalescing.same_class(f1.a, f1.b)
+                && !result.coalescing.same_class(f2.a, f2.b);
+            assert!(!lost_both, "an optimal solution never gives up both halves");
+        }
+    }
+}

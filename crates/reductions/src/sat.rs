@@ -1,0 +1,384 @@
+//! SAT, the 3SAT → 4SAT detour, and the reduction to incremental
+//! conservative coalescing (Theorem 4, Figure 4).
+//!
+//! The reduction builds, from a 4SAT formula, a graph that is 3-colorable
+//! iff the formula is satisfiable: a base triangle `T, F, R`, a triangle
+//! `x_i, ¬x_i, R` per variable, and per clause the Figure 4 widget made of
+//! the vertices `a_{i,1..4}`, `b_{i,1..2}`, `c_{i,1..2}`.  Theorem 4 then
+//! takes a 3SAT formula, adds a fresh variable `x₀` to every clause (the
+//! 4SAT formula is trivially satisfiable by `x₀ = true`), and asks whether
+//! the affinity `(x₀, F)` can be coalesced with 3 colors — which holds iff
+//! the original 3SAT formula is satisfiable.
+
+use coalesce_graph::{Graph, VertexId};
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for the positive literal, `false` for the negation.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal of variable `var`.
+    pub fn pos(var: usize) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal of variable `var`.
+    pub fn neg(var: usize) -> Self {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Evaluates the literal under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A CNF formula (each clause is a disjunction of literals).
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Literal>>,
+}
+
+impl Cnf {
+    /// Creates a formula over `num_vars` variables with the given clauses.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<Literal>>) -> Self {
+        for clause in &clauses {
+            for lit in clause {
+                assert!(lit.var < num_vars, "literal variable out of range");
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Evaluates the formula under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// DPLL satisfiability with unit propagation; returns a satisfying
+    /// assignment if one exists.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        if self.dpll(&mut assignment) {
+            Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` iff the formula is satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation.
+        loop {
+            let mut unit: Option<Literal> = None;
+            for clause in &self.clauses {
+                let mut unassigned = Vec::new();
+                let mut satisfied = false;
+                for lit in clause {
+                    match assignment[lit.var] {
+                        Some(value) => {
+                            if value == lit.positive {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                        None => unassigned.push(*lit),
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned.len() {
+                    0 => return false, // conflict
+                    1 => {
+                        unit = Some(unassigned[0]);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            match unit {
+                Some(lit) => assignment[lit.var] = Some(lit.positive),
+                None => break,
+            }
+        }
+        // Check for completion.
+        let next = (0..self.num_vars).find(|&v| assignment[v].is_none());
+        let Some(var) = next else {
+            return self.eval(
+                &assignment
+                    .iter()
+                    .map(|a| a.unwrap_or(false))
+                    .collect::<Vec<_>>(),
+            );
+        };
+        for value in [true, false] {
+            let saved = assignment.clone();
+            assignment[var] = Some(value);
+            if self.dpll(assignment) {
+                return true;
+            }
+            *assignment = saved;
+        }
+        false
+    }
+}
+
+/// The graph built from a 4SAT formula (the Theorem 4 construction) with
+/// handles to the special vertices.
+#[derive(Debug, Clone)]
+pub struct SatGraph {
+    /// The constructed graph: 3-colorable iff the formula is satisfiable.
+    pub graph: Graph,
+    /// The `T` (true) vertex.
+    pub true_vertex: VertexId,
+    /// The `F` (false) vertex.
+    pub false_vertex: VertexId,
+    /// The `R` vertex of the base triangle.
+    pub r_vertex: VertexId,
+    /// For each variable, its positive-literal vertex.
+    pub positive: Vec<VertexId>,
+    /// For each variable, its negative-literal vertex.
+    pub negative: Vec<VertexId>,
+}
+
+/// Builds the Figure 4 graph from a 4SAT (or ≤4-literal CNF) formula.
+///
+/// # Panics
+///
+/// Panics if a clause has fewer than 1 or more than 4 literals.
+pub fn formula_to_graph(cnf: &Cnf) -> SatGraph {
+    let mut graph = Graph::new(0);
+    let t = graph.add_vertex();
+    let f = graph.add_vertex();
+    let r = graph.add_vertex();
+    graph.add_edge(t, f);
+    graph.add_edge(t, r);
+    graph.add_edge(f, r);
+
+    let mut positive = Vec::with_capacity(cnf.num_vars);
+    let mut negative = Vec::with_capacity(cnf.num_vars);
+    for _ in 0..cnf.num_vars {
+        let p = graph.add_vertex();
+        let n = graph.add_vertex();
+        graph.add_edge(p, n);
+        graph.add_edge(p, r);
+        graph.add_edge(n, r);
+        positive.push(p);
+        negative.push(n);
+    }
+
+    let literal_vertex = |lit: &Literal| -> VertexId {
+        if lit.positive {
+            positive[lit.var]
+        } else {
+            negative[lit.var]
+        }
+    };
+
+    for clause in &cnf.clauses {
+        assert!(
+            (1..=4).contains(&clause.len()),
+            "clauses must have between 1 and 4 literals"
+        );
+        // Pad short clauses by repeating the last literal (logically
+        // equivalent).
+        let mut lits: Vec<Literal> = clause.clone();
+        while lits.len() < 4 {
+            lits.push(*lits.last().expect("non-empty clause"));
+        }
+        // Figure 4 widget: an OR-gadget tree.  b1 = OR(y1, y2), b2 = OR(y3,
+        // y4), and the pair (c1, c2) forces OR(b1, b2) to be true.  Each OR
+        // gadget is the classical 3-colorability OR widget with three fresh
+        // vertices a, a', out.
+        let b1 = or_gadget(&mut graph, literal_vertex(&lits[0]), literal_vertex(&lits[1]), r, f);
+        let b2 = or_gadget(&mut graph, literal_vertex(&lits[2]), literal_vertex(&lits[3]), r, f);
+        // Force OR(b1, b2) true: c1 adjacent to b1, b2 and F... use another
+        // OR gadget whose output is forced to T's color by making it
+        // adjacent to both F and R.
+        let c = or_gadget(&mut graph, b1, b2, r, f);
+        graph.add_edge(c, f);
+        graph.add_edge(c, r);
+    }
+
+    SatGraph {
+        graph,
+        true_vertex: t,
+        false_vertex: f,
+        r_vertex: r,
+        positive,
+        negative,
+    }
+}
+
+/// The classical OR widget for 3-colorability: returns an output vertex
+/// whose color can be the `T` color iff at least one input has the `T`
+/// color, assuming inputs are colored with the `T`/`F` colors (they are
+/// adjacent to `r`).
+fn or_gadget(graph: &mut Graph, in1: VertexId, in2: VertexId, _r: VertexId, _f: VertexId) -> VertexId {
+    let a1 = graph.add_vertex();
+    let a2 = graph.add_vertex();
+    let out = graph.add_vertex();
+    graph.add_edge(a1, a2);
+    graph.add_edge(a1, in1);
+    graph.add_edge(a2, in2);
+    graph.add_edge(out, a1);
+    graph.add_edge(out, a2);
+    out
+}
+
+/// The Theorem 4 reduction output: an incremental conservative coalescing
+/// query on a 3-colorable graph.
+#[derive(Debug, Clone)]
+pub struct IncrementalReduction {
+    /// The constructed graph (always 3-colorable).
+    pub graph: Graph,
+    /// The first endpoint of the affinity to coalesce (`x₀`).
+    pub x: VertexId,
+    /// The second endpoint of the affinity (`F`).
+    pub y: VertexId,
+}
+
+/// Reduces a 3SAT formula to an incremental conservative coalescing query
+/// with `k = 3` (Theorem 4): add a fresh variable `x₀` to every clause and
+/// ask whether the affinity `(x₀, F)` is coalescible in the Figure 4 graph
+/// of the resulting 4SAT formula.
+pub fn reduce_3sat_to_incremental(cnf: &Cnf) -> IncrementalReduction {
+    for clause in &cnf.clauses {
+        assert!(
+            (1..=3).contains(&clause.len()),
+            "input must be a 3SAT formula"
+        );
+    }
+    let x0 = cnf.num_vars;
+    let clauses: Vec<Vec<Literal>> = cnf
+        .clauses
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.push(Literal::pos(x0));
+            c
+        })
+        .collect();
+    let cnf4 = Cnf::new(cnf.num_vars + 1, clauses);
+    let sat_graph = formula_to_graph(&cnf4);
+    IncrementalReduction {
+        x: sat_graph.positive[x0],
+        y: sat_graph.false_vertex,
+        graph: sat_graph.graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_core::incremental::incremental_exact;
+    use coalesce_graph::coloring;
+
+    fn lit(v: i32) -> Literal {
+        if v > 0 {
+            Literal::pos((v - 1) as usize)
+        } else {
+            Literal::neg((-v - 1) as usize)
+        }
+    }
+
+    fn cnf(num_vars: usize, clauses: &[&[i32]]) -> Cnf {
+        Cnf::new(
+            num_vars,
+            clauses
+                .iter()
+                .map(|c| c.iter().map(|&v| lit(v)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dpll_solves_simple_formulas() {
+        let sat = cnf(3, &[&[1, 2], &[-1, 3], &[-2, -3]]);
+        assert!(sat.is_satisfiable());
+        let a = sat.solve().unwrap();
+        assert!(sat.eval(&a));
+
+        let unsat = cnf(1, &[&[1], &[-1]]);
+        assert!(!unsat.is_satisfiable());
+    }
+
+    #[test]
+    fn dpll_handles_the_pigeonhole_style_unsat_instance() {
+        // (x1 ∨ x2) ∧ (¬x1 ∨ x2) ∧ (x1 ∨ ¬x2) ∧ (¬x1 ∨ ¬x2) is unsatisfiable.
+        let f = cnf(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        assert!(!f.is_satisfiable());
+    }
+
+    #[test]
+    fn formula_graph_is_3_colorable_iff_satisfiable() {
+        let sat = cnf(3, &[&[1, 2, 3], &[-1, -2, 3], &[1, -3, 2]]);
+        let g = formula_to_graph(&sat);
+        assert_eq!(coloring::is_k_colorable(&g.graph, 3), sat.is_satisfiable());
+
+        let unsat = cnf(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        let g2 = formula_to_graph(&unsat);
+        assert_eq!(
+            coloring::is_k_colorable(&g2.graph, 3),
+            unsat.is_satisfiable()
+        );
+    }
+
+    #[test]
+    fn theorem_4_reduction_graph_is_always_3_colorable() {
+        // The 4SAT formula is satisfiable with x0 = true, so the reduction
+        // graph must always be 3-colorable, satisfiable 3SAT input or not.
+        for f in [
+            cnf(3, &[&[1, 2, 3], &[-1, -2, -3]]),
+            cnf(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]),
+        ] {
+            let r = reduce_3sat_to_incremental(&f);
+            assert!(coloring::is_k_colorable(&r.graph, 3));
+        }
+    }
+
+    #[test]
+    fn incremental_coalescibility_matches_3sat_satisfiability() {
+        let cases = [
+            (cnf(2, &[&[1, 2], &[-1, 2]]), true),
+            (cnf(2, &[&[1], &[-1, 2], &[-2, 1]]), true),
+            (cnf(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]), false),
+            (cnf(1, &[&[1], &[-1]]), false),
+        ];
+        for (formula, expected) in cases {
+            assert_eq!(formula.is_satisfiable(), expected);
+            let r = reduce_3sat_to_incremental(&formula);
+            let answer = incremental_exact(&r.graph, 3, r.x, r.y);
+            assert_eq!(
+                answer.is_coalescible(),
+                expected,
+                "reduction disagrees with satisfiability"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_evaluation() {
+        assert!(Literal::pos(0).eval(&[true]));
+        assert!(!Literal::neg(0).eval(&[true]));
+        assert!(Literal::neg(1).eval(&[true, false]));
+    }
+}

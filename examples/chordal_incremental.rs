@@ -1,0 +1,62 @@
+//! Theorem 5 in action: polynomial incremental conservative coalescing on
+//! chordal (SSA-shaped) interference graphs, compared against the
+//! exponential exact solver.
+//!
+//! Run with `cargo run --example chordal_incremental`.
+
+use coalesce_core::incremental::{chordal_incremental, incremental_exact};
+use coalesce_gen::graphs::random_interval_graph;
+use coalesce_graph::{chordal, VertexId};
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "n", "omega", "queries", "poly (ms)", "exact (ms)", "agree"
+    );
+    for &n in &[10usize, 20, 30, 40] {
+        let mut rng = coalesce_gen::rng(n as u64);
+        let (graph, _) = random_interval_graph(n, 3 * n, n / 2 + 2, &mut rng);
+        let omega = chordal::chordal_clique_number(&graph).expect("interval graphs are chordal");
+        let k = omega;
+
+        let pairs: Vec<(VertexId, VertexId)> = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (VertexId::new(a), VertexId::new(b))))
+            .filter(|&(a, b)| !graph.has_edge(a, b))
+            .take(50)
+            .collect();
+
+        let start = Instant::now();
+        let fast: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                chordal_incremental(&graph, k, a, b)
+                    .expect("chordal, k >= omega")
+                    .is_coalescible()
+            })
+            .collect();
+        let fast_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let slow: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| incremental_exact(&graph, k, a, b).is_coalescible())
+            .collect();
+        let slow_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let agree = fast.iter().zip(&slow).filter(|(f, s)| f == s).count();
+        println!(
+            "{:>6} {:>8} {:>10} {:>12.2} {:>12.2} {:>7}/{}",
+            n,
+            omega,
+            pairs.len(),
+            fast_ms,
+            slow_ms,
+            agree,
+            pairs.len()
+        );
+    }
+    println!();
+    println!("`agree` must always equal the number of queries: the clique-tree");
+    println!("interval-covering algorithm of Theorem 5 matches the exact answer.");
+}

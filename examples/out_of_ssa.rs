@@ -1,0 +1,66 @@
+//! Out-of-SSA translation as aggressive coalescing.
+//!
+//! Generates a random SSA program, translates it out of SSA (which inserts
+//! register-to-register moves for the φ-functions, splitting critical edges
+//! and sequentialising parallel copies), and then measures how many of
+//! those moves each coalescing strategy removes — the §1/§3 story of the
+//! paper.
+//!
+//! Run with `cargo run --example out_of_ssa`.
+
+use coalesce_core::affinity::AffinityGraph;
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::{aggressive_exact, aggressive_heuristic};
+use coalesce_gen::programs::{random_ssa_program, ProgramParams};
+use coalesce_ir::interference::InterferenceGraph;
+use coalesce_ir::liveness::Liveness;
+use coalesce_ir::out_of_ssa;
+
+fn main() {
+    let params = ProgramParams {
+        diamonds: 3,
+        ops_per_block: 3,
+        pressure: 4,
+        phis_per_join: 2,
+    };
+    let mut rng = coalesce_gen::rng(2024);
+    let mut function = random_ssa_program(&params, &mut rng);
+    println!("=== SSA program ===\n{function}");
+
+    let stats = out_of_ssa::destruct_ssa(&mut function);
+    println!(
+        "out-of-SSA: {} phis removed, {} copies inserted, {} critical edges split, {} temps",
+        stats.phis_removed, stats.copies_inserted, stats.split_edges, stats.temps_introduced
+    );
+    println!("=== after out-of-SSA ===\n{function}");
+
+    let liveness = Liveness::compute(&function);
+    let k = liveness.maxlive_precise(&function);
+    let ig = InterferenceGraph::build(&function, &liveness);
+    let instance = AffinityGraph::from_interference(&ig);
+    println!(
+        "interference graph: {} vertices, {} edges, {} affinities (total weight {})",
+        ig.graph.num_vertices(),
+        ig.graph.num_edges(),
+        instance.num_affinities(),
+        instance.total_weight()
+    );
+
+    let heuristic = aggressive_heuristic(&instance);
+    println!(
+        "aggressive (heuristic): {}/{} moves removed",
+        heuristic.stats.coalesced, heuristic.stats.total
+    );
+    if instance.num_affinities() <= 20 {
+        let exact = aggressive_exact(&instance);
+        println!(
+            "aggressive (exact):     {}/{} moves removed",
+            exact.stats.coalesced, exact.stats.total
+        );
+    }
+    let conservative = conservative_coalesce(&instance, k, ConservativeRule::BriggsGeorge);
+    println!(
+        "conservative (Briggs+George, k = {k}): {}/{} moves removed",
+        conservative.stats.coalesced, conservative.stats.total
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: build a tiny program, extract its interference graph and
+//! affinities, and run the four coalescing strategies of the paper on it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use coalesce_core::affinity::AffinityGraph;
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::{aggressive_heuristic, optimistic_coalesce};
+use coalesce_ir::function::FunctionBuilder;
+use coalesce_ir::interference::InterferenceGraph;
+use coalesce_ir::liveness::Liveness;
+
+fn main() {
+    // A diamond with a φ: the classic source of register-to-register moves.
+    let mut b = FunctionBuilder::new("quickstart");
+    let entry = b.entry_block();
+    let (then_blk, else_blk, join) = (b.new_block(), b.new_block(), b.new_block());
+    let x = b.def(entry, "x");
+    let c = b.def(entry, "c");
+    b.branch(entry, c, then_blk, else_blk);
+    let y = b.op(then_blk, "y", &[x]);
+    b.jump(then_blk, join);
+    let z = b.op(else_blk, "z", &[x]);
+    b.jump(else_blk, join);
+    let w = b.phi(join, "w", &[(then_blk, y), (else_blk, z)]);
+    let out = b.copy(join, "out", w);
+    b.ret(join, &[out]);
+    let function = b.finish();
+
+    println!("=== program ===\n{function}");
+
+    let liveness = Liveness::compute(&function);
+    println!("Maxlive = {}", liveness.maxlive_precise(&function));
+
+    let ig = InterferenceGraph::build(&function, &liveness);
+    println!(
+        "interference graph: {} vertices, {} edges, {} affinities",
+        ig.graph.num_vertices(),
+        ig.graph.num_edges(),
+        ig.affinities.len()
+    );
+
+    let instance = AffinityGraph::from_interference(&ig);
+    let k = 2;
+
+    let aggressive = aggressive_heuristic(&instance);
+    println!(
+        "aggressive coalescing:   {}/{} moves removed",
+        aggressive.stats.coalesced, aggressive.stats.total
+    );
+
+    for rule in [
+        ConservativeRule::Briggs,
+        ConservativeRule::George,
+        ConservativeRule::BriggsGeorge,
+        ConservativeRule::BruteForce,
+    ] {
+        let result = conservative_coalesce(&instance, k, rule);
+        println!(
+            "conservative ({rule:?}): {}/{} moves removed (k = {k})",
+            result.stats.coalesced, result.stats.total
+        );
+    }
+
+    let optimistic = optimistic_coalesce(&instance, k);
+    println!(
+        "optimistic coalescing:   {}/{} moves removed (k = {k})",
+        optimistic.stats.coalesced, optimistic.stats.total
+    );
+
+    let allocation = coalesce_core::irc::allocate(&instance, k);
+    println!(
+        "IRC allocation with k = {k}: {} spills, {} moves coalesced",
+        allocation.num_spills(),
+        allocation.stats.coalesced
+    );
+}

@@ -1,0 +1,84 @@
+//! The splitting / coalescing interplay.
+//!
+//! §1 of the paper: splitting (adding register-to-register moves) can help
+//! the allocator — shorter live ranges are easier to color or to spill
+//! selectively — but "it is very hard to control the interplay between
+//! spilling and splitting/coalescing".  This example makes that tension
+//! concrete: it splits every live range at block boundaries, measures how
+//! the interference structure changes, and then lets each coalescing
+//! strategy try to remove the moves the splitting introduced.
+//!
+//! ```text
+//! cargo run --example splitting_tradeoff
+//! ```
+
+use coalesce_core::affinity::AffinityGraph;
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::optimistic::optimistic_coalesce;
+use coalesce_gen::programs::{random_ssa_program, ProgramParams};
+use coalesce_ir::interference::InterferenceGraph;
+use coalesce_ir::liveness::Liveness;
+use coalesce_ir::splitting::split_at_block_boundaries;
+use coalesce_ir::Function;
+
+fn describe(f: &Function, label: &str) -> AffinityGraph {
+    let live = Liveness::compute(f);
+    let ig = InterferenceGraph::build(f, &live);
+    let ag = AffinityGraph::from_interference(&ig);
+    println!(
+        "{label:<14} vars={:<3} copies={:<3} maxlive={:<2} interferences={:<4} affinities={:<3} (weight {})",
+        f.num_vars(),
+        f.num_copies(),
+        live.maxlive_precise(f),
+        ig.graph.num_edges(),
+        ag.num_affinities(),
+        ag.total_weight()
+    );
+    ag
+}
+
+fn main() {
+    let params = ProgramParams {
+        diamonds: 4,
+        ops_per_block: 3,
+        pressure: 5,
+        phis_per_join: 2,
+    };
+    let mut rng = coalesce_gen::rng(11);
+    let mut f = random_ssa_program(&params, &mut rng);
+    let k = 6;
+
+    describe(&f, "original");
+
+    let stats = split_at_block_boundaries(&mut f);
+    println!(
+        "split at block boundaries: {} copies inserted, {} fresh variables",
+        stats.copies_inserted, stats.new_variables
+    );
+    let ag = describe(&f, "after split");
+
+    println!("\ncoalescing the split program back (k = {k}):");
+    for rule in [
+        ConservativeRule::Briggs,
+        ConservativeRule::BriggsGeorge,
+        ConservativeRule::ExtendedGeorge,
+        ConservativeRule::BruteForce,
+    ] {
+        let res = conservative_coalesce(&ag, k, rule);
+        println!(
+            "  {rule:?}: removed {}/{} moves (weight {}/{})",
+            res.stats.coalesced,
+            ag.num_affinities(),
+            res.stats.coalesced_weight,
+            ag.total_weight()
+        );
+    }
+    let optimistic = optimistic_coalesce(&ag, k);
+    println!(
+        "  Optimistic: removed {}/{} moves (weight {}/{})",
+        optimistic.stats.coalesced,
+        ag.num_affinities(),
+        optimistic.stats.coalesced_weight,
+        ag.total_weight()
+    );
+}

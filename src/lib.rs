@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the workspace members for examples and integration tests.
+#![warn(missing_docs)]
+pub use coalesce_core;
+pub use coalesce_gen;
+pub use coalesce_graph;
+pub use coalesce_ir;
+pub use coalesce_reduce;

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: full pipelines from generated programs
+//! through spilling, out-of-SSA translation and every coalescing strategy.
+
+use coalesce_core::affinity::AffinityGraph;
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::{aggressive_heuristic, optimistic_coalesce};
+use coalesce_gen::challenge::{challenge_instance, ChallengeParams};
+use coalesce_gen::programs::{random_ssa_program, ProgramParams};
+use coalesce_graph::{chordal, greedy};
+use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
+use coalesce_ir::liveness::Liveness;
+use coalesce_ir::{out_of_ssa, spill, ssa};
+
+#[test]
+fn theorem_1_pipeline_on_many_programs() {
+    // SSA program -> interference graph: chordal with omega = Maxlive, and
+    // (Property 1) greedy-omega-colorable.
+    for seed in 0..12 {
+        let mut rng = coalesce_gen::rng(seed);
+        let f = random_ssa_program(&ProgramParams::default(), &mut rng);
+        assert!(ssa::is_strict(&f));
+        let live = Liveness::compute(&f);
+        let ig = InterferenceGraph::build_with(
+            &f,
+            &live,
+            BuildOptions {
+                kind: InterferenceKind::Intersection,
+                ..Default::default()
+            },
+        );
+        assert!(chordal::is_chordal(&ig.graph), "seed {seed}");
+        let omega = chordal::chordal_clique_number(&ig.graph).unwrap();
+        assert_eq!(omega, live.maxlive_precise(&f), "seed {seed}");
+        assert!(greedy::is_greedy_k_colorable(&ig.graph, omega), "seed {seed}");
+    }
+}
+
+#[test]
+fn out_of_ssa_then_aggressive_coalescing_removes_most_copies() {
+    for seed in 0..6 {
+        let mut rng = coalesce_gen::rng(seed);
+        let mut f = random_ssa_program(&ProgramParams::default(), &mut rng);
+        let stats = out_of_ssa::destruct_ssa(&mut f);
+        assert!(stats.copies_inserted >= stats.phis_removed);
+        let live = Liveness::compute(&f);
+        let ig = InterferenceGraph::build(&f, &live);
+        let ag = AffinityGraph::from_interference(&ig);
+        let res = aggressive_heuristic(&ag);
+        // Aggressive coalescing removes at least half of the copies produced
+        // by a split-edge out-of-SSA translation on these workloads.
+        assert!(
+            res.stats.coalesced * 2 >= res.stats.total,
+            "seed {seed}: only {}/{} coalesced",
+            res.stats.coalesced,
+            res.stats.total
+        );
+    }
+}
+
+#[test]
+fn conservative_strategies_preserve_colorability_end_to_end() {
+    for seed in 0..6 {
+        let mut rng = coalesce_gen::rng(seed);
+        let inst = challenge_instance(&ChallengeParams::default(), &mut rng);
+        let k = inst.registers.max(inst.maxlive);
+        if !greedy::is_greedy_k_colorable(&inst.affinity_graph.graph, k) {
+            continue; // spill-everywhere could not reach the target shape
+        }
+        for rule in [
+            ConservativeRule::Briggs,
+            ConservativeRule::George,
+            ConservativeRule::BriggsGeorge,
+            ConservativeRule::BruteForce,
+        ] {
+            let res = conservative_coalesce(&inst.affinity_graph, k, rule);
+            assert!(
+                greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, k),
+                "seed {seed}, rule {rule:?}"
+            );
+        }
+        let opt = optimistic_coalesce(&inst.affinity_graph, k);
+        assert!(greedy::is_greedy_k_colorable(&opt.coalescing.merged_graph, k));
+    }
+}
+
+#[test]
+fn brute_force_conservative_coalesces_at_least_as_much_as_briggs() {
+    for seed in 20..26 {
+        let mut rng = coalesce_gen::rng(seed);
+        let inst = challenge_instance(&ChallengeParams::default(), &mut rng);
+        let k = inst.registers.max(inst.maxlive);
+        let briggs = conservative_coalesce(&inst.affinity_graph, k, ConservativeRule::Briggs);
+        let brute = conservative_coalesce(&inst.affinity_graph, k, ConservativeRule::BruteForce);
+        assert!(
+            brute.stats.coalesced_weight >= briggs.stats.coalesced_weight,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn spilling_then_allocating_never_breaks_interference() {
+    for seed in 0..4 {
+        let mut rng = coalesce_gen::rng(seed);
+        let mut f = random_ssa_program(
+            &ProgramParams {
+                pressure: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let k = 4;
+        spill::spill_to_pressure(&mut f, k);
+        out_of_ssa::destruct_ssa(&mut f);
+        let live = Liveness::compute(&f);
+        let ig = InterferenceGraph::build(&f, &live);
+        let ag = AffinityGraph::from_interference(&ig);
+        let allocation = coalesce_core::irc::allocate(&ag, k);
+        for (a, b) in ag.graph.edges() {
+            if let (Some(ca), Some(cb)) = (allocation.color_of(a), allocation.color_of(b)) {
+                assert_ne!(ca, cb, "seed {seed}: interfering vertices share a register");
+            }
+        }
+    }
+}
+
+#[test]
+fn property_2_lifting_transports_every_structural_predicate() {
+    use coalesce_graph::lift::lift_by_clique;
+    for seed in 0..6 {
+        let mut rng = coalesce_gen::rng(seed);
+        let (g, _) = coalesce_gen::graphs::random_interval_graph(12, 20, 5, &mut rng);
+        let omega = chordal::chordal_clique_number(&g).unwrap();
+        for p in 1..3 {
+            let lifted = lift_by_clique(&g, p);
+            assert_eq!(chordal::is_chordal(&lifted.graph), chordal::is_chordal(&g));
+            assert_eq!(
+                greedy::is_greedy_k_colorable(&lifted.graph, omega + p),
+                greedy::is_greedy_k_colorable(&g, omega)
+            );
+            assert_eq!(
+                coalesce_graph::coloring::is_k_colorable(&lifted.graph, omega + p),
+                coalesce_graph::coloring::is_k_colorable(&g, omega)
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's structural invariants.
+
+use coalesce_core::affinity::{Affinity, AffinityGraph};
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::incremental::{chordal_incremental, incremental_exact};
+use coalesce_graph::{chordal, coloring, greedy, Graph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph on `n ≤ 9` vertices given as an edge
+/// bitmask over the C(9, 2) = 36 possible edges.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..9, proptest::collection::vec(any::<bool>(), 36)).prop_map(|(n, mask)| {
+        let mut g = Graph::new(n);
+        let mut idx = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                if mask[idx % mask.len()] {
+                    g.add_edge(VertexId::new(i), VertexId::new(j));
+                }
+                idx += 1;
+            }
+        }
+        g
+    })
+}
+
+/// Strategy: a random interval graph (always chordal).
+fn arbitrary_interval_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0usize..12, 1usize..5), 2..10).prop_map(|intervals| {
+        let n = intervals.len();
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let (a1, l1) = intervals[i];
+                let (a2, l2) = intervals[j];
+                let (b1, b2) = (a1 + l1, a2 + l2);
+                if a1.max(a2) <= b1.min(b2) {
+                    g.add_edge(VertexId::new(i), VertexId::new(j));
+                }
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The coloring number bounds the chromatic number, and the greedy
+    /// elimination scheme succeeds exactly at col(G).
+    #[test]
+    fn coloring_number_is_consistent(g in arbitrary_graph()) {
+        let col = greedy::coloring_number(&g);
+        prop_assert!(greedy::is_greedy_k_colorable(&g, col));
+        if col > 0 {
+            prop_assert!(!greedy::is_greedy_k_colorable(&g, col - 1));
+        }
+        let coloring = greedy::greedy_coloring(&g, col).unwrap();
+        prop_assert!(coloring.is_proper(&g));
+        prop_assert!(coloring.max_color_bound() <= col);
+    }
+
+    /// DSATUR and exact coloring agree with basic bounds on random graphs.
+    #[test]
+    fn coloring_bounds_hold(g in arbitrary_graph()) {
+        let dsatur = coloring::dsatur(&g);
+        prop_assert!(dsatur.is_proper(&g));
+        let chromatic = coloring::chromatic_number(&g);
+        prop_assert!(chromatic <= dsatur.num_colors());
+        prop_assert!(chromatic <= greedy::coloring_number(&g).max(1) || g.num_vertices() == 0);
+        prop_assert!(coalesce_graph::cliques::clique_number(&g) <= chromatic || g.num_vertices() == 0);
+    }
+
+    /// Property 1: a k-colorable chordal graph is greedy-k-colorable, and
+    /// the chordal coloring is optimal.
+    #[test]
+    fn property_1_on_random_chordal_graphs(g in arbitrary_interval_graph()) {
+        prop_assert!(chordal::is_chordal(&g));
+        let omega = chordal::chordal_clique_number(&g).unwrap();
+        prop_assert!(greedy::is_greedy_k_colorable(&g, omega));
+        let coloring = chordal::chordal_coloring(&g).unwrap();
+        prop_assert!(coloring.is_proper(&g));
+        prop_assert_eq!(coloring.num_colors(), omega);
+    }
+
+    /// Theorem 5's polynomial algorithm agrees with the exact solver on
+    /// chordal graphs, for k = omega and k = omega + 1.
+    #[test]
+    fn chordal_incremental_matches_exact(g in arbitrary_interval_graph()) {
+        let omega = chordal::chordal_clique_number(&g).unwrap();
+        let verts: Vec<VertexId> = g.vertices().collect();
+        for (i, &a) in verts.iter().enumerate() {
+            for &b in verts.iter().skip(i + 1).take(3) {
+                if g.has_edge(a, b) { continue; }
+                for k in [omega, omega + 1] {
+                    let fast = chordal_incremental(&g, k, a, b).unwrap().is_coalescible();
+                    let slow = incremental_exact(&g, k, a, b).is_coalescible();
+                    prop_assert_eq!(fast, slow, "pair ({}, {}), k = {}", a, b, k);
+                }
+            }
+        }
+    }
+
+    /// Conservative coalescing never produces interfering classes and never
+    /// breaks greedy-k-colorability of a greedy-k-colorable input.
+    #[test]
+    fn conservative_is_safe(g in arbitrary_graph(), k in 2usize..5) {
+        prop_assume!(greedy::is_greedy_k_colorable(&g, k));
+        // Affinities between the first few non-adjacent pairs.
+        let verts: Vec<VertexId> = g.vertices().collect();
+        let mut affs = Vec::new();
+        'outer: for (i, &a) in verts.iter().enumerate() {
+            for &b in &verts[i + 1..] {
+                if !g.has_edge(a, b) {
+                    affs.push(Affinity::new(a, b));
+                    if affs.len() >= 5 { break 'outer; }
+                }
+            }
+        }
+        let ag = AffinityGraph::new(g.clone(), affs);
+        for rule in [ConservativeRule::Briggs, ConservativeRule::George, ConservativeRule::BruteForce] {
+            let mut res = conservative_coalesce(&ag, k, rule);
+            prop_assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, k));
+            for class in res.coalescing.classes() {
+                let members: Vec<VertexId> = class.into_iter().collect();
+                for (i, &x) in members.iter().enumerate() {
+                    for &y in &members[i + 1..] {
+                        prop_assert!(!g.has_edge(x, y));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merging vertices never increases the vertex count and preserves the
+    /// number of live vertices by exactly one per merge.
+    #[test]
+    fn merge_bookkeeping(g in arbitrary_graph()) {
+        let verts: Vec<VertexId> = g.vertices().collect();
+        prop_assume!(verts.len() >= 2);
+        let (a, b) = (verts[0], verts[1]);
+        prop_assume!(!g.has_edge(a, b));
+        let mut merged = g.clone();
+        merged.merge(a, b);
+        prop_assert_eq!(merged.num_vertices(), g.num_vertices() - 1);
+        prop_assert!(merged.num_edges() <= g.num_edges());
+        // Every former neighbor of b is now a neighbor of a.
+        for n in g.neighbors(b) {
+            prop_assert!(merged.has_edge(a, n));
+        }
+    }
+}

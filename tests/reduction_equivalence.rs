@@ -1,0 +1,126 @@
+//! Integration tests validating the NP-completeness reductions on random
+//! small instances: the optimum of the source problem always equals the
+//! optimum of the produced coalescing instance.
+
+use coalesce_core::aggressive::aggressive_exact;
+use coalesce_core::incremental::incremental_exact;
+use coalesce_core::optimistic::decoalesce_exact;
+use coalesce_gen::graphs::random_graph;
+use coalesce_graph::{Graph, VertexId};
+use coalesce_reduce::{colorability, multiway_cut, sat, vertex_cover};
+use rand::Rng;
+
+fn v(i: usize) -> VertexId {
+    VertexId::new(i)
+}
+
+#[test]
+fn multiway_cut_equals_optimal_aggressive_coalescing_on_random_graphs() {
+    for seed in 0..5 {
+        let mut rng = coalesce_gen::rng(seed);
+        let g = random_graph(6, 0.45, &mut rng);
+        let instance =
+            multiway_cut::MultiwayCutInstance::new(g, vec![v(0), v(1), v(2)]);
+        let cut = instance.minimum_cut();
+        let reduction = multiway_cut::reduce_to_aggressive(&instance);
+        let result = aggressive_exact(&reduction.instance);
+        assert_eq!(result.stats.uncoalesced(), cut, "seed {seed}");
+    }
+}
+
+#[test]
+fn conservative_zero_budget_equals_colorability_on_random_graphs() {
+    for seed in 0..8 {
+        let mut rng = coalesce_gen::rng(100 + seed);
+        let g = random_graph(6, 0.5, &mut rng);
+        let reduction = colorability::reduce_to_conservative(&g);
+        for k in [2, 3] {
+            let exact = coalesce_core::conservative::conservative_exact(&reduction.instance, k, false);
+            assert_eq!(
+                exact.stats.uncoalesced() == 0,
+                colorability::is_k_colorable(&g, k),
+                "seed {seed} k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_coalescibility_equals_satisfiability_on_random_3sat() {
+    for seed in 0..5u64 {
+        let mut rng = coalesce_gen::rng(200 + seed);
+        let num_vars = 3;
+        let num_clauses = 6; // around the 3SAT phase transition for 3 vars
+        let clauses: Vec<Vec<sat::Literal>> = (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let var = rng.gen_range(0..num_vars);
+                        if rng.gen_bool(0.5) {
+                            sat::Literal::pos(var)
+                        } else {
+                            sat::Literal::neg(var)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let formula = sat::Cnf::new(num_vars, clauses);
+        let reduction = sat::reduce_3sat_to_incremental(&formula);
+        let answer = incremental_exact(&reduction.graph, 3, reduction.x, reduction.y);
+        assert_eq!(
+            answer.is_coalescible(),
+            formula.is_satisfiable(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn minimum_decoalescing_equals_minimum_vertex_cover_on_small_graphs() {
+    // A handful of fixed max-degree-3 graphs plus random sparse ones.
+    let mut cases: Vec<Graph> = vec![
+        Graph::with_edges(4, [(v(0), v(1)), (v(1), v(2)), (v(2), v(3))]),
+        Graph::with_edges(5, [(v(0), v(1)), (v(1), v(2)), (v(3), v(4))]),
+        Graph::with_edges(4, (0..4).map(|i| (v(i), v((i + 1) % 4)))),
+    ];
+    for seed in 0..3 {
+        let mut rng = coalesce_gen::rng(300 + seed);
+        loop {
+            let g = random_graph(5, 0.3, &mut rng);
+            if g.max_degree() <= 3 {
+                cases.push(g);
+                break;
+            }
+        }
+    }
+    for (i, g) in cases.into_iter().enumerate() {
+        let instance = vertex_cover::VertexCoverInstance::new(g);
+        let cover = instance.minimum_cover();
+        let reduction = vertex_cover::reduce_to_optimistic(&instance);
+        let (decoalesced, _) = decoalesce_exact(&reduction.instance, reduction.k)
+            .expect("reduction graphs are greedy-4-colorable");
+        assert_eq!(decoalesced, cover, "case {i}");
+    }
+}
+
+#[test]
+fn sat_graph_chromatic_structure_matches_figure_4() {
+    // The base triangle forces three distinct colors; literal vertices are
+    // never colored like R.
+    let formula = sat::Cnf::new(
+        2,
+        vec![vec![sat::Literal::pos(0), sat::Literal::neg(1)]],
+    );
+    let built = sat::formula_to_graph(&formula);
+    let coloring = coalesce_graph::coloring::exact_k_coloring(&built.graph, 3, &[]).unwrap();
+    let r_color = coloring.color_of(built.r_vertex);
+    for var in 0..2 {
+        assert_ne!(coloring.color_of(built.positive[var]), r_color);
+        assert_ne!(coloring.color_of(built.negative[var]), r_color);
+        assert_ne!(
+            coloring.color_of(built.positive[var]),
+            coloring.color_of(built.negative[var])
+        );
+    }
+}
