@@ -69,7 +69,8 @@ impl RegisterAssignment {
 
     /// Number of distinct registers actually used.
     pub fn registers_used(&self) -> usize {
-        let distinct: std::collections::BTreeSet<usize> = self.registers.values().copied().collect();
+        let distinct: std::collections::BTreeSet<usize> =
+            self.registers.values().copied().collect();
         distinct.len()
     }
 
@@ -91,7 +92,10 @@ impl RegisterAssignment {
         for i in 0..f.num_vars() {
             let v = Var::new(i);
             match self.register_of(v) {
-                Some(r) if r >= k => violations.push(Violation::RegisterOutOfRange { var: v, register: r }),
+                Some(r) if r >= k => violations.push(Violation::RegisterOutOfRange {
+                    var: v,
+                    register: r,
+                }),
                 Some(_) => {}
                 None => {
                     if !self.is_spilled(v) {
@@ -173,12 +177,20 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::Unassigned { var } => write!(f, "variable {var:?} has no register and no spill slot"),
+            Violation::Unassigned { var } => {
+                write!(f, "variable {var:?} has no register and no spill slot")
+            }
             Violation::RegisterOutOfRange { var, register } => {
-                write!(f, "variable {var:?} assigned out-of-range register r{register}")
+                write!(
+                    f,
+                    "variable {var:?} assigned out-of-range register r{register}"
+                )
             }
             Violation::InterferenceSharesRegister { a, b, register } => {
-                write!(f, "interfering variables {a:?} and {b:?} both in r{register}")
+                write!(
+                    f,
+                    "interfering variables {a:?} and {b:?} both in r{register}"
+                )
             }
         }
     }

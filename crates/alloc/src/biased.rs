@@ -215,7 +215,10 @@ mod tests {
             ],
         );
         let result = biased_select(&ag, 2, &[v(0), v(1), v(2), v(3), v(4)]);
-        assert_eq!(result.coloring.color_of(v(1)), result.coloring.color_of(v(4)));
+        assert_eq!(
+            result.coloring.color_of(v(1)),
+            result.coloring.color_of(v(4))
+        );
         assert_eq!(result.moves_eliminated, 1);
     }
 }

@@ -76,11 +76,7 @@ pub fn chaitin_allocate(f: &Function, config: ChaitinConfig) -> ChaitinOutcome {
         let ig = InterferenceGraph::build(&function, &liveness);
         let ag = AffinityGraph::from_interference(&ig);
         let result = irc::allocate(&ag, k);
-        let spills: Vec<Var> = result
-            .spilled
-            .iter()
-            .map(|v| Var::new(v.index()))
-            .collect();
+        let spills: Vec<Var> = result.spilled.iter().map(|v| Var::new(v.index())).collect();
         if spills.is_empty() || rounds == config.max_rounds.max(1) {
             last_result = Some((result, ag));
             break;

@@ -28,7 +28,11 @@ impl AllocatorKind {
     /// Every configuration the comparison tables report, in order.
     pub fn all() -> Vec<AllocatorKind> {
         let mut kinds = vec![AllocatorKind::ChaitinBriggs];
-        kinds.extend(CoalescingStrategy::ALL.iter().map(|&s| AllocatorKind::SsaBased(s)));
+        kinds.extend(
+            CoalescingStrategy::ALL
+                .iter()
+                .map(|&s| AllocatorKind::SsaBased(s)),
+        );
         kinds
     }
 
@@ -198,7 +202,11 @@ mod tests {
     fn coalescing_strategies_never_remove_fewer_weighted_moves_than_no_coalescing() {
         let f = sample_function();
         let none = run_allocator(&f, 3, AllocatorKind::SsaBased(CoalescingStrategy::None));
-        let brute = run_allocator(&f, 3, AllocatorKind::SsaBased(CoalescingStrategy::BruteForce));
+        let brute = run_allocator(
+            &f,
+            3,
+            AllocatorKind::SsaBased(CoalescingStrategy::BruteForce),
+        );
         assert!(brute.moves.eliminated_weight + 1 >= none.moves.eliminated_weight);
     }
 

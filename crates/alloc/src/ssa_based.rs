@@ -23,9 +23,9 @@
 use crate::assignment::RegisterAssignment;
 use crate::biased;
 use coalesce_core::affinity::AffinityGraph;
+use coalesce_core::affinity::Coalescing;
 use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
 use coalesce_core::optimistic::optimistic_coalesce;
-use coalesce_core::affinity::Coalescing;
 use coalesce_graph::{greedy, VertexId};
 use coalesce_ir::function::{Function, Var};
 use coalesce_ir::interference::InterferenceGraph;
@@ -162,7 +162,9 @@ pub fn ssa_allocate(f: &Function, k: usize, strategy: CoalescingStrategy) -> Ssa
             if ra == rb || merged_graph.has_edge(ra, rb) {
                 None
             } else {
-                Some(coalesce_core::affinity::Affinity::weighted(ra, rb, aff.weight))
+                Some(coalesce_core::affinity::Affinity::weighted(
+                    ra, rb, aff.weight,
+                ))
             }
         })
         .collect();
@@ -285,7 +287,11 @@ mod tests {
     fn pressure_is_reduced_to_k_under_tight_registers() {
         let f = diamond_chain();
         let outcome = ssa_allocate(&f, 2, CoalescingStrategy::BriggsGeorge);
-        assert!(outcome.maxlive <= 2 + 1, "maxlive {} too high", outcome.maxlive);
+        assert!(
+            outcome.maxlive <= 2 + 1,
+            "maxlive {} too high",
+            outcome.maxlive
+        );
         assert!(outcome.assignment.is_valid(&outcome.function, 2));
     }
 

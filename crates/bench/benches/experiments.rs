@@ -1,81 +1,51 @@
-//! The benchmark harness: one Criterion group per experiment E1–E9 of
-//! DESIGN.md / EXPERIMENTS.md.
+//! Thin Criterion timing wrapper over the `coalesce-bench` library.
 //!
-//! Each group both *measures* (runtime of the algorithms involved) and
-//! *prints* the quantities the corresponding paper artifact is about
-//! (equivalence of optima, heuristic gaps, strategy comparison tables), so
-//! `cargo bench` regenerates every table/figure-equivalent of the
-//! reproduction in one run.
+//! The experiment logic (instance generation, exact-vs-heuristic
+//! comparison, table computation) lives in `coalesce_bench::experiments`;
+//! this harness only (a) prints each experiment's report, exactly as the
+//! `run-experiments` CLI would, and (b) times the hot code paths on the
+//! library-built instances, so the measured code is the reported code.
 
-use coalesce_core::affinity::AffinityGraph;
+use coalesce_alloc::pipeline::{run_allocator, AllocatorKind};
+use coalesce_alloc::ssa_based::CoalescingStrategy;
+use coalesce_bench::experiments::{allocators, reductions, strategies, structure};
+use coalesce_bench::{run_experiment, ExperimentId};
+use coalesce_core::chordal_strategy::{chordal_conservative_coalesce, ChordalMode};
 use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
 use coalesce_core::incremental::{chordal_incremental, incremental_exact};
 use coalesce_core::optimistic::{decoalesce_exact, optimistic_coalesce};
 use coalesce_core::{aggressive_exact, aggressive_heuristic};
-use coalesce_gen::challenge::{challenge_instance, ChallengeParams};
-use coalesce_gen::graphs::{random_graph, random_interval_graph};
-use coalesce_gen::permutation::permutation_instance;
-use coalesce_gen::programs::{random_ssa_program, ProgramParams};
+use coalesce_graph::chordal;
 use coalesce_graph::lift::lift_by_clique;
-use coalesce_graph::{chordal, greedy, VertexId};
-use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
+use coalesce_ir::interference::InterferenceGraph;
 use coalesce_ir::liveness::Liveness;
-use coalesce_reduce::{colorability, multiway_cut, sat, vertex_cover};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn v(i: usize) -> VertexId {
-    VertexId::new(i)
+/// Prints the report of `id` (the tables the paper artifacts correspond
+/// to), mirroring what the original in-bench implementation printed.
+fn print_report(id: ExperimentId) {
+    println!("\n{}", run_experiment(id, 0).render_text());
 }
 
 /// E1 — Theorem 2 / Figure 1: multiway cut ↔ aggressive coalescing.
 fn e1_aggressive(c: &mut Criterion) {
+    print_report(ExperimentId::E1);
+    let (_, reduction) = reductions::e1_instance(0);
     let mut group = c.benchmark_group("e1_aggressive");
-    println!("\n[E1] multiway cut vs optimal aggressive coalescing (must be equal)");
-    for seed in 0..4u64 {
-        let mut rng = coalesce_gen::rng(seed);
-        let g = random_graph(7, 0.4, &mut rng);
-        let instance = multiway_cut::MultiwayCutInstance::new(g, vec![v(0), v(1), v(2)]);
-        let cut = instance.minimum_cut();
-        let reduction = multiway_cut::reduce_to_aggressive(&instance);
-        let exact = aggressive_exact(&reduction.instance);
-        let heur = aggressive_heuristic(&reduction.instance);
-        println!(
-            "  seed {seed}: min cut = {cut}, exact uncoalesced = {}, heuristic uncoalesced = {}",
-            exact.stats.uncoalesced(),
-            heur.stats.uncoalesced()
-        );
-        if seed == 0 {
-            group.bench_function(BenchmarkId::new("exact", seed), |b| {
-                b.iter(|| aggressive_exact(&reduction.instance))
-            });
-            group.bench_function(BenchmarkId::new("heuristic", seed), |b| {
-                b.iter(|| aggressive_heuristic(&reduction.instance))
-            });
-        }
-    }
+    group.bench_function(BenchmarkId::new("exact", 0), |b| {
+        b.iter(|| aggressive_exact(&reduction.instance))
+    });
+    group.bench_function(BenchmarkId::new("heuristic", 0), |b| {
+        b.iter(|| aggressive_heuristic(&reduction.instance))
+    });
     group.finish();
 }
 
 /// E2 — Theorem 3 / Figure 2: k-colorability ↔ conservative coalescing.
 fn e2_conservative(c: &mut Criterion) {
+    print_report(ExperimentId::E2);
+    let (_, reduction) = reductions::e2_instance(10);
     let mut group = c.benchmark_group("e2_conservative");
-    println!("\n[E2] k-colorability vs zero-budget conservative coalescing (must match)");
-    for seed in 0..3u64 {
-        let mut rng = coalesce_gen::rng(10 + seed);
-        let g = random_graph(6, 0.5, &mut rng);
-        let reduction = colorability::reduce_to_conservative(&g);
-        for k in [2usize, 3] {
-            let exact = coalesce_core::conservative::conservative_exact(&reduction.instance, k, false);
-            println!(
-                "  seed {seed} k={k}: colorable = {}, all coalesced = {}",
-                colorability::is_k_colorable(&g, k),
-                exact.stats.uncoalesced() == 0
-            );
-        }
-    }
-    let mut rng = coalesce_gen::rng(10);
-    let g = random_graph(6, 0.5, &mut rng);
-    let reduction = colorability::reduce_to_conservative(&g);
     group.bench_function("exact_k3", |b| {
         b.iter(|| coalesce_core::conservative::conservative_exact(&reduction.instance, 3, false))
     });
@@ -84,29 +54,12 @@ fn e2_conservative(c: &mut Criterion) {
 
 /// E3 — Figure 3: local rules vs simultaneous coalescing on permutations.
 fn e3_local_rules(c: &mut Criterion) {
+    print_report(ExperimentId::E3);
     let mut group = c.benchmark_group("e3_local_rules");
-    println!("\n[E3] permutation gadgets: moves coalesced by each strategy");
-    println!("  {:>4} {:>4} {:>8} {:>8} {:>8} {:>12}", "n", "k", "briggs", "george", "brute", "simultaneous");
-    for &n in &[3usize, 4, 6] {
-        let k = n + 2;
-        let ag = permutation_instance(n, 2);
-        let briggs = conservative_coalesce(&ag, k, ConservativeRule::Briggs);
-        let george = conservative_coalesce(&ag, k, ConservativeRule::George);
-        let brute = conservative_coalesce(&ag, k, ConservativeRule::BruteForce);
-        let all = aggressive_heuristic(&ag);
-        let simultaneous_ok =
-            greedy::is_greedy_k_colorable(&all.coalescing.merged_graph, k) && all.stats.uncoalesced() == 0;
-        println!(
-            "  {:>4} {:>4} {:>8} {:>8} {:>8} {:>12}",
-            n,
-            k,
-            briggs.stats.coalesced,
-            george.stats.coalesced,
-            brute.stats.coalesced,
-            if simultaneous_ok { n } else { 0 }
-        );
+    for n in [3usize, 4, 6] {
+        let ag = strategies::e3_instance(n);
         group.bench_with_input(BenchmarkId::new("briggs", n), &n, |b, _| {
-            b.iter(|| conservative_coalesce(&ag, k, ConservativeRule::Briggs))
+            b.iter(|| conservative_coalesce(&ag, n + 2, ConservativeRule::Briggs))
         });
     }
     group.finish();
@@ -114,47 +67,9 @@ fn e3_local_rules(c: &mut Criterion) {
 
 /// E4 — Theorem 4 / Figure 4: 3SAT ↔ incremental coalescibility.
 fn e4_incremental(c: &mut Criterion) {
+    print_report(ExperimentId::E4);
+    let reduction = reductions::e4_reduction(41);
     let mut group = c.benchmark_group("e4_incremental");
-    println!("\n[E4] random 3SAT near the phase transition: SAT vs coalescible (must match)");
-    use rand::Rng;
-    let mut agreement = 0;
-    let total = 6;
-    for seed in 0..total as u64 {
-        let mut rng = coalesce_gen::rng(40 + seed);
-        let clauses: Vec<Vec<sat::Literal>> = (0..9)
-            .map(|_| {
-                (0..3)
-                    .map(|_| {
-                        let var = rng.gen_range(0..4);
-                        if rng.gen_bool(0.5) {
-                            sat::Literal::pos(var)
-                        } else {
-                            sat::Literal::neg(var)
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let formula = sat::Cnf::new(4, clauses);
-        let reduction = sat::reduce_3sat_to_incremental(&formula);
-        let answer = incremental_exact(&reduction.graph, 3, reduction.x, reduction.y);
-        let is_sat = formula.is_satisfiable();
-        if answer.is_coalescible() == is_sat {
-            agreement += 1;
-        }
-        println!(
-            "  seed {seed}: satisfiable = {is_sat}, coalescible = {} ({} graph vertices)",
-            answer.is_coalescible(),
-            reduction.graph.num_vertices()
-        );
-    }
-    println!("  agreement: {agreement}/{total}");
-    let mut rng = coalesce_gen::rng(41);
-    let clauses: Vec<Vec<sat::Literal>> = (0..6)
-        .map(|_| (0..3).map(|_| sat::Literal::pos(rand::Rng::gen_range(&mut rng, 0..4))).collect())
-        .collect();
-    let formula = sat::Cnf::new(4, clauses);
-    let reduction = sat::reduce_3sat_to_incremental(&formula);
     group.bench_function("incremental_exact", |b| {
         b.iter(|| incremental_exact(&reduction.graph, 3, reduction.x, reduction.y))
     });
@@ -163,44 +78,22 @@ fn e4_incremental(c: &mut Criterion) {
 
 /// E5 — Theorem 5 / Figure 5: polynomial chordal algorithm vs exact search.
 fn e5_chordal(c: &mut Criterion) {
+    print_report(ExperimentId::E5);
     let mut group = c.benchmark_group("e5_chordal");
-    println!("\n[E5] chordal incremental coalescing: agreement and scaling");
-    for &n in &[15usize, 30, 60] {
-        let mut rng = coalesce_gen::rng(n as u64);
-        let (graph, _) = random_interval_graph(n, 3 * n, n / 2 + 2, &mut rng);
-        let omega = chordal::chordal_clique_number(&graph).unwrap();
-        let pairs: Vec<(VertexId, VertexId)> = (0..n)
-            .flat_map(|a| ((a + 1)..n).map(move |b| (v(a), v(b))))
-            .filter(|&(a, b)| !graph.has_edge(a, b))
-            .take(30)
-            .collect();
-        let mut agree = 0;
-        for &(a, b) in &pairs {
-            let fast = chordal_incremental(&graph, omega, a, b).unwrap().is_coalescible();
-            if n <= 30 {
-                let slow = incremental_exact(&graph, omega, a, b).is_coalescible();
-                if fast == slow {
-                    agree += 1;
-                }
-            }
-        }
-        println!(
-            "  n = {n}, omega = {omega}: {} queries, agreement with exact = {}",
-            pairs.len(),
-            if n <= 30 { format!("{agree}/{}", pairs.len()) } else { "(skipped)".into() }
-        );
+    for n in [15usize, 30, 60] {
+        let inst = structure::e5_instance(0, n);
         group.bench_with_input(BenchmarkId::new("polynomial", n), &n, |b, _| {
             b.iter(|| {
-                for &(a, bb) in &pairs {
-                    let _ = chordal_incremental(&graph, omega, a, bb);
+                for &(x, y) in &inst.pairs {
+                    let _ = chordal_incremental(&inst.graph, inst.omega, x, y);
                 }
             })
         });
         if n <= 30 {
             group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
                 b.iter(|| {
-                    for &(a, bb) in &pairs {
-                        let _ = incremental_exact(&graph, omega, a, bb);
+                    for &(x, y) in &inst.pairs {
+                        let _ = incremental_exact(&inst.graph, inst.omega, x, y);
                     }
                 })
             });
@@ -211,26 +104,9 @@ fn e5_chordal(c: &mut Criterion) {
 
 /// E6 — Theorem 6 / Figures 6–7: vertex cover ↔ optimistic de-coalescing.
 fn e6_optimistic(c: &mut Criterion) {
+    print_report(ExperimentId::E6);
+    let reduction = reductions::e6_reduction(1); // C4
     let mut group = c.benchmark_group("e6_optimistic");
-    println!("\n[E6] vertex cover vs minimum de-coalescing (must be equal); heuristic gap");
-    let cases: Vec<(&str, coalesce_graph::Graph)> = vec![
-        ("P4", coalesce_graph::Graph::with_edges(4, [(v(0), v(1)), (v(1), v(2)), (v(2), v(3))])),
-        ("C4", coalesce_graph::Graph::with_edges(4, (0..4).map(|i| (v(i), v((i + 1) % 4))))),
-        ("C5", coalesce_graph::Graph::with_edges(5, (0..5).map(|i| (v(i), v((i + 1) % 5))))),
-    ];
-    for (name, g) in &cases {
-        let instance = vertex_cover::VertexCoverInstance::new(g.clone());
-        let cover = instance.minimum_cover();
-        let reduction = vertex_cover::reduce_to_optimistic(&instance);
-        let (exact, _) = decoalesce_exact(&reduction.instance, reduction.k).unwrap();
-        let heuristic = optimistic_coalesce(&reduction.instance, reduction.k);
-        println!(
-            "  {name}: min cover = {cover}, exact de-coalescing = {exact}, heuristic gives up = {}",
-            heuristic.stats.uncoalesced()
-        );
-    }
-    let instance = vertex_cover::VertexCoverInstance::new(cases[1].1.clone());
-    let reduction = vertex_cover::reduce_to_optimistic(&instance);
     group.bench_function("heuristic_C4", |b| {
         b.iter(|| optimistic_coalesce(&reduction.instance, reduction.k))
     });
@@ -242,89 +118,27 @@ fn e6_optimistic(c: &mut Criterion) {
 
 /// E7 — Theorem 1 / Property 1: SSA interference graphs are chordal.
 fn e7_ssa_chordal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_ssa_chordal");
-    println!("\n[E7] SSA interference graphs: chordal, omega = Maxlive, greedy-omega-colorable");
-    let mut all_hold = true;
-    for seed in 0..10u64 {
-        let mut rng = coalesce_gen::rng(70 + seed);
-        let f = random_ssa_program(&ProgramParams::default(), &mut rng);
-        let live = Liveness::compute(&f);
-        let ig = InterferenceGraph::build_with(
-            &f,
-            &live,
-            BuildOptions {
-                kind: InterferenceKind::Intersection,
-                ..Default::default()
-            },
-        );
-        let chordal_ok = chordal::is_chordal(&ig.graph);
-        let omega = chordal::chordal_clique_number(&ig.graph);
-        let holds = chordal_ok
-            && omega == Some(live.maxlive_precise(&f))
-            && greedy::is_greedy_k_colorable(&ig.graph, omega.unwrap_or(0));
-        all_hold &= holds;
-    }
-    println!("  Theorem 1 + Property 1 hold on 10/10 generated programs: {all_hold}");
-    let mut rng = coalesce_gen::rng(77);
-    let f = random_ssa_program(
-        &ProgramParams {
-            diamonds: 8,
-            ..Default::default()
-        },
-        &mut rng,
-    );
+    print_report(ExperimentId::E7);
+    let f = allocators::e10_program(77);
     let live = Liveness::compute(&f);
+    let mut group = c.benchmark_group("e7_ssa_chordal");
     group.bench_function("build_interference", |b| {
         b.iter(|| InterferenceGraph::build(&f, &live))
     });
     let ig = InterferenceGraph::build(&f, &live);
-    group.bench_function("chordality_check", |b| b.iter(|| chordal::is_chordal(&ig.graph)));
+    group.bench_function("chordality_check", |b| {
+        b.iter(|| chordal::is_chordal(&ig.graph))
+    });
     group.finish();
 }
 
 /// E8 — the coalescing-challenge-style strategy comparison.
 fn e8_challenge(c: &mut Criterion) {
+    print_report(ExperimentId::E8);
+    let inst = strategies::e8_instance(80);
+    let k = inst.registers.max(inst.maxlive);
     let mut group = c.benchmark_group("e8_challenge");
     group.sample_size(10);
-    println!("\n[E8] challenge-style instances: % affinity weight coalesced / IRC spills");
-    println!(
-        "  {:>4} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6}",
-        "seed", "affs", "aggr%", "briggs%", "b+g%", "brute%", "optim%", "spills"
-    );
-    let params = ChallengeParams::default();
-    for seed in 0..6u64 {
-        let mut rng = coalesce_gen::rng(80 + seed);
-        let inst = challenge_instance(&params, &mut rng);
-        let ag = &inst.affinity_graph;
-        let k = inst.registers.max(inst.maxlive);
-        let pct = |w: u64| {
-            if ag.total_weight() == 0 {
-                100.0
-            } else {
-                100.0 * w as f64 / ag.total_weight() as f64
-            }
-        };
-        let aggr = aggressive_heuristic(ag);
-        let briggs = conservative_coalesce(ag, k, ConservativeRule::Briggs);
-        let bg = conservative_coalesce(ag, k, ConservativeRule::BriggsGeorge);
-        let brute = conservative_coalesce(ag, k, ConservativeRule::BruteForce);
-        let optim = optimistic_coalesce(ag, k);
-        let alloc = coalesce_core::irc::allocate(ag, inst.registers);
-        println!(
-            "  {:>4} {:>6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>6}",
-            seed,
-            ag.num_affinities(),
-            pct(aggr.stats.coalesced_weight),
-            pct(briggs.stats.coalesced_weight),
-            pct(bg.stats.coalesced_weight),
-            pct(brute.stats.coalesced_weight),
-            pct(optim.stats.coalesced_weight),
-            alloc.num_spills()
-        );
-    }
-    let mut rng = coalesce_gen::rng(80);
-    let inst = challenge_instance(&params, &mut rng);
-    let k = inst.registers.max(inst.maxlive);
     group.bench_function("briggs_george", |b| {
         b.iter(|| conservative_coalesce(&inst.affinity_graph, k, ConservativeRule::BriggsGeorge))
     });
@@ -339,127 +153,48 @@ fn e8_challenge(c: &mut Criterion) {
 
 /// E9 — Property 2: clique lifting preserves the structural predicates.
 fn e9_lifting(c: &mut Criterion) {
+    print_report(ExperimentId::E9);
+    let (g, _) = structure::e9_instance(0);
     let mut group = c.benchmark_group("e9_lifting");
-    println!("\n[E9] Property 2 lifting: predicates preserved from k to k + p");
-    let mut rng = coalesce_gen::rng(90);
-    let (g, _) = random_interval_graph(15, 25, 5, &mut rng);
-    let omega = chordal::chordal_clique_number(&g).unwrap();
-    for p in 1..=3usize {
-        let lifted = lift_by_clique(&g, p);
-        println!(
-            "  p = {p}: chordal {} -> {}, greedy-{} {} -> greedy-{} {}",
-            chordal::is_chordal(&g),
-            chordal::is_chordal(&lifted.graph),
-            omega,
-            greedy::is_greedy_k_colorable(&g, omega),
-            omega + p,
-            greedy::is_greedy_k_colorable(&lifted.graph, omega + p),
-        );
-    }
     group.bench_function("lift_p2", |b| b.iter(|| lift_by_clique(&g, 2)));
     group.finish();
 }
 
-fn strategy_instance() -> (AffinityGraph, usize) {
-    let mut rng = coalesce_gen::rng(99);
-    let inst = challenge_instance(&ChallengeParams::default(), &mut rng);
-    let k = inst.registers.max(inst.maxlive);
-    (inst.affinity_graph, k)
-}
-
-/// Throughput of the core strategies on one fixed mid-size instance (used
-/// for regression tracking rather than a paper artifact).
-fn core_throughput(c: &mut Criterion) {
-    let (ag, k) = strategy_instance();
-    let mut group = c.benchmark_group("core_throughput");
-    group.bench_function("aggressive_heuristic", |b| b.iter(|| aggressive_heuristic(&ag)));
-    group.bench_function("conservative_briggs", |b| {
-        b.iter(|| conservative_coalesce(&ag, k, ConservativeRule::Briggs))
-    });
-    group.bench_function("irc_allocate", |b| b.iter(|| coalesce_core::irc::allocate(&ag, k)));
-    group.finish();
-}
-
-/// E10 — §1 framing: end-to-end allocator comparison (Chaitin–Briggs vs the
-/// two-phase SSA-based allocator with each coalescing strategy).
+/// E10 — §1 framing: end-to-end allocator comparison.
 fn e10_allocators(c: &mut Criterion) {
-    use coalesce_alloc::pipeline::{compare_allocators, run_allocator, AllocatorKind};
-    use coalesce_alloc::ssa_based::CoalescingStrategy;
-
+    print_report(ExperimentId::E10);
+    let f = allocators::e10_program(21);
     let mut group = c.benchmark_group("e10_allocators");
     group.sample_size(10);
-    println!("\n[E10] end-to-end allocators: spills and remaining moves per configuration");
-    let params = ProgramParams {
-        diamonds: 4,
-        ops_per_block: 4,
-        pressure: 6,
-        phis_per_join: 2,
-    };
-    for (seed, k) in [(21u64, 4usize), (22, 6)] {
-        let mut rng = coalesce_gen::rng(seed);
-        let f = random_ssa_program(&params, &mut rng);
-        println!("  program seed {seed}, k = {k}:");
-        for report in compare_allocators(&f, k) {
-            println!("    {}", report.row());
-            assert!(report.valid);
-        }
-    }
-    let mut rng = coalesce_gen::rng(21);
-    let f = random_ssa_program(&params, &mut rng);
     group.bench_function("chaitin_briggs_k4", |b| {
         b.iter(|| run_allocator(&f, 4, AllocatorKind::ChaitinBriggs))
     });
     group.bench_function("ssa_briggs_george_k4", |b| {
-        b.iter(|| run_allocator(&f, 4, AllocatorKind::SsaBased(CoalescingStrategy::BriggsGeorge)))
+        b.iter(|| {
+            run_allocator(
+                &f,
+                4,
+                AllocatorKind::SsaBased(CoalescingStrategy::BriggsGeorge),
+            )
+        })
     });
     group.bench_function("ssa_optimistic_k4", |b| {
-        b.iter(|| run_allocator(&f, 4, AllocatorKind::SsaBased(CoalescingStrategy::Optimistic)))
+        b.iter(|| {
+            run_allocator(
+                &f,
+                4,
+                AllocatorKind::SsaBased(CoalescingStrategy::Optimistic),
+            )
+        })
     });
     group.finish();
 }
 
-/// E11 — §4 discussion after Theorem 5: the chordal (Theorem-5-guided)
-/// strategy against the local rules, and the witness-class vs fill-in
-/// repair policies.
+/// E11 — the Theorem-5-guided strategy against the local rules.
 fn e11_chordal_strategy(c: &mut Criterion) {
-    use coalesce_core::chordal_strategy::{chordal_conservative_coalesce, ChordalMode};
-    use coalesce_core::affinity::Affinity;
-
+    print_report(ExperimentId::E11);
+    let (ag, k) = strategies::e11_instance(110);
     let mut group = c.benchmark_group("e11_chordal_strategy");
-    println!("\n[E11] Theorem-5-guided coalescing on chordal instances (weight removed / total)");
-    let mut instances = Vec::new();
-    for seed in 0..4u64 {
-        let mut rng = coalesce_gen::rng(110 + seed);
-        let (g, _) = random_interval_graph(16, 24, 4, &mut rng);
-        let omega = chordal::chordal_clique_number(&g).unwrap_or(1).max(1);
-        let k = omega;
-        let live: Vec<VertexId> = g.vertices().collect();
-        let mut affinities = Vec::new();
-        for (i, &a) in live.iter().enumerate() {
-            for &b in &live[i + 1..] {
-                if !g.has_edge(a, b) && affinities.len() < 10 {
-                    affinities.push(Affinity::weighted(a, b, 1 + (a.index() as u64 % 3)));
-                }
-            }
-        }
-        let ag = AffinityGraph::new(g, affinities);
-        let total = ag.total_weight();
-        let witness = chordal_conservative_coalesce(&ag, k, ChordalMode::MergeWitnessClass).unwrap();
-        let fill = chordal_conservative_coalesce(&ag, k, ChordalMode::FillIn).unwrap();
-        let briggs = conservative_coalesce(&ag, k, ConservativeRule::Briggs);
-        let brute = conservative_coalesce(&ag, k, ConservativeRule::BruteForce);
-        println!(
-            "  seed {seed} (k = ω = {k}): witness {}/{total} (artificial {}), fill-in {}/{total} (fills {}), briggs {}/{total}, brute {}/{total}",
-            witness.stats.coalesced_weight,
-            witness.artificial_merges,
-            fill.stats.coalesced_weight,
-            fill.fill_edges_added,
-            briggs.stats.coalesced_weight,
-            brute.stats.coalesced_weight,
-        );
-        instances.push((ag, k));
-    }
-    let (ag, k) = instances.swap_remove(0);
     group.bench_function("theorem5_witness", |b| {
         b.iter(|| chordal_conservative_coalesce(&ag, k, ChordalMode::MergeWitnessClass))
     });
@@ -472,55 +207,37 @@ fn e11_chordal_strategy(c: &mut Criterion) {
     group.finish();
 }
 
-/// E12 — §1 motivation: the splitting / coalescing interplay.  Splitting at
-/// block boundaries inflates the number of moves; the strategies then try
-/// to remove them again at a fixed register count.
+/// E12 — §1 motivation: the splitting / coalescing interplay.
 fn e12_splitting(c: &mut Criterion) {
-    use coalesce_ir::splitting::split_at_block_boundaries;
-
-    let mut group = c.benchmark_group("e12_splitting");
-    println!("\n[E12] live-range splitting then coalescing (moves removed / moves added)");
-    let params = ProgramParams {
-        diamonds: 4,
-        ops_per_block: 3,
-        pressure: 5,
-        phis_per_join: 2,
-    };
+    print_report(ExperimentId::E12);
+    let (ag, _, _) = allocators::e12_instance(120);
     let k = 6;
-    for seed in 0..3u64 {
-        let mut rng = coalesce_gen::rng(120 + seed);
-        let mut f = random_ssa_program(&params, &mut rng);
-        let before_affinities = {
-            let live = Liveness::compute(&f);
-            let ig = InterferenceGraph::build(&f, &live);
-            AffinityGraph::from_interference(&ig).num_affinities()
-        };
-        let stats = split_at_block_boundaries(&mut f);
-        let live = Liveness::compute(&f);
-        let ig = InterferenceGraph::build(&f, &live);
-        let ag = AffinityGraph::from_interference(&ig);
-        let briggs_george = conservative_coalesce(&ag, k, ConservativeRule::BriggsGeorge);
-        let extended = conservative_coalesce(&ag, k, ConservativeRule::ExtendedGeorge);
-        let optimistic = optimistic_coalesce(&ag, k);
-        println!(
-            "  seed {seed}: affinities {before_affinities} -> {} (+{} split copies); removed: briggs+george {}, extended-george {}, optimistic {}",
-            ag.num_affinities(),
-            stats.copies_inserted,
-            briggs_george.stats.coalesced,
-            extended.stats.coalesced,
-            optimistic.stats.coalesced,
-        );
-    }
-    let mut rng = coalesce_gen::rng(120);
-    let mut f = random_ssa_program(&params, &mut rng);
-    split_at_block_boundaries(&mut f);
-    let live = Liveness::compute(&f);
-    let ig = InterferenceGraph::build(&f, &live);
-    let ag = AffinityGraph::from_interference(&ig);
+    let mut group = c.benchmark_group("e12_splitting");
     group.bench_function("split_then_briggs_george", |b| {
         b.iter(|| conservative_coalesce(&ag, k, ConservativeRule::BriggsGeorge))
     });
-    group.bench_function("split_then_optimistic", |b| b.iter(|| optimistic_coalesce(&ag, k)));
+    group.bench_function("split_then_optimistic", |b| {
+        b.iter(|| optimistic_coalesce(&ag, k))
+    });
+    group.finish();
+}
+
+/// Throughput of the core strategies on one fixed mid-size instance (used
+/// for regression tracking rather than a paper artifact).
+fn core_throughput(c: &mut Criterion) {
+    let inst = strategies::e8_instance(99);
+    let k = inst.registers.max(inst.maxlive);
+    let ag = inst.affinity_graph;
+    let mut group = c.benchmark_group("core_throughput");
+    group.bench_function("aggressive_heuristic", |b| {
+        b.iter(|| aggressive_heuristic(&ag))
+    });
+    group.bench_function("conservative_briggs", |b| {
+        b.iter(|| conservative_coalesce(&ag, k, ConservativeRule::Briggs))
+    });
+    group.bench_function("irc_allocate", |b| {
+        b.iter(|| coalesce_core::irc::allocate(&ag, k))
+    });
     group.finish();
 }
 

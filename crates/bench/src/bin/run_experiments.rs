@@ -1,0 +1,155 @@
+//! `run-experiments` — deterministic CLI driver for the E1–E12 experiments.
+//!
+//! ```text
+//! run-experiments --experiment e1 --seed 0 --json out.json
+//! run-experiments --experiment all --json all.json
+//! run-experiments --list
+//! ```
+//!
+//! The JSON output is byte-identical across runs for a fixed experiment
+//! and seed, so the files can be diffed and archived as `BENCH_*.json`
+//! perf-trajectory artifacts.
+
+use coalesce_bench::experiments::UnknownExperiment;
+use coalesce_bench::{run_experiment, ExperimentId, Json};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+run-experiments: run the E1-E12 coalescing experiments deterministically
+
+USAGE:
+    run-experiments [OPTIONS]
+
+OPTIONS:
+    --experiment <ID>   Experiment to run: e1..e12, or `all` (default: all)
+    --seed <N>          Base seed offsetting every internal seed (default: 0)
+    --json <PATH>       Write the JSON report to PATH (`-` for stdout)
+    --quiet             Suppress the human-readable tables on stdout
+    --list              List experiment ids and titles, then exit
+    --help              Show this help
+";
+
+struct Options {
+    experiments: Vec<ExperimentId>,
+    seed: u64,
+    json_path: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut experiments: Option<Vec<ExperimentId>> = None;
+    let mut seed = 0u64;
+    let mut json_path = None;
+    let mut quiet = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                for id in ExperimentId::ALL {
+                    println!("{:<4} {}", id.as_str(), id.title());
+                }
+                return Ok(None);
+            }
+            "--experiment" | "-e" => {
+                let value = value_for("--experiment")?;
+                let list = experiments.get_or_insert_with(Vec::new);
+                if value.eq_ignore_ascii_case("all") {
+                    list.extend(ExperimentId::ALL);
+                } else {
+                    list.push(
+                        value
+                            .parse()
+                            .map_err(|e: UnknownExperiment| e.to_string())?,
+                    );
+                }
+            }
+            "--seed" | "-s" => {
+                let value = value_for("--seed")?;
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("--seed expects an unsigned integer, got `{value}`"))?;
+            }
+            "--json" | "-j" => json_path = Some(value_for("--json")?),
+            "--quiet" | "-q" => quiet = true,
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    // Dedupe while preserving first-occurrence order, so mixes of `all`
+    // and explicit ids never run an experiment twice.
+    let mut seen = std::collections::BTreeSet::new();
+    let experiments: Vec<ExperimentId> = experiments
+        .unwrap_or_else(|| ExperimentId::ALL.to_vec())
+        .into_iter()
+        .filter(|&id| seen.insert(id))
+        .collect();
+
+    Ok(Some(Options {
+        experiments,
+        seed,
+        json_path,
+        quiet,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let reports: Vec<_> = options
+        .experiments
+        .iter()
+        .map(|&id| run_experiment(id, options.seed))
+        .collect();
+
+    if !options.quiet {
+        for report in &reports {
+            print!("{}", report.render_text());
+        }
+    }
+
+    let json = if reports.len() == 1 {
+        reports[0].to_json()
+    } else {
+        Json::object([
+            ("base_seed", Json::from(options.seed)),
+            (
+                "experiments",
+                Json::Array(reports.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    };
+
+    match options.json_path.as_deref() {
+        Some("-") => print!("{}", json.to_pretty_string()),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json.to_pretty_string()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !options.quiet {
+                println!("wrote {path}");
+            }
+        }
+        None => {}
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,195 @@
+//! E10, E12 — the end-to-end allocator comparison and the live-range
+//! splitting / coalescing interplay.
+
+use crate::json::Json;
+use crate::report::ExperimentReport;
+use crate::ExperimentId;
+use coalesce_alloc::pipeline::{compare_allocators, AllocationReport};
+use coalesce_core::affinity::AffinityGraph;
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::optimistic::optimistic_coalesce;
+use coalesce_gen::programs::{random_ssa_program, ProgramParams};
+use coalesce_ir::interference::InterferenceGraph;
+use coalesce_ir::liveness::Liveness;
+use coalesce_ir::splitting::split_at_block_boundaries;
+use coalesce_ir::Function;
+
+// ---------------------------------------------------------------------------
+// E10 — end-to-end allocator comparison.
+// ---------------------------------------------------------------------------
+
+/// The program shape E10 and E12 allocate.
+pub fn e10_params() -> ProgramParams {
+    ProgramParams {
+        diamonds: 4,
+        ops_per_block: 4,
+        pressure: 6,
+        phis_per_join: 2,
+    }
+}
+
+/// Generates the E10 input program for one seed.
+pub fn e10_program(seed: u64) -> Function {
+    random_ssa_program(&e10_params(), &mut coalesce_gen::rng(seed))
+}
+
+/// One E10 configuration run (seed, register count, per-allocator reports).
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Seed of the generated program.
+    pub seed: u64,
+    /// Register count of the run.
+    pub k: usize,
+    /// One report per allocator configuration.
+    pub reports: Vec<AllocationReport>,
+}
+
+/// Computes one E10 row by running every allocator configuration.
+pub fn e10_row(seed: u64, k: usize) -> E10Row {
+    let f = e10_program(seed);
+    E10Row {
+        seed,
+        k,
+        reports: compare_allocators(&f, k),
+    }
+}
+
+fn allocation_report_json(r: &AllocationReport) -> Json {
+    Json::object([
+        ("allocator", Json::from(r.kind.name())),
+        ("valid", Json::from(r.valid)),
+        ("spilled_values", Json::from(r.spilled_values)),
+        ("reloads_inserted", Json::from(r.reloads_inserted)),
+        ("total_moves", Json::from(r.moves.total_moves)),
+        ("eliminated_moves", Json::from(r.moves.eliminated_moves)),
+        ("total_weight", Json::from(r.moves.total_weight)),
+        ("eliminated_weight", Json::from(r.moves.eliminated_weight)),
+        ("registers_used", Json::from(r.registers_used)),
+    ])
+}
+
+/// Runs E10 and packages the report.
+pub fn e10_report(base_seed: u64) -> ExperimentReport {
+    let rows: Vec<E10Row> = [(21u64, 4usize), (22, 6)]
+        .iter()
+        .map(|&(seed, k)| e10_row(base_seed + seed, k))
+        .collect();
+    let all_valid = rows.iter().all(|row| row.reports.iter().all(|r| r.valid));
+    ExperimentReport {
+        id: ExperimentId::E10,
+        title: ExperimentId::E10.title(),
+        base_seed,
+        rows: rows
+            .iter()
+            .map(|row| {
+                Json::object([
+                    ("seed", Json::from(row.seed)),
+                    ("k", Json::from(row.k)),
+                    (
+                        "allocators",
+                        Json::Array(row.reports.iter().map(allocation_report_json).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+        summary: vec![("all_assignments_valid".into(), Json::from(all_valid))],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E12 — live-range splitting then coalescing.
+// ---------------------------------------------------------------------------
+
+/// The program shape E12 splits.
+pub fn e12_params() -> ProgramParams {
+    ProgramParams {
+        diamonds: 4,
+        ops_per_block: 3,
+        pressure: 5,
+        phis_per_join: 2,
+    }
+}
+
+/// Builds the E12 affinity graph for one seed: generate, split at block
+/// boundaries, extract interference + affinities.  Returns the graph, the
+/// affinity count before splitting and the number of split copies added.
+pub fn e12_instance(seed: u64) -> (AffinityGraph, usize, usize) {
+    let mut rng = coalesce_gen::rng(seed);
+    let mut f = random_ssa_program(&e12_params(), &mut rng);
+    let before_affinities = {
+        let live = Liveness::compute(&f);
+        let ig = InterferenceGraph::build(&f, &live);
+        AffinityGraph::from_interference(&ig).num_affinities()
+    };
+    let stats = split_at_block_boundaries(&mut f);
+    let live = Liveness::compute(&f);
+    let ig = InterferenceGraph::build(&f, &live);
+    (
+        AffinityGraph::from_interference(&ig),
+        before_affinities,
+        stats.copies_inserted,
+    )
+}
+
+/// One E12 table row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct E12Row {
+    /// Seed of the generated program.
+    pub seed: u64,
+    /// Affinities before splitting.
+    pub affinities_before: usize,
+    /// Affinities after splitting at block boundaries.
+    pub affinities_after: usize,
+    /// Split copies inserted.
+    pub split_copies: usize,
+    /// Moves removed by Briggs+George.
+    pub briggs_george: usize,
+    /// Moves removed by extended George.
+    pub extended_george: usize,
+    /// Moves removed by optimistic coalescing.
+    pub optimistic: usize,
+}
+
+/// Computes one E12 row at `k = 6` registers.
+pub fn e12_row(seed: u64) -> E12Row {
+    let k = 6;
+    let (ag, before, copies) = e12_instance(seed);
+    let briggs_george = conservative_coalesce(&ag, k, ConservativeRule::BriggsGeorge);
+    let extended = conservative_coalesce(&ag, k, ConservativeRule::ExtendedGeorge);
+    let optimistic = optimistic_coalesce(&ag, k);
+    E12Row {
+        seed,
+        affinities_before: before,
+        affinities_after: ag.num_affinities(),
+        split_copies: copies,
+        briggs_george: briggs_george.stats.coalesced,
+        extended_george: extended.stats.coalesced,
+        optimistic: optimistic.stats.coalesced,
+    }
+}
+
+/// Runs E12 and packages the report.
+pub fn e12_report(base_seed: u64) -> ExperimentReport {
+    let rows: Vec<E12Row> = (0..3u64).map(|s| e12_row(base_seed + 120 + s)).collect();
+    let total_copies: usize = rows.iter().map(|r| r.split_copies).sum();
+    ExperimentReport {
+        id: ExperimentId::E12,
+        title: ExperimentId::E12.title(),
+        base_seed,
+        rows: rows
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("seed", Json::from(r.seed)),
+                    ("affinities_before", Json::from(r.affinities_before)),
+                    ("affinities_after", Json::from(r.affinities_after)),
+                    ("split_copies", Json::from(r.split_copies)),
+                    ("briggs_george", Json::from(r.briggs_george)),
+                    ("extended_george", Json::from(r.extended_george)),
+                    ("optimistic", Json::from(r.optimistic)),
+                ])
+            })
+            .collect(),
+        summary: vec![("total_split_copies".into(), Json::from(total_copies))],
+    }
+}

@@ -1,0 +1,287 @@
+//! E3, E8, E11 — the coalescing-strategy comparisons: local rules on
+//! permutation gadgets, challenge-style tables, and the Theorem-5-guided
+//! chordal strategy.
+
+use crate::json::Json;
+use crate::report::ExperimentReport;
+use crate::ExperimentId;
+use coalesce_core::affinity::{Affinity, AffinityGraph};
+use coalesce_core::aggressive_heuristic;
+use coalesce_core::chordal_strategy::{chordal_conservative_coalesce, ChordalMode};
+use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
+use coalesce_core::optimistic::optimistic_coalesce;
+use coalesce_gen::challenge::{challenge_instance, ChallengeInstance, ChallengeParams};
+use coalesce_gen::graphs::random_interval_graph;
+use coalesce_gen::permutation::permutation_instance;
+use coalesce_graph::{chordal, greedy, VertexId};
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 3: local rules vs simultaneous coalescing on permutations.
+// ---------------------------------------------------------------------------
+
+/// One E3 table row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct E3Row {
+    /// Size of the permutation gadget.
+    pub n: usize,
+    /// Register count (`n + 2`).
+    pub k: usize,
+    /// Moves coalesced by the Briggs rule.
+    pub briggs: usize,
+    /// Moves coalesced by the George rule.
+    pub george: usize,
+    /// Moves coalesced by the brute-force local rule.
+    pub brute: usize,
+    /// Moves coalesced when merging all affinities simultaneously (the
+    /// full permutation if the merged graph stays colorable, else 0).
+    pub simultaneous: usize,
+}
+
+/// Builds the E3 permutation gadget for size `n`.
+pub fn e3_instance(n: usize) -> AffinityGraph {
+    permutation_instance(n, 2)
+}
+
+/// Computes one E3 row.
+pub fn e3_row(n: usize) -> E3Row {
+    let k = n + 2;
+    let ag = e3_instance(n);
+    let briggs = conservative_coalesce(&ag, k, ConservativeRule::Briggs);
+    let george = conservative_coalesce(&ag, k, ConservativeRule::George);
+    let brute = conservative_coalesce(&ag, k, ConservativeRule::BruteForce);
+    let all = aggressive_heuristic(&ag);
+    let simultaneous_ok = greedy::is_greedy_k_colorable(&all.coalescing.merged_graph, k)
+        && all.stats.uncoalesced() == 0;
+    E3Row {
+        n,
+        k,
+        briggs: briggs.stats.coalesced,
+        george: george.stats.coalesced,
+        brute: brute.stats.coalesced,
+        simultaneous: if simultaneous_ok { n } else { 0 },
+    }
+}
+
+/// Runs E3 and packages the report (the gadgets are seed-independent).
+pub fn e3_report(base_seed: u64) -> ExperimentReport {
+    let rows: Vec<E3Row> = [3usize, 4, 6].iter().map(|&n| e3_row(n)).collect();
+    let local_beaten = rows
+        .iter()
+        .filter(|r| r.simultaneous > r.briggs.max(r.george).max(r.brute))
+        .count();
+    ExperimentReport {
+        id: ExperimentId::E3,
+        title: ExperimentId::E3.title(),
+        base_seed,
+        rows: rows
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("n", Json::from(r.n)),
+                    ("k", Json::from(r.k)),
+                    ("briggs", Json::from(r.briggs)),
+                    ("george", Json::from(r.george)),
+                    ("brute", Json::from(r.brute)),
+                    ("simultaneous", Json::from(r.simultaneous)),
+                ])
+            })
+            .collect(),
+        summary: vec![(
+            "gadgets_where_simultaneous_beats_local_rules".into(),
+            Json::from(local_beaten),
+        )],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8 — the coalescing-challenge-style strategy comparison.
+// ---------------------------------------------------------------------------
+
+/// One E8 table row: percentage of affinity weight coalesced per strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E8Row {
+    /// Seed of the generated challenge instance.
+    pub seed: u64,
+    /// Number of affinities of the instance.
+    pub affinities: usize,
+    /// % weight coalesced by aggressive coalescing.
+    pub aggressive_pct: f64,
+    /// % weight coalesced by the Briggs rule.
+    pub briggs_pct: f64,
+    /// % weight coalesced by Briggs+George.
+    pub briggs_george_pct: f64,
+    /// % weight coalesced by the brute-force rule.
+    pub brute_pct: f64,
+    /// % weight coalesced by optimistic coalescing.
+    pub optimistic_pct: f64,
+    /// Spills of the full IRC allocation.
+    pub irc_spills: usize,
+}
+
+/// Builds the E8 challenge instance for one seed.
+pub fn e8_instance(seed: u64) -> ChallengeInstance {
+    let mut rng = coalesce_gen::rng(seed);
+    challenge_instance(&ChallengeParams::default(), &mut rng)
+}
+
+/// Computes one E8 row.
+pub fn e8_row(seed: u64) -> E8Row {
+    let inst = e8_instance(seed);
+    let ag = &inst.affinity_graph;
+    let k = inst.registers.max(inst.maxlive);
+    let pct = |w: u64| {
+        if ag.total_weight() == 0 {
+            100.0
+        } else {
+            100.0 * w as f64 / ag.total_weight() as f64
+        }
+    };
+    let aggr = aggressive_heuristic(ag);
+    let briggs = conservative_coalesce(ag, k, ConservativeRule::Briggs);
+    let bg = conservative_coalesce(ag, k, ConservativeRule::BriggsGeorge);
+    let brute = conservative_coalesce(ag, k, ConservativeRule::BruteForce);
+    let optim = optimistic_coalesce(ag, k);
+    let alloc = coalesce_core::irc::allocate(ag, inst.registers);
+    E8Row {
+        seed,
+        affinities: ag.num_affinities(),
+        aggressive_pct: pct(aggr.stats.coalesced_weight),
+        briggs_pct: pct(briggs.stats.coalesced_weight),
+        briggs_george_pct: pct(bg.stats.coalesced_weight),
+        brute_pct: pct(brute.stats.coalesced_weight),
+        optimistic_pct: pct(optim.stats.coalesced_weight),
+        irc_spills: alloc.num_spills(),
+    }
+}
+
+/// Runs E8 and packages the report.
+pub fn e8_report(base_seed: u64) -> ExperimentReport {
+    let rows: Vec<E8Row> = (0..6u64).map(|s| e8_row(base_seed + 80 + s)).collect();
+    let total_spills: usize = rows.iter().map(|r| r.irc_spills).sum();
+    ExperimentReport {
+        id: ExperimentId::E8,
+        title: ExperimentId::E8.title(),
+        base_seed,
+        rows: rows
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("seed", Json::from(r.seed)),
+                    ("affinities", Json::from(r.affinities)),
+                    ("aggressive_pct", Json::from(r.aggressive_pct)),
+                    ("briggs_pct", Json::from(r.briggs_pct)),
+                    ("briggs_george_pct", Json::from(r.briggs_george_pct)),
+                    ("brute_pct", Json::from(r.brute_pct)),
+                    ("optimistic_pct", Json::from(r.optimistic_pct)),
+                    ("irc_spills", Json::from(r.irc_spills)),
+                ])
+            })
+            .collect(),
+        summary: vec![
+            ("instances".into(), Json::from(rows.len())),
+            ("total_irc_spills".into(), Json::from(total_spills)),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E11 — the Theorem-5-guided chordal strategy against the local rules.
+// ---------------------------------------------------------------------------
+
+/// One E11 table row: weight removed by each strategy on one chordal
+/// instance with `k = ω`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct E11Row {
+    /// Seed of the generated instance.
+    pub seed: u64,
+    /// Register count (equals the clique number ω).
+    pub k: usize,
+    /// Total affinity weight of the instance.
+    pub total_weight: u64,
+    /// Weight removed by the witness-class chordal mode.
+    pub witness_weight: u64,
+    /// Artificial merges the witness mode performed.
+    pub witness_artificial: usize,
+    /// Weight removed by the fill-in chordal mode.
+    pub fillin_weight: u64,
+    /// Fill edges the fill-in mode added.
+    pub fillin_edges: usize,
+    /// Weight removed by the Briggs rule.
+    pub briggs_weight: u64,
+    /// Weight removed by the brute-force rule.
+    pub brute_weight: u64,
+}
+
+/// Builds the E11 chordal instance for one seed: a random interval graph
+/// with up to 10 weighted affinities between non-adjacent pairs, `k = ω`.
+pub fn e11_instance(seed: u64) -> (AffinityGraph, usize) {
+    let mut rng = coalesce_gen::rng(seed);
+    let (g, _) = random_interval_graph(16, 24, 4, &mut rng);
+    let k = chordal::chordal_clique_number(&g).unwrap_or(1).max(1);
+    let live: Vec<VertexId> = g.vertices().collect();
+    let mut affinities = Vec::new();
+    for (i, &a) in live.iter().enumerate() {
+        for &b in &live[i + 1..] {
+            if !g.has_edge(a, b) && affinities.len() < 10 {
+                affinities.push(Affinity::weighted(a, b, 1 + (a.index() as u64 % 3)));
+            }
+        }
+    }
+    (AffinityGraph::new(g, affinities), k)
+}
+
+/// Computes one E11 row.
+pub fn e11_row(seed: u64) -> E11Row {
+    let (ag, k) = e11_instance(seed);
+    let witness = chordal_conservative_coalesce(&ag, k, ChordalMode::MergeWitnessClass)
+        .expect("chordal instance within hypotheses");
+    let fill = chordal_conservative_coalesce(&ag, k, ChordalMode::FillIn)
+        .expect("chordal instance within hypotheses");
+    let briggs = conservative_coalesce(&ag, k, ConservativeRule::Briggs);
+    let brute = conservative_coalesce(&ag, k, ConservativeRule::BruteForce);
+    E11Row {
+        seed,
+        k,
+        total_weight: ag.total_weight(),
+        witness_weight: witness.stats.coalesced_weight,
+        witness_artificial: witness.artificial_merges,
+        fillin_weight: fill.stats.coalesced_weight,
+        fillin_edges: fill.fill_edges_added,
+        briggs_weight: briggs.stats.coalesced_weight,
+        brute_weight: brute.stats.coalesced_weight,
+    }
+}
+
+/// Runs E11 and packages the report.
+pub fn e11_report(base_seed: u64) -> ExperimentReport {
+    let rows: Vec<E11Row> = (0..4u64).map(|s| e11_row(base_seed + 110 + s)).collect();
+    let witness_at_least_briggs = rows
+        .iter()
+        .filter(|r| r.witness_weight >= r.briggs_weight)
+        .count();
+    ExperimentReport {
+        id: ExperimentId::E11,
+        title: ExperimentId::E11.title(),
+        base_seed,
+        rows: rows
+            .iter()
+            .map(|r| {
+                Json::object([
+                    ("seed", Json::from(r.seed)),
+                    ("k", Json::from(r.k)),
+                    ("total_weight", Json::from(r.total_weight)),
+                    ("witness_weight", Json::from(r.witness_weight)),
+                    ("witness_artificial", Json::from(r.witness_artificial)),
+                    ("fillin_weight", Json::from(r.fillin_weight)),
+                    ("fillin_edges", Json::from(r.fillin_edges)),
+                    ("briggs_weight", Json::from(r.briggs_weight)),
+                    ("brute_weight", Json::from(r.brute_weight)),
+                ])
+            })
+            .collect(),
+        summary: vec![(
+            "instances_where_witness_mode_matches_briggs".into(),
+            Json::from(witness_at_least_briggs),
+        )],
+    }
+}

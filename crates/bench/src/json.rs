@@ -1,0 +1,230 @@
+//! Minimal, dependency-free JSON values with deterministic serialization.
+//!
+//! The experiment reports must serialize identically across runs (the CLI's
+//! output is diffed byte-for-byte in CI and by the perf-trajectory tooling),
+//! so objects preserve insertion order — no hash-map iteration order leaks
+//! into the output — and floats use Rust's shortest-roundtrip formatting.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (serialized without a fractional part).
+    Int(i64),
+    /// An unsigned integer (serialized without a fractional part).
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array of values.
+    Array(Vec<Json>),
+    /// An object; pairs keep insertion order for deterministic output.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(values: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(values.into_iter().collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline, the
+    /// format the CLI writes to `--json` files.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let text = format!("{x}");
+                    out.push_str(&text);
+                    // Keep the value a JSON number and round-trippable as a
+                    // float: `1.0f64` formats as "1".
+                    if !text.contains('.') && !text.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; encode as null like serde_json.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_sequence(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                })
+            }
+            Json::Object(pairs) => {
+                write_sequence(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                    let (key, value) = &pairs[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact_string())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_is_deterministic_and_ordered() {
+        let value = Json::object([
+            ("b", Json::from(1usize)),
+            ("a", Json::array([Json::from(true), Json::Null])),
+            ("pct", Json::from(12.5)),
+            ("whole", Json::from(3.0)),
+        ]);
+        assert_eq!(
+            value.to_compact_string(),
+            r#"{"b":1,"a":[true,null],"pct":12.5,"whole":3.0}"#
+        );
+        assert_eq!(value.to_compact_string(), value.clone().to_compact_string());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd").to_compact_string(),
+            r#""a\"b\\c\nd""#
+        );
+    }
+
+    #[test]
+    fn pretty_output_ends_with_newline() {
+        let value = Json::object([("x", Json::from(1usize))]);
+        let text = value.to_pretty_string();
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("  \"x\": 1"));
+    }
+}

@@ -1,1 +1,27 @@
-//! Benchmark-only crate. All content lives in `benches/`.
+//! Reusable experiment library for the CGO'07 register-coalescing
+//! reproduction.
+//!
+//! The E1–E12 experiments (instance generation, exact-vs-heuristic
+//! comparison, gap and table computation) live here as ordinary library
+//! functions returning structured [`report::ExperimentReport`]s, so that
+//! three consumers share one implementation:
+//!
+//! * the `run-experiments` CLI binary, which runs any experiment
+//!   deterministically and serializes the report as JSON;
+//! * the Criterion bench (`benches/experiments.rs`), reduced to a thin
+//!   timing wrapper around the instance builders exposed here;
+//! * tests, which pin the paper's equivalences (e.g. E1's *min multiway
+//!   cut = optimal aggressive uncoalesced count*) on fixed seeds.
+//!
+//! Everything is seed-deterministic: the same experiment id and base seed
+//! produce byte-identical JSON on every run.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod json;
+pub mod report;
+
+pub use experiments::{run_experiment, ExperimentId};
+pub use json::Json;
+pub use report::ExperimentReport;

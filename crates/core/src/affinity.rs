@@ -91,7 +91,12 @@ impl AffinityGraph {
     /// most heuristics: expensive moves first).
     pub fn affinities_by_weight(&self) -> Vec<Affinity> {
         let mut sorted = self.affinities.clone();
-        sorted.sort_by(|x, y| y.weight.cmp(&x.weight).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b)));
+        sorted.sort_by(|x, y| {
+            y.weight
+                .cmp(&x.weight)
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
         sorted
     }
 }

@@ -47,15 +47,9 @@ pub fn aggressive_exact(ag: &AffinityGraph) -> AggressiveResult {
     let affinities = ag.affinities_by_weight();
     let mut best: Option<(u64, Coalescing)> = None;
     let initial = Coalescing::identity(&ag.graph);
-    // Suffix sums of weights for pruning.
-    let mut suffix = vec![0u64; affinities.len() + 1];
-    for i in (0..affinities.len()).rev() {
-        suffix[i] = suffix[i + 1] + affinities[i].weight;
-    }
 
     fn search(
         affinities: &[Affinity],
-        suffix: &[u64],
         index: usize,
         current: &Coalescing,
         lost: u64,
@@ -67,7 +61,7 @@ pub fn aggressive_exact(ag: &AffinityGraph) -> AggressiveResult {
             }
         }
         if index == affinities.len() {
-            let better = best.as_ref().map_or(true, |(b, _)| lost < *b);
+            let better = best.as_ref().is_none_or(|(b, _)| lost < *b);
             if better {
                 *best = Some((lost, current.clone()));
             }
@@ -78,17 +72,17 @@ pub fn aggressive_exact(ag: &AffinityGraph) -> AggressiveResult {
         // Branch 1: coalesce this affinity if possible (no extra cost).
         if cur.can_merge(aff.a, aff.b) {
             cur.merge(aff.a, aff.b);
-            search(affinities, suffix, index + 1, &cur, lost, best);
+            search(affinities, index + 1, &cur, lost, best);
         } else if cur.same_class(aff.a, aff.b) {
             // Already coalesced by transitivity: no cost, no choice.
-            search(affinities, suffix, index + 1, current, lost, best);
+            search(affinities, index + 1, current, lost, best);
             return;
         }
         // Branch 2: give this affinity up.
-        search(affinities, suffix, index + 1, current, lost + aff.weight, best);
+        search(affinities, index + 1, current, lost + aff.weight, best);
     }
 
-    search(&affinities, &suffix, 0, &initial, 0, &mut best);
+    search(&affinities, 0, &initial, 0, &mut best);
     let (_, mut coalescing) = best.expect("search always yields a solution");
     let stats = coalescing.stats(&ag.affinities);
     AggressiveResult { coalescing, stats }

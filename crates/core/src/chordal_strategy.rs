@@ -234,10 +234,7 @@ mod tests {
     /// The P5 scenario from the Theorem 5 discussion: x—p—q—r—y with the
     /// affinity (x, y) and k = 2.
     fn p5_instance() -> AffinityGraph {
-        let g = Graph::with_edges(
-            5,
-            [(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(4))],
-        );
+        let g = Graph::with_edges(5, [(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(4))]);
         AffinityGraph::new(g, vec![Affinity::new(v(0), v(4))])
     }
 
@@ -343,8 +340,7 @@ mod tests {
     fn empty_affinity_list_is_a_no_op() {
         let g = Graph::with_edges(3, [(v(0), v(1))]);
         let ag = AffinityGraph::new(g, vec![]);
-        let result =
-            chordal_conservative_coalesce(&ag, 2, ChordalMode::MergeWitnessClass).unwrap();
+        let result = chordal_conservative_coalesce(&ag, 2, ChordalMode::MergeWitnessClass).unwrap();
         assert_eq!(result.stats.coalesced, 0);
         assert_eq!(result.artificial_merges, 0);
         assert_eq!(result.fill_edges_added, 0);

@@ -133,7 +133,11 @@ pub fn brute_force_test(graph: &Graph, k: usize, a: VertexId, b: VertexId) -> bo
 /// §4: a Chaitin-like allocator after enough spilling, or a two-phase
 /// allocator after the spilling phase); the result then remains
 /// greedy-`k`-colorable for every rule.
-pub fn conservative_coalesce(ag: &AffinityGraph, k: usize, rule: ConservativeRule) -> ConservativeResult {
+pub fn conservative_coalesce(
+    ag: &AffinityGraph,
+    k: usize,
+    rule: ConservativeRule,
+) -> ConservativeResult {
     let mut coalescing = Coalescing::identity(&ag.graph);
     // Keep looping over the affinities until a fixed point: a merge can make
     // a previously rejected merge acceptable.
@@ -180,7 +184,11 @@ pub fn conservative_coalesce(ag: &AffinityGraph, k: usize, rule: ConservativeRul
 /// `require_greedy` selects the target class: when `true` the merged graph
 /// must be greedy-`k`-colorable (the practically relevant variant), when
 /// `false` plain `k`-colorability is required (the paper's base problem).
-pub fn conservative_exact(ag: &AffinityGraph, k: usize, require_greedy: bool) -> ConservativeResult {
+pub fn conservative_exact(
+    ag: &AffinityGraph,
+    k: usize,
+    require_greedy: bool,
+) -> ConservativeResult {
     let affinities = ag.affinities_by_weight();
     let colorable = |graph: &Graph| -> bool {
         if require_greedy {
@@ -193,7 +201,6 @@ pub fn conservative_exact(ag: &AffinityGraph, k: usize, require_greedy: bool) ->
 
     fn search(
         affinities: &[Affinity],
-        k: usize,
         colorable: &dyn Fn(&Graph) -> bool,
         index: usize,
         current: &Coalescing,
@@ -215,14 +222,13 @@ pub fn conservative_exact(ag: &AffinityGraph, k: usize, require_greedy: bool) ->
         let mut cur = current.clone();
         if cur.can_merge(aff.a, aff.b) {
             cur.merge(aff.a, aff.b);
-            search(affinities, k, colorable, index + 1, &cur, lost, best);
+            search(affinities, colorable, index + 1, &cur, lost, best);
         } else if cur.same_class(aff.a, aff.b) {
-            search(affinities, k, colorable, index + 1, current, lost, best);
+            search(affinities, colorable, index + 1, current, lost, best);
             return;
         }
         search(
             affinities,
-            k,
             colorable,
             index + 1,
             current,
@@ -232,7 +238,7 @@ pub fn conservative_exact(ag: &AffinityGraph, k: usize, require_greedy: bool) ->
     }
 
     let identity = Coalescing::identity(&ag.graph);
-    search(&affinities, k, &colorable, 0, &identity, 0, &mut best);
+    search(&affinities, &colorable, 0, &identity, 0, &mut best);
     let (_, mut coalescing) = best.unwrap_or_else(|| (0, Coalescing::identity(&ag.graph)));
     let stats = coalescing.stats(&ag.affinities);
     ConservativeResult { coalescing, stats }
@@ -276,10 +282,7 @@ mod tests {
         // significant neighbor at k = 2: merging 0 into 1 is safe under
         // George (0's significant neighbors are all neighbors of 1), but the
         // opposite direction is rejected because 3 is not a neighbor of 0.
-        let g = Graph::with_edges(
-            4,
-            [(v(0), v(2)), (v(1), v(2)), (v(1), v(3)), (v(2), v(3))],
-        );
+        let g = Graph::with_edges(4, [(v(0), v(2)), (v(1), v(2)), (v(1), v(3)), (v(2), v(3))]);
         assert!(george_test(&g, 2, v(0), v(1)));
         assert!(!george_test(&g, 2, v(1), v(0)));
     }
@@ -322,7 +325,9 @@ mod tests {
         // Exhaustively check on all graphs over 5 vertices (up to 2^10 edge
         // subsets) that an extended-George-accepted merge never destroys
         // greedy-k-colorability.
-        let pairs: Vec<(usize, usize)> = (0..5).flat_map(|i| (i + 1..5).map(move |j| (i, j))).collect();
+        let pairs: Vec<(usize, usize)> = (0..5)
+            .flat_map(|i| (i + 1..5).map(move |j| (i, j)))
+            .collect();
         for mask in 0u32..(1 << pairs.len()) {
             let mut g = Graph::new(5);
             for (bit, &(i, j)) in pairs.iter().enumerate() {
@@ -382,7 +387,10 @@ mod tests {
         assert!(g.degree(n) >= k);
         assert!(!g.has_edge(n, b));
         assert!(!george_test(&g, k, a, b), "plain George should refuse");
-        assert!(extended_george_test(&g, k, a, b), "extended George should accept");
+        assert!(
+            extended_george_test(&g, k, a, b),
+            "extended George should accept"
+        );
         // And the merge is indeed safe.
         assert!(brute_force_test(&g, k, a, b));
     }
@@ -400,7 +408,10 @@ mod tests {
         let ag = permutation_gadget(4);
         let brute = conservative_coalesce(&ag, 4, ConservativeRule::BruteForce);
         assert_eq!(brute.stats.uncoalesced(), 0);
-        assert!(greedy::is_greedy_k_colorable(&brute.coalescing.merged_graph, 4));
+        assert!(greedy::is_greedy_k_colorable(
+            &brute.coalescing.merged_graph,
+            4
+        ));
     }
 
     #[test]
@@ -457,7 +468,10 @@ mod tests {
         // pass cannot (each single merge is rejected or unsafe).
         assert_eq!(exact.stats.uncoalesced(), 0);
         assert!(exact.stats.coalesced_weight >= briggs.stats.coalesced_weight);
-        assert!(greedy::is_greedy_k_colorable(&exact.coalescing.merged_graph, 3));
+        assert!(greedy::is_greedy_k_colorable(
+            &exact.coalescing.merged_graph,
+            3
+        ));
         assert_eq!(briggs.stats.coalesced, 0);
     }
 
@@ -486,7 +500,10 @@ mod tests {
     fn all_rules_respect_interference() {
         let mut g = Graph::new(3);
         g.add_edge(v(0), v(1));
-        let ag = AffinityGraph::new(g, vec![Affinity::new(v(1), v(2)), Affinity::new(v(0), v(2))]);
+        let ag = AffinityGraph::new(
+            g,
+            vec![Affinity::new(v(1), v(2)), Affinity::new(v(0), v(2))],
+        );
         for rule in [
             ConservativeRule::Briggs,
             ConservativeRule::George,

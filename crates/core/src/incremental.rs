@@ -370,10 +370,7 @@ mod tests {
 
     #[test]
     fn non_chordal_input_is_rejected() {
-        let c4 = Graph::with_edges(
-            4,
-            [(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(0))],
-        );
+        let c4 = Graph::with_edges(4, [(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(0))]);
         assert!(chordal_incremental(&c4, 3, v(0), v(2)).is_none());
     }
 

@@ -57,8 +57,7 @@ pub fn allocate(ag: &AffinityGraph, k: usize) -> IrcResult {
     let mut coalescing = Coalescing::identity(&ag.graph);
 
     // Move-related representative pairs (kept up to date lazily).
-    let moves: Vec<(VertexId, VertexId)> =
-        ag.affinities.iter().map(|a| (a.a, a.b)).collect();
+    let moves: Vec<(VertexId, VertexId)> = ag.affinities.iter().map(|a| (a.a, a.b)).collect();
 
     // The select stack of class representatives, plus whether they were
     // pushed as potential spills.
@@ -82,18 +81,14 @@ pub fn allocate(ag: &AffinityGraph, k: usize) -> IrcResult {
                 return false;
             }
             let (ra, rb) = (coalescing.class_of(a), coalescing.class_of(b));
-            ra != rb
-                && !removed.contains(&ra)
-                && !removed.contains(&rb)
-                && (ra == v || rb == v)
+            ra != rb && !removed.contains(&ra) && !removed.contains(&rb) && (ra == v || rb == v)
         })
     };
 
     loop {
         // --- simplify ---
         let simplifiable = work.vertices().find(|&v| {
-            work.degree(v) < k
-                && !is_move_related(&moves, &frozen, &mut coalescing, &removed, v)
+            work.degree(v) < k && !is_move_related(&moves, &frozen, &mut coalescing, &removed, v)
         });
         if let Some(v) = simplifiable {
             work.remove_vertex(v);
@@ -104,11 +99,10 @@ pub fn allocate(ag: &AffinityGraph, k: usize) -> IrcResult {
 
         // --- coalesce (Briggs, then George, both directions) ---
         let mut coalesced_something = false;
-        for i in 0..moves.len() {
+        for (i, &(a, b)) in moves.iter().enumerate() {
             if frozen.contains(&i) {
                 continue;
             }
-            let (a, b) = moves[i];
             let (ra, rb) = (coalescing.class_of(a), coalescing.class_of(b));
             if ra == rb || removed.contains(&ra) || removed.contains(&rb) {
                 continue;
@@ -134,12 +128,10 @@ pub fn allocate(ag: &AffinityGraph, k: usize) -> IrcResult {
 
         // --- freeze ---
         let freezable = work.vertices().find(|&v| {
-            work.degree(v) < k
-                && is_move_related(&moves, &frozen, &mut coalescing, &removed, v)
+            work.degree(v) < k && is_move_related(&moves, &frozen, &mut coalescing, &removed, v)
         });
         if let Some(v) = freezable {
-            for i in 0..moves.len() {
-                let (a, b) = moves[i];
+            for (i, &(a, b)) in moves.iter().enumerate() {
                 let (ra, rb) = (coalescing.class_of(a), coalescing.class_of(b));
                 if ra == v || rb == v {
                     frozen.insert(i);
@@ -149,9 +141,7 @@ pub fn allocate(ag: &AffinityGraph, k: usize) -> IrcResult {
         }
 
         // --- potential spill ---
-        let candidate = work
-            .vertices()
-            .max_by_key(|&v| (work.degree(v), v.index()));
+        let candidate = work.vertices().max_by_key(|&v| (work.degree(v), v.index()));
         match candidate {
             Some(v) => {
                 work.remove_vertex(v);

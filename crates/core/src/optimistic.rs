@@ -69,9 +69,7 @@ pub fn optimistic_coalesce(ag: &AffinityGraph, k: usize) -> OptimisticResult {
                 .iter()
                 .enumerate()
                 .filter(|(i, a)| {
-                    kept[*i]
-                        && immut.class_of(a.a) == rep
-                        && immut.class_of(a.b) == rep
+                    kept[*i] && immut.class_of(a.a) == rep && immut.class_of(a.b) == rep
                 })
                 .map(|(_, a)| a.weight)
                 .sum();
@@ -80,9 +78,7 @@ pub fn optimistic_coalesce(ag: &AffinityGraph, k: usize) -> OptimisticResult {
                 .iter()
                 .enumerate()
                 .filter(|(i, a)| {
-                    kept[*i]
-                        && immut.class_of(a.a) == rep
-                        && immut.class_of(a.b) == rep
+                    kept[*i] && immut.class_of(a.a) == rep && immut.class_of(a.b) == rep
                 })
                 .count();
             if count > 0 {
@@ -122,7 +118,12 @@ fn rebuild(ag: &AffinityGraph, kept: &[bool]) -> (Coalescing, usize) {
         .enumerate()
         .filter(|(i, _)| kept[*i])
         .collect();
-    order.sort_by(|(_, x), (_, y)| y.weight.cmp(&x.weight).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b)));
+    order.sort_by(|(_, x), (_, y)| {
+        y.weight
+            .cmp(&x.weight)
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
     let mut coalescing = Coalescing::identity(&ag.graph);
     let mut merged = 0;
     for (_, aff) in order {
@@ -256,7 +257,10 @@ mod tests {
         // k = 3: merging 0 and 1 yields a triangle, greedy-3-colorable.
         let res = optimistic_coalesce(&ag, 3);
         assert_eq!(res.stats.uncoalesced(), 0);
-        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, 3));
+        assert!(greedy::is_greedy_k_colorable(
+            &res.coalescing.merged_graph,
+            3
+        ));
     }
 
     #[test]
@@ -274,7 +278,10 @@ mod tests {
         let ag2 = AffinityGraph::new(g, vec![Affinity::new(v(0), v(1))]);
         assert!(greedy::is_greedy_k_colorable(&ag2.graph, 2));
         let res = optimistic_coalesce(&ag2, 2);
-        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, 2));
+        assert!(greedy::is_greedy_k_colorable(
+            &res.coalescing.merged_graph,
+            2
+        ));
         // Exact de-coalescing agrees with whatever the heuristic achieved or
         // does better.
         let (opt, _) = decoalesce_exact(&ag2, 2).unwrap();
@@ -344,7 +351,10 @@ mod tests {
         );
         assert!(greedy::is_greedy_k_colorable(&ag.graph, 3));
         let res = optimistic_coalesce(&ag, 3);
-        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, 3));
+        assert!(greedy::is_greedy_k_colorable(
+            &res.coalescing.merged_graph,
+            3
+        ));
     }
 
     #[test]

@@ -199,7 +199,11 @@ mod tests {
     fn mycielski_graphs_are_triangle_free_with_growing_chromatic_number() {
         for i in 2..=4 {
             let g = mycielski(i);
-            assert_eq!(cliques::clique_number(&g), 2.min(g.num_vertices()), "M_{i} has a triangle");
+            assert_eq!(
+                cliques::clique_number(&g),
+                2.min(g.num_vertices()),
+                "M_{i} has a triangle"
+            );
             assert_eq!(coloring::chromatic_number(&g), i, "χ(M_{i})");
         }
         // M_3 is the 5-cycle.

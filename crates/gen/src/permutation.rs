@@ -111,7 +111,10 @@ mod tests {
         // Simultaneous coalescing of the whole permutation.
         let all = coalesce_core::aggressive::aggressive_heuristic(&ag);
         assert_eq!(all.stats.uncoalesced(), 0);
-        assert!(greedy::is_greedy_k_colorable(&all.coalescing.merged_graph, k));
+        assert!(greedy::is_greedy_k_colorable(
+            &all.coalescing.merged_graph,
+            k
+        ));
     }
 
     #[test]

@@ -97,7 +97,10 @@ pub fn random_ssa_program(params: &ProgramParams, rng: &mut ChaCha8Rng) -> Funct
     }
     b.ret(current, &[]);
     let f = b.finish();
-    debug_assert!(coalesce_ir::ssa::is_strict(&f), "generator must emit strict SSA");
+    debug_assert!(
+        coalesce_ir::ssa::is_strict(&f),
+        "generator must emit strict SSA"
+    );
     f
 }
 

@@ -42,7 +42,11 @@ fn bron_kerbosch(
         .max_by_key(|&u| g.neighbors(u).filter(|v| p.contains(v)).count())
         .expect("P or X non-empty");
     let pivot_nbrs: BTreeSet<VertexId> = g.neighbors(pivot).collect();
-    let candidates: Vec<VertexId> = p.iter().copied().filter(|v| !pivot_nbrs.contains(v)).collect();
+    let candidates: Vec<VertexId> = p
+        .iter()
+        .copied()
+        .filter(|v| !pivot_nbrs.contains(v))
+        .collect();
     for v in candidates {
         let nbrs: BTreeSet<VertexId> = g.neighbors(v).collect();
         let mut r2 = r.clone();
@@ -136,7 +140,10 @@ mod tests {
         bk.sort();
         ch.sort();
         assert_eq!(bk, ch);
-        assert_eq!(clique_number(&g), chordal::chordal_clique_number(&g).unwrap());
+        assert_eq!(
+            clique_number(&g),
+            chordal::chordal_clique_number(&g).unwrap()
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl CliqueTree {
                     edges.push((w, i, j));
                 }
             }
-            edges.sort_by(|a, b| b.0.cmp(&a.0));
+            edges.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
             let mut dsu = DisjointSets::new(m);
             for (_w, i, j) in edges {
                 if dsu.union(i, j).is_some() {

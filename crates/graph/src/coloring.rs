@@ -109,7 +109,10 @@ impl Coloring {
 pub fn greedy_coloring_in_order(g: &Graph, order: &[VertexId]) -> Coloring {
     let mut coloring = Coloring::new(g.capacity());
     for &v in order {
-        let used: BTreeSet<usize> = g.neighbors(v).filter_map(|u| coloring.color_of(u)).collect();
+        let used: BTreeSet<usize> = g
+            .neighbors(v)
+            .filter_map(|u| coloring.color_of(u))
+            .collect();
         let mut c = 0;
         while used.contains(&c) {
             c += 1;

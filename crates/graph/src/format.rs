@@ -110,7 +110,9 @@ pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("p") => {
-                let kind = parts.next().ok_or_else(|| err(lineno, "missing problem kind"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing problem kind"))?;
                 if kind != "edge" && kind != "col" {
                     return Err(err(lineno, format!("unsupported problem kind `{kind}`")));
                 }
@@ -177,7 +179,9 @@ pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("p") => {
-                let kind = parts.next().ok_or_else(|| err(lineno, "missing problem kind"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing problem kind"))?;
                 if kind != "coalesce" {
                     return Err(err(lineno, format!("unsupported problem kind `{kind}`")));
                 }
@@ -270,7 +274,13 @@ mod tests {
     fn dimacs_round_trip_preserves_the_graph() {
         let g = Graph::with_edges(
             5,
-            [(v(0), v(1)), (v(1), v(2)), (v(2), v(3)), (v(3), v(4)), (v(0), v(4))],
+            [
+                (v(0), v(1)),
+                (v(1), v(2)),
+                (v(2), v(3)),
+                (v(3), v(4)),
+                (v(0), v(4)),
+            ],
         );
         let text = to_dimacs(&g);
         let parsed = from_dimacs(&text).expect("round trip parses");

@@ -268,10 +268,7 @@ impl Graph {
     ///
     /// Vertices in `keep` that are not live are ignored.
     pub fn induced_subgraph(&self, keep: &BTreeSet<VertexId>) -> (Graph, Vec<VertexId>) {
-        let originals: Vec<VertexId> = self
-            .vertices()
-            .filter(|v| keep.contains(v))
-            .collect();
+        let originals: Vec<VertexId> = self.vertices().filter(|v| keep.contains(v)).collect();
         let mut index_of = vec![usize::MAX; self.capacity()];
         for (i, &v) in originals.iter().enumerate() {
             index_of[v.index()] = i;
@@ -478,7 +475,10 @@ mod tests {
         let (sub, map) = g.induced_subgraph(&keep);
         assert_eq!(sub.num_vertices(), 3);
         assert_eq!(sub.num_edges(), 1); // only 0-1 survives
-        assert_eq!(map, vec![VertexId::new(0), VertexId::new(1), VertexId::new(3)]);
+        assert_eq!(
+            map,
+            vec![VertexId::new(0), VertexId::new(1), VertexId::new(3)]
+        );
     }
 
     #[test]
@@ -493,7 +493,11 @@ mod tests {
     fn clique_detection() {
         let g = Graph::with_edges(
             3,
-            [(0.into(), 1.into()), (1.into(), 2.into()), (0.into(), 2.into())],
+            [
+                (0.into(), 1.into()),
+                (1.into(), 2.into()),
+                (0.into(), 2.into()),
+            ],
         );
         assert!(g.is_clique(&[0.into(), 1.into(), 2.into()]));
         let h = path(3);

@@ -49,10 +49,7 @@ pub fn simplify(g: &Graph, k: usize) -> Simplification {
         degree[v.index()] = g.degree(v);
         present[v.index()] = true;
     }
-    let mut worklist: Vec<VertexId> = g
-        .vertices()
-        .filter(|v| degree[v.index()] < k)
-        .collect();
+    let mut worklist: Vec<VertexId> = g.vertices().filter(|v| degree[v.index()] < k).collect();
     let mut removed = Vec::new();
     let mut in_worklist = vec![false; cap];
     for v in &worklist {
@@ -269,7 +266,11 @@ mod tests {
         assert!(s.succeeded());
         assert_eq!(s.removed.len(), 4);
         // The center must be removed last or after enough leaves are gone.
-        let pos_center = s.removed.iter().position(|&v| v == VertexId::new(0)).unwrap();
+        let pos_center = s
+            .removed
+            .iter()
+            .position(|&v| v == VertexId::new(0))
+            .unwrap();
         assert!(pos_center >= 2);
     }
 

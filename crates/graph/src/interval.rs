@@ -43,7 +43,10 @@ impl IntervalModel {
     /// # Panics
     ///
     /// Panics if some `start > end` or a vertex appears twice.
-    pub fn new(capacity: usize, triples: impl IntoIterator<Item = (VertexId, usize, usize)>) -> Self {
+    pub fn new(
+        capacity: usize,
+        triples: impl IntoIterator<Item = (VertexId, usize, usize)>,
+    ) -> Self {
         let mut intervals = vec![None; capacity];
         for (v, s, e) in triples {
             assert!(s <= e, "interval of {v} has start {s} > end {e}");
@@ -315,12 +318,12 @@ fn partial_consecutive(cliques: &[BTreeSet<VertexId>], order: &[usize], capacity
     let mut state = vec![0u8; capacity];
     for &ci in order {
         let members = &cliques[ci];
-        for i in 0..capacity {
+        for (i, slot) in state.iter_mut().enumerate() {
             let v = VertexId::new(i);
             let inside = members.contains(&v);
-            match (state[i], inside) {
-                (0, true) => state[i] = 1,
-                (1, false) => state[i] = 2,
+            match (*slot, inside) {
+                (0, true) => *slot = 1,
+                (1, false) => *slot = 2,
                 (2, true) => return false,
                 _ => {}
             }

@@ -264,13 +264,21 @@ mod tests {
             for i in 0..n {
                 cycle.add_edge(v(i), v((i + 1) % n));
             }
-            assert_eq!(chordal::is_chordal(&cycle), is_chordal_lexbfs(&cycle), "C{n}");
+            assert_eq!(
+                chordal::is_chordal(&cycle),
+                is_chordal_lexbfs(&cycle),
+                "C{n}"
+            );
             // Fully chorded from vertex 0: a fan, always chordal.
             let mut fan = cycle.clone();
             for i in 2..n - 1 {
                 fan.add_edge(v(0), v(i));
             }
-            assert_eq!(chordal::is_chordal(&fan), is_chordal_lexbfs(&fan), "fan {n}");
+            assert_eq!(
+                chordal::is_chordal(&fan),
+                is_chordal_lexbfs(&fan),
+                "fan {n}"
+            );
         }
     }
 
@@ -298,7 +306,10 @@ mod tests {
         order.reverse();
         let coloring = coloring::greedy_coloring_in_order(&g, &order);
         assert!(coloring.is_proper(&g));
-        assert_eq!(coloring.num_colors(), chordal::chordal_clique_number(&g).unwrap());
+        assert_eq!(
+            coloring.num_colors(),
+            chordal::chordal_clique_number(&g).unwrap()
+        );
     }
 
     #[test]

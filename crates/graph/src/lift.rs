@@ -47,7 +47,10 @@ pub fn lift_by_clique(g: &Graph, p: usize) -> LiftedGraph {
         }
         clique.push(c);
     }
-    LiftedGraph { graph: lifted, clique }
+    LiftedGraph {
+        graph: lifted,
+        clique,
+    }
 }
 
 #[cfg(test)]

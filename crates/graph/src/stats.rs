@@ -63,13 +63,21 @@ impl GraphStats {
         let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
         let min_degree = degrees.iter().copied().min().unwrap_or(0);
         let max_degree = degrees.iter().copied().max().unwrap_or(0);
-        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        };
         let density = if n < 2 {
             0.0
         } else {
             2.0 * m as f64 / (n as f64 * (n as f64 - 1.0))
         };
-        let degeneracy = if n == 0 { 0 } else { greedy::coloring_number(g).saturating_sub(1) };
+        let degeneracy = if n == 0 {
+            0
+        } else {
+            greedy::coloring_number(g).saturating_sub(1)
+        };
         let components = g.connected_components().len();
         let is_chordal = chordal::is_chordal(g);
         let is_interval = is_chordal && !interval::has_asteroidal_triple(g);
@@ -125,7 +133,11 @@ impl GraphStats {
             self.coloring_number(),
             if self.exact_clique { "=" } else { "≥" },
             self.clique_number,
-            if self.chordal { "chordal" } else { "non-chordal" },
+            if self.chordal {
+                "chordal"
+            } else {
+                "non-chordal"
+            },
             if self.interval { "+interval" } else { "" },
         )
     }

@@ -416,11 +416,7 @@ impl Function {
                 } else {
                     seen_non_phi = true;
                 }
-                for v in instr
-                    .local_uses()
-                    .into_iter()
-                    .chain(instr.def())
-                {
+                for v in instr.local_uses().into_iter().chain(instr.def()) {
                     if v.index() >= self.num_vars() {
                         return Err(ValidationError::BadVariable { block: b });
                     }

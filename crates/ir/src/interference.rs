@@ -127,14 +127,12 @@ impl InterferenceGraph {
                     }
                 }
                 match instr {
-                    Instr::Copy { dst, src } if options.copy_affinities => {
-                        if dst != src {
-                            affinities.push(Affinity {
-                                a: *dst,
-                                b: *src,
-                                weight,
-                            });
-                        }
+                    Instr::Copy { dst, src } if options.copy_affinities && dst != src => {
+                        affinities.push(Affinity {
+                            a: *dst,
+                            b: *src,
+                            weight,
+                        });
                     }
                     Instr::Phi { dst, args } if options.phi_affinities => {
                         for (p, v) in args {
@@ -154,7 +152,8 @@ impl InterferenceGraph {
         }
 
         // Deduplicate affinities on the same unordered pair, summing weights.
-        let mut merged: std::collections::BTreeMap<(Var, Var), u64> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<(Var, Var), u64> =
+            std::collections::BTreeMap::new();
         for aff in affinities {
             let key = if aff.a <= aff.b {
                 (aff.a, aff.b)

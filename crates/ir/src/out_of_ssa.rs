@@ -87,11 +87,7 @@ pub fn sequentialize_parallel_copy(
     copies: &[(Var, Var)],
     mut fresh_temp: impl FnMut() -> Var,
 ) -> (Vec<(Var, Var)>, usize) {
-    let mut pending: Vec<(Var, Var)> = copies
-        .iter()
-        .copied()
-        .filter(|(d, s)| d != s)
-        .collect();
+    let mut pending: Vec<(Var, Var)> = copies.iter().copied().filter(|(d, s)| d != s).collect();
     let mut out = Vec::new();
     let mut temps = 0;
     while !pending.is_empty() {
@@ -251,7 +247,7 @@ mod tests {
         assert_eq!(temps, 1);
         assert_eq!(seq.len(), 3);
         // Simulate the sequence and check it implements the parallel copy.
-        let mut env = vec![10, 20, 0]; // a=10, b=20
+        let mut env = [10, 20, 0]; // a=10, b=20
         for (d, s) in &seq {
             env[d.index()] = env[s.index()];
         }
@@ -287,7 +283,7 @@ mod tests {
         let t = Var::new(3);
         let (seq, temps) = sequentialize_parallel_copy(&[(a, b), (b, c), (c, a)], || t);
         assert_eq!(temps, 1);
-        let mut env = vec![1, 2, 3, 0];
+        let mut env = [1, 2, 3, 0];
         for (d, s) in &seq {
             env[d.index()] = env[s.index()];
         }
@@ -299,19 +295,12 @@ mod tests {
         // After destruction, the function still validates, has no φs, and
         // the φ result is now defined by copies in both predecessors.
         let mut f = diamond_with_phi();
-        let w_uses_before = f
-            .block(BlockId::new(3))
-            .terminator
-            .uses()
-            .len();
+        let w_uses_before = f.block(BlockId::new(3)).terminator.uses().len();
         destruct_ssa(&mut f);
         assert!(ssa::is_ssa(&f) || f.num_copies() == 2);
         let live = Liveness::compute(&f);
         // w is defined on both sides, so it is live into the join block now.
-        let w = f
-            .block(BlockId::new(3))
-            .terminator
-            .uses()[0];
+        let w = f.block(BlockId::new(3)).terminator.uses()[0];
         assert!(live.is_live_in(BlockId::new(3), w));
         assert_eq!(w_uses_before, 1);
     }

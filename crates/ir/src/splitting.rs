@@ -81,7 +81,8 @@ pub fn split_variables_at_block_boundaries(f: &mut Function, vars: &[Var]) -> Sp
                     break;
                 }
             }
-            let terminator_uses = redefined_at.is_none() && f.block(b).terminator.uses().contains(&x);
+            let terminator_uses =
+                redefined_at.is_none() && f.block(b).terminator.uses().contains(&x);
             if !has_use && !terminator_uses {
                 continue;
             }
@@ -103,13 +104,18 @@ pub fn split_variables_at_block_boundaries(f: &mut Function, vars: &[Var]) -> Sp
             if redefined_at.is_none() {
                 rename_terminator_uses(&mut block.terminator, x, fresh);
             }
-            block.instrs.insert(phi_end, Instr::Copy { dst: fresh, src: x });
+            block
+                .instrs
+                .insert(phi_end, Instr::Copy { dst: fresh, src: x });
             stats.copies_inserted += 1;
             stats.new_variables += 1;
             stats.split_points += 1;
         }
     }
-    debug_assert!(f.validate().is_ok(), "splitting produced an invalid function");
+    debug_assert!(
+        f.validate().is_ok(),
+        "splitting produced an invalid function"
+    );
     stats
 }
 
@@ -239,8 +245,14 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_ne!(first_op_uses[0], x, "use before redefinition must be renamed");
-        assert_eq!(last_op_uses[0], x, "use after redefinition must keep the original");
+        assert_ne!(
+            first_op_uses[0], x,
+            "use before redefinition must be renamed"
+        );
+        assert_eq!(
+            last_op_uses[0], x,
+            "use after redefinition must keep the original"
+        );
     }
 
     #[test]

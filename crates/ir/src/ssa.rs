@@ -123,14 +123,14 @@ pub fn construct_ssa(f: &Function) -> Function {
     let frontiers = dom.dominance_frontiers(&out);
     // phi_placed[v] = blocks where a φ for original variable v was inserted.
     let mut phi_for: BTreeMap<(BlockId, usize), usize> = BTreeMap::new(); // (block, orig var) -> instr index
-    for v in 0..num_orig {
-        if def_blocks[v].len() <= 1 {
+    for (v, blocks) in def_blocks.iter().enumerate() {
+        if blocks.len() <= 1 {
             // A single static definition never needs a φ for correctness of
             // renaming (its definition dominates every use in a strict
             // program).
             continue;
         }
-        let mut work: Vec<BlockId> = def_blocks[v].iter().copied().collect();
+        let mut work: Vec<BlockId> = blocks.iter().copied().collect();
         let mut has_phi: BTreeSet<BlockId> = BTreeSet::new();
         while let Some(b) = work.pop() {
             for &y in &frontiers[b.index()] {
@@ -138,15 +138,13 @@ pub fn construct_ssa(f: &Function) -> Function {
                     // Insert a φ defining the *original* variable v for now;
                     // renaming will replace both the def and the args.
                     let var = Var::new(v);
-                    let args: Vec<(BlockId, Var)> = preds[y.index()]
-                        .iter()
-                        .map(|&p| (p, var))
-                        .collect();
+                    let args: Vec<(BlockId, Var)> =
+                        preds[y.index()].iter().map(|&p| (p, var)).collect();
                     let block = out.block_mut(y);
                     let pos = block.instrs.iter().take_while(|i| i.is_phi()).count();
                     block.instrs.insert(pos, Instr::Phi { dst: var, args });
                     phi_for.insert((y, v), pos);
-                    if !def_blocks[v].contains(&y) {
+                    if !blocks.contains(&y) {
                         work.push(y);
                     }
                 }
@@ -211,7 +209,16 @@ pub fn construct_ssa(f: &Function) -> Function {
                                 .map(|&u| rename_use(u, &stacks, num_orig, &needs_rename))
                                 .collect();
                             let new_dst = dst.map(|d| {
-                                rename_def(d, &mut stacks, &mut pushes, &mut renamed, f, num_orig, &needs_rename, b)
+                                rename_def(
+                                    d,
+                                    &mut stacks,
+                                    &mut pushes,
+                                    &mut renamed,
+                                    f,
+                                    num_orig,
+                                    &needs_rename,
+                                    b,
+                                )
                             });
                             Instr::Op {
                                 dst: new_dst,
@@ -221,7 +228,14 @@ pub fn construct_ssa(f: &Function) -> Function {
                         Instr::Copy { dst, src } => {
                             let new_src = rename_use(src, &stacks, num_orig, &needs_rename);
                             let new_dst = rename_def(
-                                dst, &mut stacks, &mut pushes, &mut renamed, f, num_orig, &needs_rename, b,
+                                dst,
+                                &mut stacks,
+                                &mut pushes,
+                                &mut renamed,
+                                f,
+                                num_orig,
+                                &needs_rename,
+                                b,
                             );
                             Instr::Copy {
                                 dst: new_dst,
@@ -298,9 +312,9 @@ pub fn construct_ssa(f: &Function) -> Function {
 
 fn rename_use(v: Var, stacks: &[Vec<Var>], num_orig: usize, needs_rename: &[bool]) -> Var {
     if v.index() < num_orig && needs_rename[v.index()] {
-        *stacks[v.index()]
-            .last()
-            .unwrap_or_else(|| panic!("use of {v:?} with no reaching definition (non-strict program)"))
+        *stacks[v.index()].last().unwrap_or_else(|| {
+            panic!("use of {v:?} with no reaching definition (non-strict program)")
+        })
     } else {
         v
     }
@@ -416,11 +430,7 @@ mod tests {
         assert!(is_ssa(&ssa), "{}", ssa);
         assert!(is_strict(&ssa), "{}", ssa);
         // The loop header needs a φ for i.
-        assert!(ssa
-            .block(header)
-            .instrs
-            .iter()
-            .any(|ins| ins.is_phi()));
+        assert!(ssa.block(header).instrs.iter().any(|ins| ins.is_phi()));
     }
 
     #[test]

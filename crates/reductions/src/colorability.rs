@@ -126,7 +126,8 @@ mod tests {
             let res = conservative_exact(&r.instance, k, false);
             let all_coalesced = res.stats.uncoalesced() == 0;
             assert_eq!(
-                all_coalesced, expected,
+                all_coalesced,
+                expected,
                 "graph with {} vertices, k = {k}",
                 g.num_vertices()
             );

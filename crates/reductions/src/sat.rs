@@ -24,7 +24,10 @@ pub struct Literal {
 impl Literal {
     /// Positive literal of variable `var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of variable `var`.
@@ -208,8 +211,20 @@ pub fn formula_to_graph(cnf: &Cnf) -> SatGraph {
         // y4), and the pair (c1, c2) forces OR(b1, b2) to be true.  Each OR
         // gadget is the classical 3-colorability OR widget with three fresh
         // vertices a, a', out.
-        let b1 = or_gadget(&mut graph, literal_vertex(&lits[0]), literal_vertex(&lits[1]), r, f);
-        let b2 = or_gadget(&mut graph, literal_vertex(&lits[2]), literal_vertex(&lits[3]), r, f);
+        let b1 = or_gadget(
+            &mut graph,
+            literal_vertex(&lits[0]),
+            literal_vertex(&lits[1]),
+            r,
+            f,
+        );
+        let b2 = or_gadget(
+            &mut graph,
+            literal_vertex(&lits[2]),
+            literal_vertex(&lits[3]),
+            r,
+            f,
+        );
         // Force OR(b1, b2) true: c1 adjacent to b1, b2 and F... use another
         // OR gadget whose output is forced to T's color by making it
         // adjacent to both F and R.
@@ -232,7 +247,13 @@ pub fn formula_to_graph(cnf: &Cnf) -> SatGraph {
 /// whose color can be the `T` color iff at least one input has the `T`
 /// color, assuming inputs are colored with the `T`/`F` colors (they are
 /// adjacent to `r`).
-fn or_gadget(graph: &mut Graph, in1: VertexId, in2: VertexId, _r: VertexId, _f: VertexId) -> VertexId {
+fn or_gadget(
+    graph: &mut Graph,
+    in1: VertexId,
+    in2: VertexId,
+    _r: VertexId,
+    _f: VertexId,
+) -> VertexId {
     let a1 = graph.add_vertex();
     let a2 = graph.add_vertex();
     let out = graph.add_vertex();

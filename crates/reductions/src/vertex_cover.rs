@@ -49,11 +49,7 @@ impl VertexCoverInstance {
         let edges: Vec<(VertexId, VertexId)> = self.graph.edges().collect();
         let mut best = self.graph.num_vertices();
         let mut chosen: Vec<VertexId> = Vec::new();
-        fn search(
-            edges: &[(VertexId, VertexId)],
-            chosen: &mut Vec<VertexId>,
-            best: &mut usize,
-        ) {
+        fn search(edges: &[(VertexId, VertexId)], chosen: &mut Vec<VertexId>, best: &mut usize) {
             if chosen.len() >= *best {
                 return;
             }
@@ -223,17 +219,11 @@ mod tests {
     }
 
     fn path(n: usize) -> VertexCoverInstance {
-        VertexCoverInstance::new(Graph::with_edges(
-            n,
-            (1..n).map(|i| (v(i - 1), v(i))),
-        ))
+        VertexCoverInstance::new(Graph::with_edges(n, (1..n).map(|i| (v(i - 1), v(i)))))
     }
 
     fn cycle(n: usize) -> VertexCoverInstance {
-        VertexCoverInstance::new(Graph::with_edges(
-            n,
-            (0..n).map(|i| (v(i), v((i + 1) % n))),
-        ))
+        VertexCoverInstance::new(Graph::with_edges(n, (0..n).map(|i| (v(i), v((i + 1) % n)))))
     }
 
     #[test]
@@ -315,7 +305,10 @@ mod tests {
     fn optimistic_heuristic_result_is_always_colorable_on_reductions() {
         let r = reduce_to_optimistic(&cycle(4));
         let res = coalesce_core::optimistic::optimistic_coalesce(&r.instance, r.k);
-        assert!(greedy::is_greedy_k_colorable(&res.coalescing.merged_graph, r.k));
+        assert!(greedy::is_greedy_k_colorable(
+            &res.coalescing.merged_graph,
+            r.k
+        ));
         // The heuristic gives up at least as many affinities as the optimum
         // (= the minimum vertex cover of C4, which is 2).
         assert!(res.stats.uncoalesced() >= 2);

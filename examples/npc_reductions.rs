@@ -46,7 +46,11 @@ fn main() {
     let satisfiable = sat::Cnf::new(
         3,
         vec![
-            vec![sat::Literal::pos(0), sat::Literal::pos(1), sat::Literal::pos(2)],
+            vec![
+                sat::Literal::pos(0),
+                sat::Literal::pos(1),
+                sat::Literal::pos(2),
+            ],
             vec![sat::Literal::neg(0), sat::Literal::neg(1)],
         ],
     );
@@ -54,7 +58,10 @@ fn main() {
         1,
         vec![vec![sat::Literal::pos(0)], vec![sat::Literal::neg(0)]],
     );
-    for (name, formula) in [("satisfiable", satisfiable), ("unsatisfiable", unsatisfiable)] {
+    for (name, formula) in [
+        ("satisfiable", satisfiable),
+        ("unsatisfiable", unsatisfiable),
+    ] {
         let reduction = sat::reduce_3sat_to_incremental(&formula);
         let answer = incremental_exact(&reduction.graph, 3, reduction.x, reduction.y);
         println!(
@@ -72,7 +79,5 @@ fn main() {
     let (decoalesced, _) = decoalesce_exact(&reduction.instance, reduction.k)
         .expect("reduction graph is greedy-4-colorable");
     println!("[Thm 6] minimum vertex cover of C4 = {cover}");
-    println!(
-        "[Thm 6] minimum number of de-coalesced affinities = {decoalesced} (must match)"
-    );
+    println!("[Thm 6] minimum number of de-coalesced affinities = {decoalesced} (must match)");
 }

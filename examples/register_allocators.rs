@@ -34,7 +34,11 @@ fn main() {
         let reports = compare_allocators(&f, k);
         print!("{}", comparison_table(&reports));
         for report in &reports {
-            assert!(report.valid, "{} produced an invalid allocation", report.kind);
+            assert!(
+                report.valid,
+                "{} produced an invalid allocation",
+                report.kind
+            );
         }
         println!();
     }

@@ -1,0 +1,281 @@
+//! Offline, in-tree stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! Provides [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.  Instead of
+//! criterion's statistical machinery it times each benchmark with
+//! `std::time::Instant` over a warm-up phase plus `sample_size` measured
+//! batches and prints median / mean per-iteration times — enough for the
+//! coarse regression tracking `cargo bench` is used for here.
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; holds the default measurement settings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id of the form `function/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Conversion accepted by the `bench_*` methods (string or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id to the text shown in the report.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_benchmark_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Finishes the group (report output happens eagerly per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it in batches until the warm-up and
+    /// measurement budgets are exhausted.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+
+        // Choose a batch size so that sample_size batches fit roughly in
+        // the measurement budget.
+        let target = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let batch = if per_iter.as_nanos() == 0 {
+            64
+        } else {
+            (target / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / batch);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{id:<50} median {:>12} mean {:>12} ({} samples)",
+            format_duration(median),
+            format_duration(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Hint to the optimizer that `value` is used (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

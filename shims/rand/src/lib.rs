@@ -1,0 +1,221 @@
+//! Offline, in-tree stand-in for the subset of the `rand` crate API that
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so instead of the real
+//! `rand` we vendor the traits the generators rely on: [`RngCore`],
+//! [`SeedableRng`] and the extension trait [`Rng`] providing `gen_range`
+//! and `gen_bool`.  The concrete generator lives in the sibling
+//! `rand_chacha` shim.
+//!
+//! Determinism is the only contract: for a fixed seed the values produced
+//! are stable across runs and platforms.  The streams do **not** match the
+//! upstream `rand` crate bit-for-bit (the uniform-range rejection strategy
+//! differs), which is fine because every consumer seeds its own RNG and
+//! only ever compares against itself.
+#![warn(missing_docs)]
+
+/// A low-level source of random (here: deterministic pseudo-random) data.
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with bytes from the stream.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG that can be constructed deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a fixed-size byte array for practical RNGs).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a single `u64`, expanding it with SplitMix64
+    /// exactly once per seed word so nearby seeds give unrelated streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the standard seed expander (public-domain constants).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Integer types that support uniform sampling from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)` (`high` exclusive).
+    fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples uniformly from `[low, high]` (`high` inclusive); unlike the
+    /// exclusive form this can produce the type's maximum value.
+    fn sample_uniform_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                sample_span(low as i128, (high as i128 - low as i128) as u128, rng) as $t
+            }
+            fn sample_uniform_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                sample_span(low as i128, (high as i128 - low as i128) as u128 + 1, rng) as $t
+            }
+        }
+    )*};
+}
+
+/// Uniformly samples `low + x` with `x` in `[0, span)`.  `span` may be as
+/// large as 2⁶⁴ (a full 64-bit domain), in which case the rejection zone
+/// covers everything and the raw word is returned unchanged.
+fn sample_span<R: RngCore + ?Sized>(low: i128, span: u128, rng: &mut R) -> i128 {
+    debug_assert!(span > 0 && span <= u128::from(u64::MAX) + 1);
+    // Rejection on the biased zone keeps the distribution uniform without
+    // modulo bias.
+    let zone = u128::from(u64::MAX) + 1 - ((u128::from(u64::MAX) + 1) % span);
+    loop {
+        let x = u128::from(rng.next_u64());
+        if x < zone {
+            return low + (x % span) as i128;
+        }
+    }
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_uniform_inclusive(start, end, rng)
+    }
+}
+
+/// High-level convenience methods; blanket-implemented for every
+/// [`RngCore`], mirroring the upstream `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random bits give a uniform float in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Re-exports matching `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingRng(u64);
+
+    impl RngCore for CountingRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_the_type_maximum() {
+        let mut rng = CountingRng(0);
+        // Degenerate range at MAX must return MAX, not panic.
+        assert_eq!(rng.gen_range(u8::MAX..=u8::MAX), u8::MAX);
+        assert_eq!(rng.gen_range(u64::MAX..=u64::MAX), u64::MAX);
+        // The full u8 domain must produce MAX within a reasonable horizon.
+        let mut saw_max = false;
+        for _ in 0..10_000 {
+            if rng.gen_range(0u8..=u8::MAX) == u8::MAX {
+                saw_max = true;
+                break;
+            }
+        }
+        assert!(saw_max, "full inclusive range never produced the maximum");
+    }
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let mut rng = CountingRng(7);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+            let y = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&y));
+        }
+    }
+}

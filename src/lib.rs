@@ -1,5 +1,18 @@
-//! Umbrella crate re-exporting the workspace members for examples and integration tests.
+//! Umbrella crate re-exporting the workspace members for examples and
+//! integration tests.
+//!
+//! The crates form a strict layering (each layer depends only on the ones
+//! before it):
+//!
+//! ```text
+//! coalesce-graph ← coalesce-ir ← coalesce-core ← { coalesce-gen,
+//!                                                  coalesce-alloc,
+//!                                                  coalesce-reduce }
+//!                                                ← coalesce-bench
+//! ```
 #![warn(missing_docs)]
+pub use coalesce_alloc;
+pub use coalesce_bench;
 pub use coalesce_core;
 pub use coalesce_gen;
 pub use coalesce_graph;

@@ -13,9 +13,9 @@
 //! * the Chaitin–Briggs loop terminates and stays valid even under extreme
 //!   register pressure.
 
+use coalesce_alloc::chaitin::{chaitin_allocate, ChaitinConfig};
 use coalesce_alloc::pipeline::{compare_allocators, run_allocator, AllocatorKind};
 use coalesce_alloc::ssa_based::{ssa_allocate, CoalescingStrategy};
-use coalesce_alloc::chaitin::{chaitin_allocate, ChaitinConfig};
 use coalesce_gen::programs::{random_ssa_program, ProgramParams};
 
 fn program(seed: u64, pressure: usize) -> coalesce_ir::Function {

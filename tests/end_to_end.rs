@@ -31,7 +31,10 @@ fn theorem_1_pipeline_on_many_programs() {
         assert!(chordal::is_chordal(&ig.graph), "seed {seed}");
         let omega = chordal::chordal_clique_number(&ig.graph).unwrap();
         assert_eq!(omega, live.maxlive_precise(&f), "seed {seed}");
-        assert!(greedy::is_greedy_k_colorable(&ig.graph, omega), "seed {seed}");
+        assert!(
+            greedy::is_greedy_k_colorable(&ig.graph, omega),
+            "seed {seed}"
+        );
     }
 }
 
@@ -79,7 +82,10 @@ fn conservative_strategies_preserve_colorability_end_to_end() {
             );
         }
         let opt = optimistic_coalesce(&inst.affinity_graph, k);
-        assert!(greedy::is_greedy_k_colorable(&opt.coalescing.merged_graph, k));
+        assert!(greedy::is_greedy_k_colorable(
+            &opt.coalescing.merged_graph,
+            k
+        ));
     }
 }
 

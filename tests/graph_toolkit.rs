@@ -8,7 +8,9 @@ use coalesce_core::chordal_strategy::{
 };
 use coalesce_gen::{families, graphs};
 use coalesce_graph::format::{from_challenge, to_challenge, to_dimacs, ChallengeFile};
-use coalesce_graph::{chordal, cliques, coloring, fillin, format, interval, lexbfs, stats, Graph, VertexId};
+use coalesce_graph::{
+    chordal, cliques, coloring, fillin, format, interval, lexbfs, stats, Graph, VertexId,
+};
 use proptest::prelude::*;
 
 fn arbitrary_graph(max_n: usize) -> impl Strategy<Value = Graph> {

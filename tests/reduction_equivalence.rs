@@ -19,8 +19,7 @@ fn multiway_cut_equals_optimal_aggressive_coalescing_on_random_graphs() {
     for seed in 0..5 {
         let mut rng = coalesce_gen::rng(seed);
         let g = random_graph(6, 0.45, &mut rng);
-        let instance =
-            multiway_cut::MultiwayCutInstance::new(g, vec![v(0), v(1), v(2)]);
+        let instance = multiway_cut::MultiwayCutInstance::new(g, vec![v(0), v(1), v(2)]);
         let cut = instance.minimum_cut();
         let reduction = multiway_cut::reduce_to_aggressive(&instance);
         let result = aggressive_exact(&reduction.instance);
@@ -35,7 +34,8 @@ fn conservative_zero_budget_equals_colorability_on_random_graphs() {
         let g = random_graph(6, 0.5, &mut rng);
         let reduction = colorability::reduce_to_conservative(&g);
         for k in [2, 3] {
-            let exact = coalesce_core::conservative::conservative_exact(&reduction.instance, k, false);
+            let exact =
+                coalesce_core::conservative::conservative_exact(&reduction.instance, k, false);
             assert_eq!(
                 exact.stats.uncoalesced() == 0,
                 colorability::is_k_colorable(&g, k),
@@ -108,10 +108,7 @@ fn minimum_decoalescing_equals_minimum_vertex_cover_on_small_graphs() {
 fn sat_graph_chromatic_structure_matches_figure_4() {
     // The base triangle forces three distinct colors; literal vertices are
     // never colored like R.
-    let formula = sat::Cnf::new(
-        2,
-        vec![vec![sat::Literal::pos(0), sat::Literal::neg(1)]],
-    );
+    let formula = sat::Cnf::new(2, vec![vec![sat::Literal::pos(0), sat::Literal::neg(1)]]);
     let built = sat::formula_to_graph(&formula);
     let coloring = coalesce_graph::coloring::exact_k_coloring(&built.graph, 3, &[]).unwrap();
     let r_color = coloring.color_of(built.r_vertex);
