@@ -1,0 +1,150 @@
+//! `bench-diff` — structural comparison of two `run-experiments --json`
+//! artifacts (the fresh `BENCH_pr.json` vs the committed baseline).
+//!
+//! ```text
+//! bench-diff BENCH_pr.json BENCH_baseline.json
+//! ```
+//!
+//! The comparison is deliberately *structural* rather than byte-for-byte:
+//! row counts, experiment identities and every invariant field (the
+//! boolean `agree` / `equal` / theorem-holds columns and the summary
+//! quantities) must match, while instrumentation counters
+//! (`nodes_expanded`, `memo_*`) may drift as the solver evolves across
+//! PRs.  Exit code 0 means no regression; 1 lists every difference.
+
+use coalesce_bench::Json;
+use std::process::ExitCode;
+
+/// Summary/row keys that are allowed to drift between runs: search
+/// instrumentation, not paper invariants.
+fn is_perf_counter(key: &str) -> bool {
+    key.contains("nodes_expanded") || key.contains("memo")
+}
+
+fn experiments_of(doc: &Json) -> Vec<&Json> {
+    match doc.get("experiments").and_then(Json::as_array) {
+        Some(items) => items.iter().collect(),
+        // A single-experiment file is its own report object.
+        None => vec![doc],
+    }
+}
+
+fn compare(current: &Json, baseline: &Json, problems: &mut Vec<String>) {
+    let current_experiments = experiments_of(current);
+    let baseline_experiments = experiments_of(baseline);
+
+    let names = |list: &[&Json]| -> Vec<String> {
+        list.iter()
+            .map(|e| {
+                e.get("experiment")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unnamed>")
+                    .to_owned()
+            })
+            .collect()
+    };
+    let current_names = names(&current_experiments);
+    let baseline_names = names(&baseline_experiments);
+    if current_names != baseline_names {
+        problems.push(format!(
+            "experiment sets differ: current {current_names:?} vs baseline {baseline_names:?}"
+        ));
+        return;
+    }
+
+    for (experiment, base) in current_experiments.iter().zip(&baseline_experiments) {
+        let name = experiment
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        let rows = experiment
+            .get("rows")
+            .and_then(Json::as_array)
+            .unwrap_or(&[]);
+        let base_rows = base.get("rows").and_then(Json::as_array).unwrap_or(&[]);
+        if rows.len() != base_rows.len() {
+            problems.push(format!(
+                "{name}: row count changed: {} vs baseline {}",
+                rows.len(),
+                base_rows.len()
+            ));
+            continue;
+        }
+        for (i, (row, base_row)) in rows.iter().zip(base_rows).enumerate() {
+            let (Json::Object(pairs), Json::Object(base_pairs)) = (row, base_row) else {
+                continue;
+            };
+            // Every invariant (boolean) column of the baseline must hold
+            // identically in the current run.
+            for (key, base_value) in base_pairs {
+                if is_perf_counter(key) {
+                    continue;
+                }
+                if !matches!(base_value, Json::Bool(_)) {
+                    continue;
+                }
+                match pairs.iter().find(|(k, _)| k == key) {
+                    Some((_, value)) if value == base_value => {}
+                    Some((_, value)) => problems.push(format!(
+                        "{name} row {i}: invariant `{key}` changed: {value} vs baseline {base_value}"
+                    )),
+                    None => problems.push(format!(
+                        "{name} row {i}: invariant `{key}` disappeared"
+                    )),
+                }
+            }
+        }
+        // Summary quantities (agreement counts, gap totals) are invariants.
+        if let (Some(Json::Object(pairs)), Some(Json::Object(base_pairs))) =
+            (experiment.get("summary"), base.get("summary"))
+        {
+            for (key, base_value) in base_pairs {
+                if is_perf_counter(key) {
+                    continue;
+                }
+                match pairs.iter().find(|(k, _)| k == key) {
+                    Some((_, value)) if value == base_value => {}
+                    Some((_, value)) => problems.push(format!(
+                        "{name} summary `{key}` changed: {value} vs baseline {base_value}"
+                    )),
+                    None => problems.push(format!("{name} summary `{key}` disappeared")),
+                }
+            }
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [current_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: bench-diff <current.json> <baseline.json>");
+        return ExitCode::FAILURE;
+    };
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut problems = Vec::new();
+    compare(&current, &baseline, &mut problems);
+    if problems.is_empty() {
+        println!("bench-diff: {current_path} matches the invariants of {baseline_path}");
+        ExitCode::SUCCESS
+    } else {
+        for problem in &problems {
+            eprintln!("bench-diff: {problem}");
+        }
+        eprintln!("bench-diff: {} problem(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}

@@ -11,7 +11,7 @@
 //! perf-trajectory artifacts.
 
 use coalesce_bench::experiments::UnknownExperiment;
-use coalesce_bench::{run_experiment, ExperimentId, Json};
+use coalesce_bench::{run_reports, ExperimentId, Json};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -23,6 +23,8 @@ USAGE:
 OPTIONS:
     --experiment <ID>   Experiment to run: e1..e12, or `all` (default: all)
     --seed <N>          Base seed offsetting every internal seed (default: 0)
+    --jobs <N>          Worker threads fanning out experiments and rows
+                        (default: 1; output is byte-identical for any N)
     --json <PATH>       Write the JSON report to PATH (`-` for stdout)
     --quiet             Suppress the human-readable tables on stdout
     --list              List experiment ids and titles, then exit
@@ -32,6 +34,7 @@ OPTIONS:
 struct Options {
     experiments: Vec<ExperimentId>,
     seed: u64,
+    jobs: usize,
     json_path: Option<String>,
     quiet: bool,
 }
@@ -39,6 +42,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut experiments: Option<Vec<ExperimentId>> = None;
     let mut seed = 0u64;
+    let mut jobs = 1usize;
     let mut json_path = None;
     let mut quiet = false;
 
@@ -79,6 +83,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|_| format!("--seed expects an unsigned integer, got `{value}`"))?;
             }
+            "--jobs" => {
+                let value = value_for("--jobs")?;
+                jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or(format!("--jobs expects a positive integer, got `{value}`"))?;
+            }
             "--json" | "-j" => json_path = Some(value_for("--json")?),
             "--quiet" | "-q" => quiet = true,
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
@@ -97,6 +109,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(Options {
         experiments,
         seed,
+        jobs,
         json_path,
         quiet,
     }))
@@ -113,11 +126,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let reports: Vec<_> = options
-        .experiments
-        .iter()
-        .map(|&id| run_experiment(id, options.seed))
-        .collect();
+    let reports = run_reports(&options.experiments, options.seed, options.jobs);
 
     if !options.quiet {
         for report in &reports {

@@ -158,22 +158,47 @@ impl FromStr for ExperimentId {
     }
 }
 
-/// Runs one experiment with the given base seed.
+/// Runs one experiment with the given base seed, serially.
 pub fn run_experiment(id: ExperimentId, base_seed: u64) -> ExperimentReport {
+    run_experiment_with_jobs(id, base_seed, 1)
+}
+
+/// Runs one experiment with the given base seed, fanning its per-seed /
+/// per-size rows over up to `jobs` worker threads where the experiment
+/// supports it (E1, E4, E5, E7 — the ones whose rows are independent and
+/// heavy enough to matter).  Row order, and therefore the serialized
+/// report, is identical for every `jobs` value.
+pub fn run_experiment_with_jobs(id: ExperimentId, base_seed: u64, jobs: usize) -> ExperimentReport {
     match id {
-        ExperimentId::E1 => reductions::e1_report(base_seed),
+        ExperimentId::E1 => reductions::e1_report_with_jobs(base_seed, jobs),
         ExperimentId::E2 => reductions::e2_report(base_seed),
         ExperimentId::E3 => strategies::e3_report(base_seed),
-        ExperimentId::E4 => reductions::e4_report(base_seed),
-        ExperimentId::E5 => structure::e5_report(base_seed),
+        ExperimentId::E4 => reductions::e4_report_with_jobs(base_seed, jobs),
+        ExperimentId::E5 => structure::e5_report_with_jobs(base_seed, jobs),
         ExperimentId::E6 => reductions::e6_report(base_seed),
-        ExperimentId::E7 => structure::e7_report(base_seed),
+        ExperimentId::E7 => structure::e7_report_with_jobs(base_seed, jobs),
         ExperimentId::E8 => strategies::e8_report(base_seed),
         ExperimentId::E9 => structure::e9_report(base_seed),
         ExperimentId::E10 => allocators::e10_report(base_seed),
         ExperimentId::E11 => strategies::e11_report(base_seed),
         ExperimentId::E12 => allocators::e12_report(base_seed),
     }
+}
+
+/// Runs a batch of experiments, fanning whole experiments (and, within
+/// each, its rows) over worker threads.  The `jobs` budget is split
+/// between the two levels — `min(jobs, #experiments)` outer workers, and
+/// the remaining factor to each experiment's row fan-out — so the total
+/// thread count stays ~`jobs` rather than `jobs²`.  The reports come
+/// back in input order, so the serialized output of a `jobs = N` run is
+/// byte-identical to the serial one.  This is the function behind the
+/// CLI's `--jobs`.
+pub fn run_reports(ids: &[ExperimentId], base_seed: u64, jobs: usize) -> Vec<ExperimentReport> {
+    let outer_jobs = jobs.clamp(1, ids.len().max(1));
+    let row_jobs = (jobs / outer_jobs).max(1);
+    crate::par::par_map(ids, outer_jobs, |&id| {
+        run_experiment_with_jobs(id, base_seed, row_jobs)
+    })
 }
 
 #[cfg(test)]
@@ -195,16 +220,26 @@ mod tests {
 
     #[test]
     fn experiments_run_and_serialize_deterministically() {
-        // E4's exact incremental search is exponential (minutes in debug
-        // builds); it runs under `cargo bench` and the CLI instead.
+        // Since the pruned `ExactSolver` landed, even E4's exact
+        // incremental searches are fast enough to run here in debug.
         for id in ExperimentId::ALL {
-            if id == ExperimentId::E4 {
-                continue;
-            }
             let a = run_experiment(id, 0).to_json().to_pretty_string();
             let b = run_experiment(id, 0).to_json().to_pretty_string();
             assert_eq!(a, b, "{id} must serialize identically across runs");
             assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn row_parallelism_does_not_change_reports() {
+        for id in [ExperimentId::E1, ExperimentId::E4, ExperimentId::E7] {
+            let serial = run_experiment_with_jobs(id, 3, 1)
+                .to_json()
+                .to_pretty_string();
+            let parallel = run_experiment_with_jobs(id, 3, 4)
+                .to_json()
+                .to_pretty_string();
+            assert_eq!(serial, parallel, "{id} rows must not depend on --jobs");
         }
     }
 }

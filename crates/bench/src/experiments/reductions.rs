@@ -4,12 +4,14 @@
 
 use super::v;
 use crate::json::Json;
+use crate::par::par_map;
 use crate::report::ExperimentReport;
 use crate::ExperimentId;
-use coalesce_core::incremental::incremental_exact;
+use coalesce_core::incremental::incremental_exact_with;
 use coalesce_core::optimistic::{decoalesce_exact, optimistic_coalesce};
 use coalesce_core::{aggressive_exact, aggressive_heuristic};
 use coalesce_gen::graphs::random_graph;
+use coalesce_graph::solver::ExactSolver;
 use coalesce_graph::Graph;
 use coalesce_reduce::multiway_cut::{self, AggressiveReduction, MultiwayCutInstance};
 use coalesce_reduce::vertex_cover::{self, OptimisticReduction, VertexCoverInstance};
@@ -65,12 +67,23 @@ pub fn e1_row(seed: u64) -> E1Row {
 
 /// Computes the E1 rows for `count` consecutive seeds.
 pub fn e1_rows(base_seed: u64, count: u64) -> Vec<E1Row> {
-    (0..count).map(|s| e1_row(base_seed + s)).collect()
+    e1_rows_with_jobs(base_seed, count, 1)
+}
+
+/// Computes the E1 rows for `count` consecutive seeds over `jobs` threads.
+pub fn e1_rows_with_jobs(base_seed: u64, count: u64, jobs: usize) -> Vec<E1Row> {
+    let seeds: Vec<u64> = (0..count).map(|s| base_seed + s).collect();
+    par_map(&seeds, jobs, |&s| e1_row(s))
 }
 
 /// Runs E1 and packages the report.
 pub fn e1_report(base_seed: u64) -> ExperimentReport {
-    let rows = e1_rows(base_seed, 4);
+    e1_report_with_jobs(base_seed, 1)
+}
+
+/// Runs E1 with row-level parallelism and packages the report.
+pub fn e1_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
+    let rows = e1_rows_with_jobs(base_seed, 4, jobs);
     let equal = rows.iter().filter(|r| r.invariant_holds()).count();
     ExperimentReport {
         id: ExperimentId::E1,
@@ -189,6 +202,10 @@ pub struct E4Row {
     pub coalescible: bool,
     /// Vertex count of the reduced graph.
     pub graph_vertices: usize,
+    /// Search-tree nodes the exact solver expanded on the query.
+    pub nodes_expanded: u64,
+    /// Transposition-table hits during the query.
+    pub memo_hits: u64,
 }
 
 impl E4Row {
@@ -224,22 +241,32 @@ pub fn e4_reduction(seed: u64) -> sat::IncrementalReduction {
     sat::reduce_3sat_to_incremental(&e4_formula(seed))
 }
 
-/// Computes one E4 row.
+/// Computes one E4 row, including the exact solver's instrumentation.
 pub fn e4_row(seed: u64) -> E4Row {
     let formula = e4_formula(seed);
     let reduction = sat::reduce_3sat_to_incremental(&formula);
-    let answer = incremental_exact(&reduction.graph, 3, reduction.x, reduction.y);
+    let mut solver = ExactSolver::new();
+    let answer = incremental_exact_with(&mut solver, &reduction.graph, 3, reduction.x, reduction.y);
+    let stats = solver.take_stats();
     E4Row {
         seed,
         satisfiable: formula.is_satisfiable(),
         coalescible: answer.is_coalescible(),
         graph_vertices: reduction.graph.num_vertices(),
+        nodes_expanded: stats.nodes_expanded,
+        memo_hits: stats.memo_hits,
     }
 }
 
 /// Runs E4 and packages the report.
 pub fn e4_report(base_seed: u64) -> ExperimentReport {
-    let rows: Vec<E4Row> = (0..6u64).map(|s| e4_row(base_seed + 40 + s)).collect();
+    e4_report_with_jobs(base_seed, 1)
+}
+
+/// Runs E4 with row-level parallelism and packages the report.
+pub fn e4_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
+    let seeds: Vec<u64> = (0..6u64).map(|s| base_seed + 40 + s).collect();
+    let rows: Vec<E4Row> = par_map(&seeds, jobs, |&s| e4_row(s));
     let agreement = rows.iter().filter(|r| r.invariant_holds()).count();
     ExperimentReport {
         id: ExperimentId::E4,
@@ -253,6 +280,8 @@ pub fn e4_report(base_seed: u64) -> ExperimentReport {
                     ("satisfiable", Json::from(r.satisfiable)),
                     ("coalescible", Json::from(r.coalescible)),
                     ("graph_vertices", Json::from(r.graph_vertices)),
+                    ("nodes_expanded", Json::from(r.nodes_expanded)),
+                    ("memo_hits", Json::from(r.memo_hits)),
                     ("agree", Json::from(r.invariant_holds())),
                 ])
             })

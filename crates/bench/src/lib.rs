@@ -20,8 +20,9 @@
 
 pub mod experiments;
 pub mod json;
+pub mod par;
 pub mod report;
 
-pub use experiments::{run_experiment, ExperimentId};
+pub use experiments::{run_experiment, run_experiment_with_jobs, run_reports, ExperimentId};
 pub use json::Json;
 pub use report::ExperimentReport;

@@ -1,0 +1,93 @@
+//! A tiny order-preserving parallel map over `std::thread` scoped workers.
+//!
+//! The experiment runner needs exactly one primitive: apply a function to
+//! every item of a slice, possibly on several threads, and get the results
+//! back *in input order* so that serialized reports are byte-identical to
+//! a serial run.  Workers pull indices from a shared atomic counter
+//! (work-stealing by index), write results into per-slot cells, and the
+//! scope joins every worker before the results are collected.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item of `items` using up to `jobs` worker threads
+/// and returns the results in input order.
+///
+/// `jobs <= 1` (or a slice with fewer than two items) degrades to a plain
+/// serial map on the calling thread — no threads are spawned, so a
+/// `jobs = 1` run is *literally* the serial code path, not merely an
+/// equivalent one.  A panicking `f` propagates after all workers join.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1usize, 2, 4, 13] {
+            let doubled = par_map(&items, jobs, |&x| 2 * x);
+            assert_eq!(doubled, (0..100).map(|x| 2 * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items = [1u64, 2, 3];
+        assert_eq!(par_map(&items, 64, |&x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn parallel_and_serial_results_are_identical() {
+        // Work of deliberately uneven cost so threads interleave.
+        let items: Vec<u64> = (0..40).collect();
+        let cost = |&x: &u64| -> u64 {
+            let mut acc = x;
+            for i in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        assert_eq!(par_map(&items, 1, cost), par_map(&items, 8, cost));
+    }
+}

@@ -18,7 +18,8 @@
 //!   Theorem 5).
 
 use coalesce_graph::cliquetree::CliqueTree;
-use coalesce_graph::{chordal, coloring, Graph, VertexId};
+use coalesce_graph::solver::ExactSolver;
+use coalesce_graph::{chordal, Graph, VertexId};
 use std::collections::BTreeSet;
 
 /// Answer of an incremental coalescing query.
@@ -40,13 +41,27 @@ impl IncrementalAnswer {
 }
 
 /// Exact incremental conservative coalescing on an arbitrary graph:
-/// exponential-time backtracking search for a `k`-coloring with
-/// `f(x) = f(y)`.
+/// search for a `k`-coloring with `f(x) = f(y)` via a fresh
+/// [`ExactSolver`] (worst-case exponential, but pruned, decomposed and
+/// memoized).
 pub fn incremental_exact(graph: &Graph, k: usize, x: VertexId, y: VertexId) -> IncrementalAnswer {
+    incremental_exact_with(&mut ExactSolver::new(), graph, k, x, y)
+}
+
+/// Like [`incremental_exact`], but runs on a caller-supplied solver so the
+/// search instrumentation ([`coalesce_graph::solver::SolverStats`])
+/// accumulates across queries and the pruning configuration can be chosen.
+pub fn incremental_exact_with(
+    solver: &mut ExactSolver,
+    graph: &Graph,
+    k: usize,
+    x: VertexId,
+    y: VertexId,
+) -> IncrementalAnswer {
     if graph.has_edge(x, y) {
         return IncrementalAnswer::NotCoalescible;
     }
-    match coloring::exact_k_coloring(graph, k, &[(x, y)]) {
+    match solver.k_coloring(graph, k, &[(x, y)]) {
         Some(coloring) => {
             let target = coloring.color_of(x);
             let class: BTreeSet<VertexId> = graph
@@ -86,124 +101,165 @@ pub fn chordal_incremental(
     x: VertexId,
     y: VertexId,
 ) -> Option<IncrementalAnswer> {
-    if !graph.is_live(x) || !graph.is_live(y) || x == y {
-        return None;
-    }
-    let omega = chordal::chordal_clique_number(graph)?;
-    if k < omega {
-        return None;
-    }
-    if graph.has_edge(x, y) {
-        return Some(IncrementalAnswer::NotCoalescible);
-    }
-    let tree = CliqueTree::build(graph)?;
-    let nx = tree.any_node_containing(x)?;
-    let ny = tree.any_node_containing(y)?;
-    let full_path = tree.path_between(nx, ny);
+    ChordalIncremental::prepare(graph)?.query(k, x, y)
+}
 
-    // Trim the path: start at the last node containing x, end at the first
-    // node containing y after that.
-    let last_x = full_path
-        .iter()
-        .rposition(|&n| tree.clique(n).contains(&x))
-        .expect("path starts in T_x");
-    let first_y = full_path
-        .iter()
-        .position(|&n| tree.clique(n).contains(&y))
-        .expect("path ends in T_y");
-    if first_y <= last_x {
-        // The subtrees touch a common clique: impossible since x and y do
-        // not interfere; defensive fallback.
-        return Some(IncrementalAnswer::NotCoalescible);
-    }
-    let path: Vec<usize> = full_path[last_x..=first_y].to_vec();
-    let len = path.len();
+/// A prepared chordal incremental-coalescing session.
+///
+/// [`chordal_incremental`] recomputes the clique tree and `ω(G)` on every
+/// call, which dominates its cost on large graphs; batch workloads (the E5
+/// sweeps query the same thousand-vertex graph dozens of times) prepare a
+/// session once and run [`ChordalIncremental::query`] per pair instead.
+#[derive(Debug, Clone)]
+pub struct ChordalIncremental<'g> {
+    graph: &'g Graph,
+    tree: CliqueTree,
+    omega: usize,
+}
 
-    // Intervals of every vertex restricted to the path.
-    let intervals = tree.intervals_on_path(&path);
-    // Occupancy per position (how many real intervals cross it).
-    let mut occupancy = vec![0usize; len];
-    for &(_, start, end) in &intervals {
-        for slot in occupancy.iter_mut().take(end + 1).skip(start) {
-            *slot += 1;
-        }
+impl<'g> ChordalIncremental<'g> {
+    /// Builds the clique tree and clique number of `graph` once.
+    ///
+    /// Returns `None` if `graph` is not chordal.
+    pub fn prepare(graph: &'g Graph) -> Option<Self> {
+        let omega = chordal::chordal_clique_number(graph)?;
+        let tree = CliqueTree::build(graph)?;
+        Some(ChordalIncremental { graph, tree, omega })
     }
 
-    // Index intervals by starting position for the marking sweep.
-    let mut starting_at: Vec<Vec<(VertexId, usize, usize)>> = vec![Vec::new(); len];
-    let mut ix = None;
-    let mut iy = None;
-    for &(v, start, end) in &intervals {
-        if v == x {
-            ix = Some((start, end));
-        } else if v == y {
-            iy = Some((start, end));
-        } else {
-            starting_at[start].push((v, start, end));
-        }
+    /// The clique number `ω(G)` of the prepared graph.
+    pub fn omega(&self) -> usize {
+        self.omega
     }
-    let (ix_start, ix_end) = ix.expect("x occurs on the trimmed path");
-    let (iy_start, iy_end) = iy.expect("y occurs on the trimmed path");
-    debug_assert_eq!(ix_start, 0);
-    debug_assert_eq!(iy_end, len - 1);
 
-    // reachable[p] == Some(chain) means positions 0..p are covered by a chain
-    // of disjoint intervals starting with I_x; chain records the real
-    // vertices used (besides x).  To keep the sweep linear-ish we store the
-    // predecessor interval per boundary instead of full chains.
-    #[derive(Clone)]
-    enum Via {
-        Short,
-        Vertex(VertexId, usize), // vertex and the boundary its interval started from
+    /// The clique tree the session walks.
+    pub fn tree(&self) -> &CliqueTree {
+        &self.tree
     }
-    let mut reach: Vec<Option<Via>> = vec![None; len + 1];
-    reach[ix_end + 1] = Some(Via::Vertex(x, 0));
-    for p in ix_end + 1..=len {
-        if reach[p].is_none() {
-            continue;
+
+    /// Answers one incremental query against the prepared graph; same
+    /// semantics as [`chordal_incremental`] (`None` when the instance is
+    /// outside the theorem's hypotheses).
+    pub fn query(&self, k: usize, x: VertexId, y: VertexId) -> Option<IncrementalAnswer> {
+        let graph = self.graph;
+        if !graph.is_live(x) || !graph.is_live(y) || x == y {
+            return None;
         }
-        if p == len {
-            break;
+        if k < self.omega {
+            return None;
         }
-        // Cross position p with a virtual short interval (capacity permitting).
-        if occupancy[p] < k && reach[p + 1].is_none() {
-            reach[p + 1] = Some(Via::Short);
+        if graph.has_edge(x, y) {
+            return Some(IncrementalAnswer::NotCoalescible);
         }
-        // Or take a real interval starting exactly at p.
-        for &(v, start, end) in &starting_at[p] {
-            debug_assert_eq!(start, p);
-            if reach[end + 1].is_none() {
-                reach[end + 1] = Some(Via::Vertex(v, p));
+        let tree = &self.tree;
+        let nx = tree.any_node_containing(x)?;
+        let ny = tree.any_node_containing(y)?;
+        let full_path = tree.path_between(nx, ny);
+
+        // Trim the path: start at the last node containing x, end at the first
+        // node containing y after that.
+        let last_x = full_path
+            .iter()
+            .rposition(|&n| tree.clique(n).contains(&x))
+            .expect("path starts in T_x");
+        let first_y = full_path
+            .iter()
+            .position(|&n| tree.clique(n).contains(&y))
+            .expect("path ends in T_y");
+        if first_y <= last_x {
+            // The subtrees touch a common clique: impossible since x and y do
+            // not interfere; defensive fallback.
+            return Some(IncrementalAnswer::NotCoalescible);
+        }
+        let path: Vec<usize> = full_path[last_x..=first_y].to_vec();
+        let len = path.len();
+
+        // Intervals of every vertex restricted to the path.
+        let intervals = tree.intervals_on_path(&path);
+        // Occupancy per position (how many real intervals cross it).
+        let mut occupancy = vec![0usize; len];
+        for &(_, start, end) in &intervals {
+            for slot in occupancy.iter_mut().take(end + 1).skip(start) {
+                *slot += 1;
             }
         }
-    }
 
-    // y's interval must start exactly at a reachable boundary.
-    if reach[iy_start].is_none() {
-        return Some(IncrementalAnswer::NotCoalescible);
-    }
+        // Index intervals by starting position for the marking sweep.
+        let mut starting_at: Vec<Vec<(VertexId, usize, usize)>> = vec![Vec::new(); len];
+        let mut ix = None;
+        let mut iy = None;
+        for &(v, start, end) in &intervals {
+            if v == x {
+                ix = Some((start, end));
+            } else if v == y {
+                iy = Some((start, end));
+            } else {
+                starting_at[start].push((v, start, end));
+            }
+        }
+        let (ix_start, ix_end) = ix.expect("x occurs on the trimmed path");
+        let (iy_start, iy_end) = iy.expect("y occurs on the trimmed path");
+        debug_assert_eq!(ix_start, 0);
+        debug_assert_eq!(iy_end, len - 1);
 
-    // Reconstruct the witness class by walking the Via chain backwards from
-    // the boundary where I_y starts.
-    let mut class: BTreeSet<VertexId> = BTreeSet::new();
-    class.insert(x);
-    class.insert(y);
-    let mut boundary = iy_start;
-    while boundary > 0 {
-        match reach[boundary]
-            .clone()
-            .expect("reachable boundary has a predecessor")
-        {
-            Via::Short => boundary -= 1,
-            Via::Vertex(v, started_from) => {
-                if v != x {
-                    class.insert(v);
+        // reachable[p] == Some(chain) means positions 0..p are covered by a chain
+        // of disjoint intervals starting with I_x; chain records the real
+        // vertices used (besides x).  To keep the sweep linear-ish we store the
+        // predecessor interval per boundary instead of full chains.
+        #[derive(Clone)]
+        enum Via {
+            Short,
+            Vertex(VertexId, usize), // vertex and the boundary its interval started from
+        }
+        let mut reach: Vec<Option<Via>> = vec![None; len + 1];
+        reach[ix_end + 1] = Some(Via::Vertex(x, 0));
+        for p in ix_end + 1..=len {
+            if reach[p].is_none() {
+                continue;
+            }
+            if p == len {
+                break;
+            }
+            // Cross position p with a virtual short interval (capacity permitting).
+            if occupancy[p] < k && reach[p + 1].is_none() {
+                reach[p + 1] = Some(Via::Short);
+            }
+            // Or take a real interval starting exactly at p.
+            for &(v, start, end) in &starting_at[p] {
+                debug_assert_eq!(start, p);
+                if reach[end + 1].is_none() {
+                    reach[end + 1] = Some(Via::Vertex(v, p));
                 }
-                boundary = started_from;
             }
         }
+
+        // y's interval must start exactly at a reachable boundary.
+        if reach[iy_start].is_none() {
+            return Some(IncrementalAnswer::NotCoalescible);
+        }
+
+        // Reconstruct the witness class by walking the Via chain backwards from
+        // the boundary where I_y starts.
+        let mut class: BTreeSet<VertexId> = BTreeSet::new();
+        class.insert(x);
+        class.insert(y);
+        let mut boundary = iy_start;
+        while boundary > 0 {
+            match reach[boundary]
+                .clone()
+                .expect("reachable boundary has a predecessor")
+            {
+                Via::Short => boundary -= 1,
+                Via::Vertex(v, started_from) => {
+                    if v != x {
+                        class.insert(v);
+                    }
+                    boundary = started_from;
+                }
+            }
+        }
+        Some(IncrementalAnswer::Coalescible(class))
     }
-    Some(IncrementalAnswer::Coalescible(class))
 }
 
 /// Applies a witness class returned by [`chordal_incremental`] or
@@ -313,17 +369,46 @@ mod tests {
 
     #[test]
     fn chordal_algorithm_agrees_with_exact_on_small_interval_graphs() {
-        // Systematic agreement check over a family of interval graphs.
+        // Systematic agreement check over a family of interval graphs,
+        // including denser and longer instances (the pruned `ExactSolver`
+        // keeps the exact side fast enough to sweep every pair and three
+        // `k` values per graph).
         let families: Vec<Vec<(usize, usize)>> = vec![
             vec![(0, 2), (1, 3), (2, 4), (3, 5), (4, 6)],
             vec![(0, 1), (1, 2), (2, 3), (0, 3), (4, 5)],
             vec![(0, 4), (1, 2), (3, 5), (5, 6), (2, 3)],
             vec![(0, 0), (0, 1), (1, 1), (2, 3), (3, 4), (2, 4)],
+            vec![
+                (0, 2),
+                (1, 4),
+                (2, 6),
+                (3, 5),
+                (5, 8),
+                (6, 9),
+                (7, 10),
+                (8, 11),
+                (9, 12),
+                (11, 13),
+            ],
+            vec![
+                (0, 5),
+                (0, 3),
+                (1, 2),
+                (2, 7),
+                (4, 6),
+                (5, 9),
+                (6, 8),
+                (7, 11),
+                (8, 10),
+                (9, 12),
+                (10, 13),
+                (12, 14),
+            ],
         ];
         for intervals in families {
             let g = interval_graph(&intervals);
             let omega = chordal::chordal_clique_number(&g).unwrap();
-            for k in omega..omega + 2 {
+            for k in omega..omega + 3 {
                 for a in 0..intervals.len() {
                     for b in a + 1..intervals.len() {
                         if g.has_edge(v(a), v(b)) {

@@ -53,6 +53,8 @@ pub use affinity::{Affinity, AffinityGraph, Coalescing, CoalescingStats};
 pub use aggressive::{aggressive_exact, aggressive_heuristic};
 pub use chordal_strategy::{chordal_conservative_coalesce, ChordalMode, ChordalStrategyResult};
 pub use conservative::{conservative_coalesce, conservative_exact, ConservativeRule};
-pub use incremental::{chordal_incremental, incremental_exact, IncrementalAnswer};
+pub use incremental::{
+    chordal_incremental, incremental_exact, incremental_exact_with, IncrementalAnswer,
+};
 pub use irc::{allocate, IrcResult};
 pub use optimistic::{decoalesce_exact, optimistic_coalesce};

@@ -148,158 +148,33 @@ pub fn dsatur(g: &Graph) -> Coloring {
     coloring
 }
 
-/// Exact backtracking `k`-coloring of the live part of `g`.
+/// Exact `k`-coloring of the live part of `g`.
 ///
 /// `same_color` is a list of vertex pairs that must receive **equal** colors
 /// (the coalescing constraints of the incremental conservative coalescing
 /// problem).  Returns a proper coloring satisfying the constraints, or
 /// `None` if none exists.
 ///
-/// The solver merges each same-color pair up front (rejecting immediately if
-/// the pair interferes), then branches on the merged graph in a
-/// most-constrained-vertex order with symmetry breaking on the first color
-/// classes.  It is intended for the small instances used to validate
-/// reductions and measure heuristic optimality gaps (≲ 30 vertices).
+/// This is a convenience wrapper over [`crate::solver::ExactSolver`] with
+/// the default (fully pruned) configuration; construct a solver directly to
+/// configure the prunings or read the search instrumentation.
 pub fn exact_k_coloring(
     g: &Graph,
     k: usize,
     same_color: &[(VertexId, VertexId)],
 ) -> Option<Coloring> {
-    // Merge the same-color pairs on a scratch copy, remembering the mapping.
-    let mut scratch = g.clone();
-    let mut dsu = crate::dsu::DisjointSets::new(g.capacity());
-    for &(x, y) in same_color {
-        // Endpoints may already have been merged into another class.
-        let rx = VertexId::new(dsu.find(x.index()));
-        let ry = VertexId::new(dsu.find(y.index()));
-        if rx == ry {
-            continue;
-        }
-        if scratch.has_edge(rx, ry) {
-            return None;
-        }
-        scratch.merge(rx, ry);
-        dsu.union_into(rx.index(), ry.index());
-    }
-
-    let (dense, originals) = scratch.compact();
-    let coloring = exact_k_coloring_dense(&dense, k)?;
-
-    // Map colors back to every original vertex through its representative.
-    let mut rep_color = vec![None; g.capacity()];
-    for (i, &orig) in originals.iter().enumerate() {
-        rep_color[orig.index()] = coloring.color_of(VertexId::new(i));
-    }
-    let mut result = Coloring::new(g.capacity());
-    for v in g.vertices() {
-        let rep = dsu.find(v.index());
-        if let Some(c) = rep_color[rep] {
-            result.assign(v, c);
-        }
-    }
-    Some(result)
+    crate::solver::ExactSolver::new().k_coloring(g, k, same_color)
 }
 
-/// Exact chromatic number of the live part of `g` (exponential; small graphs
-/// only).
+/// Exact chromatic number of the live part of `g` (exponential worst case;
+/// routed through [`crate::solver::ExactSolver`]).
 pub fn chromatic_number(g: &Graph) -> usize {
-    if g.num_vertices() == 0 {
-        return 0;
-    }
-    let (dense, _) = g.compact();
-    let upper = dsatur(&dense).max_color_bound();
-    for k in 1..=upper {
-        if exact_k_coloring_dense(&dense, k).is_some() {
-            return k;
-        }
-    }
-    upper
+    crate::solver::ExactSolver::new().chromatic_number(g)
 }
 
 /// Returns `true` iff the live part of `g` admits a proper `k`-coloring.
 pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
     exact_k_coloring(g, k, &[]).is_some()
-}
-
-/// Exact `k`-coloring of a dense graph (no retired vertices, identifiers
-/// `0..n`).  Backtracking with a most-constrained-first dynamic vertex order.
-fn exact_k_coloring_dense(g: &Graph, k: usize) -> Option<Coloring> {
-    let n = g.num_vertices();
-    if n == 0 {
-        return Some(Coloring::new(0));
-    }
-    if k == 0 {
-        return None;
-    }
-    let mut colors: Vec<Option<usize>> = vec![None; n];
-    // saturation[v] = set of colors used by neighbors.
-    let mut saturation: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
-
-    fn backtrack(
-        g: &Graph,
-        k: usize,
-        colors: &mut Vec<Option<usize>>,
-        saturation: &mut Vec<BTreeSet<usize>>,
-        max_used: usize,
-        assigned: usize,
-    ) -> bool {
-        let n = colors.len();
-        if assigned == n {
-            return true;
-        }
-        // Most constrained uncolored vertex (largest saturation, then degree).
-        let v = (0..n)
-            .filter(|&v| colors[v].is_none())
-            .max_by_key(|&v| (saturation[v].len(), g.degree(VertexId::new(v))))
-            .expect("uncolored vertex exists");
-        if saturation[v].len() >= k {
-            return false;
-        }
-        let limit = k.min(max_used + 2); // colors 0..=max_used are in use; allow one fresh color
-        for c in 0..limit {
-            if saturation[v].contains(&c) {
-                continue;
-            }
-            colors[v] = Some(c);
-            let mut touched = Vec::new();
-            for u in g.neighbors(VertexId::new(v)) {
-                if saturation[u.index()].insert(c) {
-                    touched.push(u.index());
-                }
-            }
-            let new_max = max_used.max(c);
-            if backtrack(g, k, colors, saturation, new_max, assigned + 1) {
-                return true;
-            }
-            // Undo: clear v's color *before* recomputing the neighbors'
-            // saturation, otherwise v itself still counts as a colored
-            // neighbor and the stale entry is never removed.
-            colors[v] = None;
-            for u in touched {
-                // Only remove if no other colored neighbor of u uses c.
-                let still_used = g
-                    .neighbors(VertexId::new(u))
-                    .any(|w| colors[w.index()] == Some(c));
-                if !still_used {
-                    saturation[u].remove(&c);
-                }
-            }
-        }
-        false
-    }
-
-    // Initially no color is used yet; `max_used = 0` lets the first vertex
-    // pick color 0 (and at most color 1), which is a safe over-approximation
-    // of the symmetry-breaking bound.
-    if backtrack(g, k, &mut colors, &mut saturation, 0, 0) {
-        let mut coloring = Coloring::new(n);
-        for (i, c) in colors.iter().enumerate() {
-            coloring.assign(VertexId::new(i), c.expect("all vertices colored"));
-        }
-        Some(coloring)
-    } else {
-        None
-    }
 }
 
 #[cfg(test)]

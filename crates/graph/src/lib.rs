@@ -12,9 +12,11 @@
 //!   polynomial incremental-coalescing algorithm of Theorem 5;
 //! * **greedy-k-colorability** (the Chaitin/Briggs simplification scheme)
 //!   and the coloring number `col(G)` ([`greedy`]);
-//! * graph **coloring** algorithms: greedy over an order, DSATUR, and an
-//!   exact backtracking solver with optional same-color constraints
-//!   ([`coloring`]);
+//! * graph **coloring** algorithms: greedy over an order, DSATUR, and
+//!   exact solving with optional same-color constraints ([`coloring`]);
+//! * the pruned exact-decision engine behind the exponential queries
+//!   ([`solver`]): component decomposition, clique seeding, fresh-color
+//!   symmetry breaking and a transposition table, with instrumentation;
 //! * maximal-clique enumeration and exact maximum clique for small graphs
 //!   ([`cliques`]);
 //! * the **clique lifting** of Property 2 that transports NP-completeness
@@ -54,8 +56,10 @@ pub mod greedy;
 pub mod interval;
 pub mod lexbfs;
 pub mod lift;
+pub mod solver;
 pub mod stats;
 
 pub use coloring::Coloring;
 pub use dsu::DisjointSets;
 pub use graph::{Graph, VertexId};
+pub use solver::{ExactSolver, SolverConfig, SolverStats};

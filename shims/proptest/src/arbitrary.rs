@@ -23,6 +23,14 @@ impl Strategy for AnyBool {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for bool {

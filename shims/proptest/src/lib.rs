@@ -7,9 +7,12 @@
 //! macros.  Generation is deterministic: every test function derives its
 //! RNG seed from its own name, so failures reproduce across runs.
 //!
-//! Differences from upstream: no shrinking (a failing case panics with the
-//! generated values' debug output), and rejected cases (`prop_assume!`)
-//! are retried up to a fixed factor of the requested case count.
+//! Differences from upstream: shrinking is eager rather than lazy (a
+//! failing case is greedily minimized by re-running [`strategy::Strategy::shrink`]
+//! candidates — integers halve/decrement toward their lower bound, vecs
+//! shrink by prefix then element-wise — within a bounded budget), and
+//! rejected cases (`prop_assume!`) are retried up to a fixed factor of
+//! the requested case count.
 #![warn(missing_docs)]
 
 pub mod arbitrary;
@@ -97,7 +100,8 @@ macro_rules! prop_assume {
 }
 
 /// Declares property tests.  Each `fn name(pat in strategy, ...) { body }`
-/// item expands to a `#[test]` that runs `cases` generated inputs.
+/// item expands to a `#[test]` that runs `cases` generated inputs and, on
+/// failure, panics with a shrunk minimal counterexample.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -119,36 +123,21 @@ macro_rules! __proptest_items {
         $($rest:tt)*
     ) => {
         // `#[test]` arrives via `$meta`: callers write it inside the macro
-        // block, exactly as with upstream proptest.
+        // block, exactly as with upstream proptest.  The argument
+        // strategies are packed into one tuple strategy so generation and
+        // shrinking live in `run_property`.
         $(#[$meta])*
         fn $name() {
-            let config = $cfg;
-            let mut rng = $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
-            let mut accepted: u32 = 0;
-            let mut attempts: u32 = 0;
-            let max_attempts = config.cases.saturating_mul(20).max(20);
-            while accepted < config.cases {
-                attempts += 1;
-                if attempts > max_attempts {
-                    if accepted == 0 {
-                        panic!(
-                            "proptest: every generated case was rejected by prop_assume! \
-                             ({attempts} attempts)"
-                        );
-                    }
-                    break;
-                }
-                $(
-                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
-                )+
-                let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> = (|| {
+            $crate::test_runner::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cfg,
+                ($($strat,)+),
+                |__case| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__case);
                     $body
                     ::std::result::Result::Ok(())
-                })();
-                if outcome.is_ok() {
-                    accepted += 1;
-                }
-            }
+                },
+            );
         }
         $crate::__proptest_items! { @cfg($cfg) $($rest)* }
     };

@@ -5,14 +5,26 @@ use rand::{Rng, SampleUniform};
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike upstream proptest there is no value tree / shrinking: a strategy
-/// simply draws a value from the deterministic [`TestRng`].
+/// Unlike upstream proptest there is no lazy value tree: a strategy draws
+/// a value from the deterministic [`TestRng`], and *shrinking* is an
+/// explicit method proposing simpler candidates for an already-generated
+/// value (most aggressive first).  The runner re-tests candidates greedily
+/// until none still fails.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, most aggressive
+    /// first.  Candidates must themselves be producible by this strategy
+    /// (so a shrunk counterexample is still a valid input).  The default
+    /// is no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -35,6 +47,8 @@ pub trait Strategy {
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
+///
+/// `f` is not invertible, so mapped values do not shrink.
 #[derive(Clone, Debug)]
 pub struct Map<S, F> {
     inner: S,
@@ -85,25 +99,70 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+/// Integers that can propose smaller failing candidates: toward the lower
+/// bound by jumping straight to it, halving the distance, and decrementing.
+pub trait IntShrink: Copy + PartialEq {
+    /// Candidates in `[lo, value)`, most aggressive first.
+    fn shrink_toward(lo: Self, value: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_int_shrink {
+    ($($t:ty),*) => {$(
+        impl IntShrink for $t {
+            fn shrink_toward(lo: Self, value: Self) -> Vec<Self> {
+                // i128 intermediates keep `value - lo` overflow-free for
+                // every implementing type.
+                let (lo_w, value_w) = (lo as i128, value as i128);
+                if value_w <= lo_w {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let half = lo_w + (value_w - lo_w) / 2;
+                if half != lo_w {
+                    out.push(half as $t);
+                }
+                let dec = value_w - 1;
+                if dec != lo_w && dec != half {
+                    out.push(dec as $t);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_int_shrink!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform + IntShrink> Strategy for core::ops::Range<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
         rng.gen_range(self.clone())
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(self.start, *value)
+    }
 }
 
-impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+impl<T: SampleUniform + IntShrink> Strategy for core::ops::RangeInclusive<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
         rng.gen_range(self.clone())
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(*self.start(), *value)
     }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -111,11 +170,71 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component shrinks at a time; the others are kept.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_shrink_toward_the_lower_bound() {
+        // Aggressive first: the bound itself, then halving, then decrement.
+        assert_eq!((0usize..100).shrink(&40), vec![0, 20, 39]);
+        assert_eq!((5usize..100).shrink(&7), vec![5, 6]);
+        assert_eq!((5usize..100).shrink(&6), vec![5]);
+        assert_eq!((5usize..100).shrink(&5), Vec::<usize>::new());
+        assert_eq!((0usize..=10).shrink(&10), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn signed_integers_shrink_without_overflow() {
+        assert_eq!((i8::MIN..=i8::MAX).shrink(&i8::MAX), vec![-128, -1, 126]);
+        assert_eq!((-10i32..10).shrink(&-9), vec![-10]);
+    }
+
+    #[test]
+    fn shrink_candidates_stay_in_range() {
+        for value in 1..50u64 {
+            for candidate in (1u64..50).shrink(&value) {
+                assert!((1..50).contains(&candidate), "{candidate} for {value}");
+                assert!(candidate < value, "{candidate} not smaller than {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let strategy = (0usize..10, 0usize..10);
+        let candidates = strategy.shrink(&(4, 2));
+        assert!(candidates.contains(&(0, 2)));
+        assert!(candidates.contains(&(4, 0)));
+        assert!(candidates.iter().all(|&(a, b)| a == 4 || b == 2));
+    }
+
+    #[test]
+    fn just_and_map_do_not_shrink() {
+        assert!(Just(7u32).shrink(&7).is_empty());
+        let mapped = (0usize..10).prop_map(|x| x * 2);
+        assert!(mapped.shrink(&4).is_empty());
+    }
+}

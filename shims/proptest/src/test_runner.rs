@@ -1,6 +1,9 @@
-//! Test-runner configuration and the deterministic RNG behind generation.
+//! Test-runner configuration, the deterministic RNG behind generation,
+//! and the property-execution loop with input shrinking.
 
+use crate::strategy::Strategy;
 use rand::RngCore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Marker returned by `prop_assume!` when a generated case is rejected.
 #[derive(Clone, Copy, Debug)]
@@ -60,5 +63,216 @@ impl RngCore for TestRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+}
+
+/// How one generated case fared.
+enum CaseOutcome {
+    Pass,
+    Rejected,
+    Fail(String),
+}
+
+/// Runs the body once on `value`, catching assertion panics.
+fn run_case<V, F>(body: &F, value: &V) -> CaseOutcome
+where
+    F: Fn(&V) -> Result<(), Rejected>,
+{
+    match catch_unwind(AssertUnwindSafe(|| body(value))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(Rejected)) => CaseOutcome::Rejected,
+        Err(payload) => CaseOutcome::Fail(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Greedily minimizes a failing input: repeatedly takes the first
+/// [`Strategy::shrink`] candidate that still fails, within a bounded
+/// number of re-executions.  Returns the minimal input, the panic message
+/// it produced, and the number of successful shrink steps.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    body: &F,
+    mut current: S::Value,
+    mut message: String,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), Rejected>,
+{
+    // Every still-failing candidate panics inside `run_case`; without a
+    // silent panic hook each of those would print a full "thread
+    // panicked" block to stderr, burying the final minimal-counterexample
+    // report.  The mutex serializes concurrent shrinkers so the previous
+    // hook is always the one restored.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _hook_guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut budget = 512usize;
+    let mut steps = 0usize;
+    'minimize: while budget > 0 {
+        for candidate in strategy.shrink(&current) {
+            if budget == 0 {
+                break 'minimize;
+            }
+            budget -= 1;
+            if let CaseOutcome::Fail(msg) = run_case(body, &candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'minimize;
+            }
+        }
+        // No candidate fails any more: `current` is locally minimal.
+        break;
+    }
+    // `run_case` catches every body panic, so this restore is reached on
+    // all paths through the loop.
+    std::panic::set_hook(previous_hook);
+    (current, message, steps)
+}
+
+/// Executes one `proptest!` property: generates cases from `strategy`,
+/// runs `body` on each, retries `prop_assume!`-rejected cases, and on
+/// failure panics with a shrunk (minimal) counterexample.
+///
+/// This is the engine behind the `proptest!` macro; the macro only packs
+/// the argument strategies into a tuple and the test block into `body`.
+pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), Rejected>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut accepted: u32 = 0;
+    let mut attempts: u32 = 0;
+    let max_attempts = config.cases.saturating_mul(20).max(20);
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            assert!(
+                accepted > 0,
+                "proptest: every generated case was rejected by prop_assume! \
+                 ({attempts} attempts)"
+            );
+            break;
+        }
+        let value = strategy.generate(&mut rng);
+        match run_case(&body, &value) {
+            CaseOutcome::Pass => accepted += 1,
+            CaseOutcome::Rejected => {}
+            CaseOutcome::Fail(message) => {
+                let (minimal, minimal_message, steps) =
+                    shrink_failure(&strategy, &body, value.clone(), message);
+                panic!(
+                    "proptest: property `{name}` failed.\n\
+                     minimal failing input: {minimal:?} (after {steps} shrink steps)\n\
+                     original failing input: {value:?}\n\
+                     {minimal_message}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A property that fails for every value ≥ 17 must be minimized to
+    /// exactly 17 — the shrinker walks halving/decrement candidates down
+    /// to the boundary.
+    #[test]
+    fn failing_integer_property_shrinks_to_the_boundary() {
+        let result = catch_unwind(|| {
+            run_property(
+                "shrink_to_boundary",
+                ProptestConfig::with_cases(64),
+                (0usize..1000,),
+                |&(x,)| {
+                    assert!(x < 17, "too big: {x}");
+                    Ok(())
+                },
+            );
+        });
+        let message = panic_message(result.expect_err("property must fail").as_ref());
+        assert!(
+            message.contains("minimal failing input: (17,)"),
+            "unexpected report: {message}"
+        );
+        assert!(
+            message.contains("too big: 17"),
+            "unexpected report: {message}"
+        );
+    }
+
+    /// Vectors minimize to the shortest failing prefix with minimized
+    /// elements.
+    #[test]
+    fn failing_vec_property_shrinks_to_a_minimal_witness() {
+        let result = catch_unwind(|| {
+            run_property(
+                "shrink_vec",
+                ProptestConfig::with_cases(64),
+                (crate::collection::vec(0usize..100, 0..8),),
+                |(v,)| {
+                    assert!(!v.iter().any(|&x| x >= 10), "has a big element: {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let message = panic_message(result.expect_err("property must fail").as_ref());
+        // Minimal witness: a single element equal to the boundary.
+        assert!(
+            message.contains("minimal failing input: ([10],)"),
+            "unexpected report: {message}"
+        );
+    }
+
+    /// Passing properties never enter the shrinker and accept the
+    /// configured number of cases.
+    #[test]
+    fn passing_property_runs_all_cases() {
+        run_property(
+            "passing",
+            ProptestConfig::with_cases(32),
+            (0usize..5,),
+            |&(x,)| {
+                assert!(x < 5);
+                Ok(())
+            },
+        );
+    }
+
+    /// `prop_assume!`-style rejections are retried rather than counted.
+    #[test]
+    fn rejected_cases_are_retried() {
+        let mut seen = std::cell::Cell::new(0u32);
+        run_property(
+            "rejections",
+            ProptestConfig::with_cases(8),
+            (0usize..10,),
+            |&(x,)| {
+                if x % 2 == 1 {
+                    return Err(Rejected);
+                }
+                seen.set(seen.get() + 1);
+                assert!(x % 2 == 0);
+                Ok(())
+            },
+        );
+        assert!(seen.get_mut() >= &mut 8);
     }
 }

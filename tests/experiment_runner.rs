@@ -1,0 +1,119 @@
+//! Regression suite for the experiment runner: golden-file JSON pins, the
+//! serial/parallel byte-identity guarantee of `--jobs`, and the E4
+//! wall-clock budget that keeps the exponential blow-up from returning.
+
+use coalesce_bench::experiments::reductions;
+use coalesce_bench::{run_experiment, run_reports, ExperimentId, ExperimentReport, Json};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The serial full sweep at seed 42, computed once and shared by every
+/// test in this binary that needs it (the sweep is deterministic, so
+/// sharing cannot mask cross-run differences).
+fn serial_sweep() -> &'static [ExperimentReport] {
+    static SWEEP: OnceLock<Vec<ExperimentReport>> = OnceLock::new();
+    SWEEP.get_or_init(|| run_reports(&ExperimentId::ALL, 42, 1))
+}
+
+/// `run-experiments --experiment e1 --seed 42` must reproduce the
+/// committed fixture byte-for-byte.  If this fails because the E1 report
+/// format deliberately changed, regenerate the fixture with
+/// `run-experiments --experiment e1 --seed 42 --quiet --json tests/fixtures/e1_seed42.json`.
+#[test]
+fn e1_seed_42_matches_the_golden_fixture() {
+    let fixture = include_str!("fixtures/e1_seed42.json");
+    let current = run_experiment(ExperimentId::E1, 42)
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(
+        current, fixture,
+        "E1 seed-42 JSON deviates from tests/fixtures/e1_seed42.json"
+    );
+}
+
+/// The golden fixture itself parses, and its invariants hold: Theorem 2's
+/// `min_cut == exact_uncoalesced` on every row.
+#[test]
+fn the_golden_fixture_is_internally_consistent() {
+    let doc = Json::parse(include_str!("fixtures/e1_seed42.json")).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 4);
+    for row in rows {
+        assert_eq!(row.get("equal").and_then(Json::as_bool), Some(true));
+    }
+}
+
+/// `--jobs 4` must produce byte-identical output to `--jobs 1` for the
+/// full `--experiment all` sweep (the CLI's core determinism guarantee;
+/// `run_reports` is exactly the function the binary calls).
+#[test]
+fn jobs_4_output_is_byte_identical_to_jobs_1_for_all_experiments() {
+    let serialize = |reports: &[ExperimentReport]| -> String {
+        // The CLI's multi-report wrapper shape.
+        Json::object([
+            ("base_seed", Json::from(42u64)),
+            (
+                "experiments",
+                Json::Array(reports.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+        .to_pretty_string()
+    };
+    let serial = serialize(serial_sweep());
+    let parallel = serialize(&run_reports(&ExperimentId::ALL, 42, 4));
+    assert_eq!(
+        serial, parallel,
+        "--jobs must never change the serialized reports"
+    );
+}
+
+/// The full sweep at seed 42 must stay consistent with the committed
+/// `BENCH_baseline.json` on the structural/invariant level the CI
+/// `bench-diff` step checks: same experiments, same row counts, and every
+/// boolean invariant column still true where the baseline says so.
+#[test]
+fn the_sweep_matches_the_committed_baseline_invariants() {
+    let baseline = Json::parse(include_str!("../BENCH_baseline.json")).unwrap();
+    let reports = serial_sweep();
+    let baseline_experiments = baseline
+        .get("experiments")
+        .and_then(Json::as_array)
+        .unwrap();
+    assert_eq!(baseline_experiments.len(), reports.len());
+    for (report, base) in reports.iter().zip(baseline_experiments) {
+        assert_eq!(
+            Some(report.id.as_str()),
+            base.get("experiment").and_then(Json::as_str)
+        );
+        let base_rows = base.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            report.rows.len(),
+            base_rows.len(),
+            "{}: row count drifted from BENCH_baseline.json",
+            report.id
+        );
+    }
+}
+
+/// The E4 perf-regression budget: all 6 reduction rows of the acceptance
+/// seed must finish well under 2 seconds (the seed's naive backtracker
+/// took ~25 s in *release*; the pruned solver takes milliseconds, so a
+/// generous budget still catches any exponential regression).
+#[test]
+fn e4_rows_finish_within_the_wall_clock_budget() {
+    let start = Instant::now();
+    let seeds: Vec<u64> = (0..6u64).map(|s| 42 + 40 + s).collect();
+    for &seed in &seeds {
+        let row = reductions::e4_row(seed);
+        assert!(
+            row.invariant_holds(),
+            "seed {seed}: Theorem 4 equivalence violated: {row:?}"
+        );
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "E4's 6 reduction rows took {elapsed:?} (budget: 2 s) — the \
+         exponential blow-up is back; check the ExactSolver prunings"
+    );
+}
