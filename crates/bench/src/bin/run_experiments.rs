@@ -1,17 +1,24 @@
-//! `run-experiments` — deterministic CLI driver for the E1–E12 experiments.
+//! `run-experiments` — deterministic CLI driver for the E1–E12 experiments
+//! and the streaming corpus analyzer.
 //!
 //! ```text
 //! run-experiments --experiment e1 --seed 0 --json out.json
 //! run-experiments --experiment all --json all.json
+//! run-experiments --corpus instances/ --jobs 8 --json corpus.jsonl
 //! run-experiments --list
 //! ```
 //!
 //! The JSON output is byte-identical across runs for a fixed experiment
 //! and seed, so the files can be diffed and archived as `BENCH_*.json`
-//! perf-trajectory artifacts.
+//! perf-trajectory artifacts.  Corpus mode streams one JSON Lines row per
+//! instance file (batched, bounded memory) instead of building a report
+//! in memory.
 
+use coalesce_bench::corpus::{collect_corpus_paths, run_corpus, CorpusConfig};
 use coalesce_bench::experiments::UnknownExperiment;
 use coalesce_bench::{run_reports, ExperimentId, Json};
+use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -26,6 +33,10 @@ OPTIONS:
     --jobs <N>          Worker threads fanning out experiments and rows
                         (default: 1; output is byte-identical for any N)
     --json <PATH>       Write the JSON report to PATH (`-` for stdout)
+    --corpus <PATH>     Analyze a DIMACS/challenge instance file or directory
+                        instead of running experiments; repeatable.  Rows are
+                        streamed as JSON Lines to --json (default: stdout)
+    --batch <N>         Corpus instances processed per batch (default: 64)
     --quiet             Suppress the human-readable tables on stdout
     --list              List experiment ids and titles, then exit
     --help              Show this help
@@ -36,14 +47,18 @@ struct Options {
     seed: u64,
     jobs: usize,
     json_path: Option<String>,
+    corpus: Vec<PathBuf>,
+    batch_size: usize,
     quiet: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut experiments: Option<Vec<ExperimentId>> = None;
-    let mut seed = 0u64;
+    let mut seed: Option<u64> = None;
     let mut jobs = 1usize;
     let mut json_path = None;
+    let mut corpus: Vec<PathBuf> = Vec::new();
+    let mut batch_size: Option<usize> = None;
     let mut quiet = false;
 
     let mut iter = args.iter();
@@ -79,9 +94,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--seed" | "-s" => {
                 let value = value_for("--seed")?;
-                seed = value
-                    .parse()
-                    .map_err(|_| format!("--seed expects an unsigned integer, got `{value}`"))?;
+                seed =
+                    Some(value.parse().map_err(|_| {
+                        format!("--seed expects an unsigned integer, got `{value}`")
+                    })?);
             }
             "--jobs" => {
                 let value = value_for("--jobs")?;
@@ -92,9 +108,30 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .ok_or(format!("--jobs expects a positive integer, got `{value}`"))?;
             }
             "--json" | "-j" => json_path = Some(value_for("--json")?),
+            "--corpus" => corpus.push(PathBuf::from(value_for("--corpus")?)),
+            "--batch" => {
+                let value = value_for("--batch")?;
+                batch_size = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or(format!("--batch expects a positive integer, got `{value}`"))?,
+                );
+            }
             "--quiet" | "-q" => quiet = true,
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
+    }
+
+    // Each mode rejects the other's flags rather than silently ignoring
+    // them: --experiment/--seed drive only the experiment runner, --batch
+    // only the corpus analyzer.
+    if !corpus.is_empty() && (experiments.is_some() || seed.is_some()) {
+        return Err("--corpus cannot be combined with --experiment or --seed".into());
+    }
+    if corpus.is_empty() && batch_size.is_some() {
+        return Err("--batch only applies to --corpus mode".into());
     }
 
     // Dedupe while preserving first-occurrence order, so mixes of `all`
@@ -108,11 +145,73 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
 
     Ok(Some(Options {
         experiments,
-        seed,
+        seed: seed.unwrap_or(0),
         jobs,
         json_path,
+        corpus,
+        batch_size: batch_size.unwrap_or(64),
         quiet,
     }))
+}
+
+/// Corpus mode: expand the corpus arguments, stream JSON Lines rows to the
+/// `--json` destination (stdout by default), print the summary.
+fn run_corpus_mode(options: &Options) -> ExitCode {
+    let mut paths = Vec::new();
+    for root in &options.corpus {
+        match collect_corpus_paths(root) {
+            Ok(found) => paths.extend(found),
+            Err(e) => {
+                eprintln!("error: cannot read corpus {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let config = CorpusConfig {
+        jobs: options.jobs,
+        batch_size: options.batch_size,
+    };
+    let summary = match options.json_path.as_deref() {
+        Some(path) if path != "-" => {
+            let file = match std::fs::File::create(path) {
+                Ok(file) => file,
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut writer = std::io::BufWriter::new(file);
+            let summary = run_corpus(&paths, config, &mut writer);
+            summary.and_then(|s| writer.flush().map(|()| s))
+        }
+        _ => {
+            let stdout = std::io::stdout();
+            let mut writer = std::io::BufWriter::new(stdout.lock());
+            let summary = run_corpus(&paths, config, &mut writer);
+            summary.and_then(|s| writer.flush().map(|()| s))
+        }
+    };
+    match summary {
+        Ok(summary) => {
+            if !options.quiet {
+                eprintln!(
+                    "corpus: {} file(s), {} parse error(s), {} chordal, {} vertices, \
+                     {} interferences, {} affinities",
+                    summary.files,
+                    summary.parse_errors,
+                    summary.chordal,
+                    summary.total_vertices,
+                    summary.total_interferences,
+                    summary.total_affinities,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: corpus run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -125,6 +224,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if !options.corpus.is_empty() {
+        return run_corpus_mode(&options);
+    }
 
     let reports = run_reports(&options.experiments, options.seed, options.jobs);
 

@@ -1,0 +1,390 @@
+//! Streaming corpus runner: structural analysis of a directory of
+//! DIMACS / challenge instance files at large-corpus scale.
+//!
+//! The experiment reports of [`crate::experiments`] accumulate all their
+//! rows in memory before serializing, which is fine for a 12-experiment
+//! sweep but wrong for corpora of thousands of instance files (the
+//! Appel–George challenge suite shape the parsers in
+//! [`coalesce_graph::format`] target).  This module processes a corpus in
+//! **batches**: each batch is fanned over the worker pool, its rows are
+//! written to the output as JSON Lines *immediately*, and only a small
+//! running [`CorpusSummary`] survives the batch — memory stays bounded by
+//! the batch size regardless of corpus size.
+//!
+//! Per instance the analysis is the linear structural pipeline this
+//! repository is built around: parse, count, chordality via the
+//! Blair–Peyton MCS sweep, and — when chordal — `ω(G)` and the clique-tree
+//! node count read off the same construction.
+
+use crate::json::Json;
+use crate::par::par_map;
+use coalesce_graph::cliquetree::CliqueTree;
+use coalesce_graph::format::{self, ChallengeFile};
+use coalesce_graph::Graph;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Options of a corpus run.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Worker threads per batch (1 = serial).
+    pub jobs: usize,
+    /// Instances analyzed (and rows held in memory) at a time.
+    pub batch_size: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            jobs: 1,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Running totals of a corpus run; the only state that outlives a batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusSummary {
+    /// Files processed (parsed or not).
+    pub files: usize,
+    /// Files that failed to parse.
+    pub parse_errors: usize,
+    /// Parsed instances whose interference graph is chordal.
+    pub chordal: usize,
+    /// Total vertices over parsed instances.
+    pub total_vertices: usize,
+    /// Total interference edges over parsed instances.
+    pub total_interferences: usize,
+    /// Total affinities over parsed instances.
+    pub total_affinities: usize,
+}
+
+impl CorpusSummary {
+    /// The summary as a JSON object (the trailing line of a corpus file).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("summary", Json::from(true)),
+            ("files", Json::from(self.files)),
+            ("parse_errors", Json::from(self.parse_errors)),
+            ("chordal", Json::from(self.chordal)),
+            ("total_vertices", Json::from(self.total_vertices)),
+            ("total_interferences", Json::from(self.total_interferences)),
+            ("total_affinities", Json::from(self.total_affinities)),
+        ])
+    }
+}
+
+/// Expands a corpus argument into instance file paths: a file stands for
+/// itself, a directory for its (non-recursive) instance files, sorted by
+/// name so runs are deterministic.  Hidden files and obvious non-instance
+/// byproducts (`.json` / `.jsonl` output, `.md`, `.log`) are skipped, so
+/// writing the `--json` output into the corpus directory does not turn it
+/// into a parse-error row on the next run.
+pub fn collect_corpus_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
+    if root.is_file() {
+        return Ok(vec![root.to_path_buf()]);
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && !is_non_instance(p))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Files a corpus directory may plausibly contain that are never instance
+/// files: hidden files and common output/document extensions.
+fn is_non_instance(path: &Path) -> bool {
+    let hidden = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with('.'));
+    hidden
+        || matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("json") | Some("jsonl") | Some("md") | Some("log")
+        )
+}
+
+/// How a file's contents are interpreted, from its extension: `.col` /
+/// `.dimacs` are DIMACS coloring files, everything else the challenge
+/// format.
+fn is_dimacs(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("col") | Some("dimacs")
+    )
+}
+
+/// The outcome of analyzing one instance file.
+#[derive(Debug, Clone)]
+pub struct CorpusRow {
+    /// The analyzed file.
+    pub path: PathBuf,
+    /// Parse outcome: the instance, or the parse error message.
+    pub outcome: Result<CorpusInstance, String>,
+}
+
+/// The structural numbers of one parsed instance.
+#[derive(Debug, Clone)]
+pub struct CorpusInstance {
+    /// `"dimacs"` or `"challenge"`.
+    pub format: &'static str,
+    /// Live vertices of the interference graph.
+    pub vertices: usize,
+    /// Interference edges.
+    pub interferences: usize,
+    /// Affinities (0 for DIMACS files).
+    pub affinities: usize,
+    /// Register count recorded in the file, if any.
+    pub registers: Option<usize>,
+    /// Maximum degree of the interference graph.
+    pub max_degree: usize,
+    /// Whether the interference graph is chordal.
+    pub chordal: bool,
+    /// `ω(G)` when chordal.
+    pub omega: Option<usize>,
+    /// Clique-tree nodes (maximal cliques) when chordal.
+    pub clique_tree_nodes: Option<usize>,
+}
+
+impl CorpusRow {
+    /// The row as a JSON Lines object.
+    pub fn to_json(&self) -> Json {
+        let path = Json::from(self.path.display().to_string());
+        match &self.outcome {
+            Err(message) => Json::object([("path", path), ("error", Json::from(message.as_str()))]),
+            Ok(inst) => Json::object([
+                ("path", path),
+                ("format", Json::from(inst.format)),
+                ("vertices", Json::from(inst.vertices)),
+                ("interferences", Json::from(inst.interferences)),
+                ("affinities", Json::from(inst.affinities)),
+                ("registers", inst.registers.map_or(Json::Null, Json::from)),
+                ("max_degree", Json::from(inst.max_degree)),
+                ("chordal", Json::from(inst.chordal)),
+                ("omega", inst.omega.map_or(Json::Null, Json::from)),
+                (
+                    "clique_tree_nodes",
+                    inst.clique_tree_nodes.map_or(Json::Null, Json::from),
+                ),
+            ]),
+        }
+    }
+}
+
+/// Analyzes one instance file (parse + linear structural pipeline).
+pub fn analyze_file(path: &Path) -> CorpusRow {
+    let outcome = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read file: {e}"))
+        .and_then(|text| analyze_text(path, &text));
+    CorpusRow {
+        path: path.to_path_buf(),
+        outcome,
+    }
+}
+
+fn analyze_text(path: &Path, text: &str) -> Result<CorpusInstance, String> {
+    let (fmt, graph, affinities, registers) = if is_dimacs(path) {
+        let graph = format::from_dimacs(text).map_err(|e| e.to_string())?;
+        ("dimacs", graph, 0, None)
+    } else {
+        let ChallengeFile {
+            graph,
+            affinities,
+            registers,
+        } = format::from_challenge(text).map_err(|e| e.to_string())?;
+        ("challenge", graph, affinities.len(), registers)
+    };
+    Ok(analyze_graph(fmt, &graph, affinities, registers))
+}
+
+fn analyze_graph(
+    fmt: &'static str,
+    graph: &Graph,
+    affinities: usize,
+    registers: Option<usize>,
+) -> CorpusInstance {
+    let tree = CliqueTree::build(graph);
+    CorpusInstance {
+        format: fmt,
+        vertices: graph.num_vertices(),
+        interferences: graph.num_edges(),
+        affinities,
+        registers,
+        max_degree: graph.max_degree(),
+        chordal: tree.is_some(),
+        omega: tree.as_ref().map(CliqueTree::clique_number),
+        clique_tree_nodes: tree.as_ref().map(CliqueTree::num_nodes),
+    }
+}
+
+/// Runs the corpus: analyzes `paths` in batches of
+/// [`CorpusConfig::batch_size`], streams one JSON Lines row per file to
+/// `out` as each batch completes, appends a final summary line, and
+/// returns the summary.
+///
+/// Rows appear in input order (the per-batch fan-out is order-preserving),
+/// so the output is byte-identical for any `jobs` value.
+pub fn run_corpus(
+    paths: &[PathBuf],
+    config: CorpusConfig,
+    out: &mut dyn Write,
+) -> io::Result<CorpusSummary> {
+    let mut summary = CorpusSummary::default();
+    let batch_size = config.batch_size.max(1);
+    for batch in paths.chunks(batch_size) {
+        let rows = par_map(batch, config.jobs, |path| analyze_file(path));
+        for row in &rows {
+            summary.files += 1;
+            match &row.outcome {
+                Err(_) => summary.parse_errors += 1,
+                Ok(inst) => {
+                    summary.chordal += inst.chordal as usize;
+                    summary.total_vertices += inst.vertices;
+                    summary.total_interferences += inst.interferences;
+                    summary.total_affinities += inst.affinities;
+                }
+            }
+            writeln!(out, "{}", row.to_json().to_compact_string())?;
+        }
+        // The batch's rows (and parsed graphs) are dropped here; memory
+        // use is bounded by the batch, not the corpus.
+    }
+    writeln!(out, "{}", summary.to_json().to_compact_string())?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_corpus(name: &str, files: &[(&str, &str)]) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("coalesce-corpus-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (file, contents) in files {
+            std::fs::write(dir.join(file), contents).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn corpus_rows_stream_in_order_with_a_summary_line() {
+        let dir = temp_corpus(
+            "basic",
+            &[
+                ("a.col", "p edge 3 2\ne 1 2\ne 2 3\n"),
+                ("b.cg", "p coalesce 4 1 1\nk 2\ne 1 2\na 3 4 5\n"),
+                ("broken.cg", "p coalesce 2 1 0\n"),
+            ],
+        );
+        let paths = collect_corpus_paths(&dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        let mut out = Vec::new();
+        let summary = run_corpus(&paths, CorpusConfig::default(), &mut out).unwrap();
+        assert_eq!(summary.files, 3);
+        assert_eq!(summary.parse_errors, 1);
+        assert_eq!(summary.chordal, 2);
+        assert_eq!(summary.total_vertices, 7);
+        assert_eq!(summary.total_affinities, 1);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 rows + 1 summary: {text}");
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("format").and_then(Json::as_str), Some("dimacs"));
+        assert_eq!(first.get("chordal").and_then(Json::as_bool), Some(true));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            second.get("format").and_then(Json::as_str),
+            Some("challenge")
+        );
+        let third = Json::parse(lines[2]).unwrap();
+        assert!(third.get("error").is_some());
+        let last = Json::parse(lines[3]).unwrap();
+        assert_eq!(last.get("summary").and_then(Json::as_bool), Some(true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batching_and_jobs_do_not_change_the_output() {
+        let files: Vec<(String, String)> = (0..9)
+            .map(|i| {
+                (
+                    format!("g{i}.cg"),
+                    format!("p coalesce 3 2 0\ne 1 2\ne {} 3\n", 1 + i % 2),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &str)> = files
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
+        let dir = temp_corpus("batching", &refs);
+        let paths = collect_corpus_paths(&dir).unwrap();
+        let mut reference = Vec::new();
+        run_corpus(
+            &paths,
+            CorpusConfig {
+                jobs: 1,
+                batch_size: 1,
+            },
+            &mut reference,
+        )
+        .unwrap();
+        for (jobs, batch_size) in [(1, 4), (4, 2), (8, 64)] {
+            let mut out = Vec::new();
+            run_corpus(&paths, CorpusConfig { jobs, batch_size }, &mut out).unwrap();
+            assert_eq!(
+                out, reference,
+                "jobs={jobs} batch={batch_size} must be byte-identical"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn output_byproducts_and_hidden_files_are_not_corpus_instances() {
+        let dir = temp_corpus(
+            "filter",
+            &[
+                ("a.col", "p edge 2 1\ne 1 2\n"),
+                ("out.jsonl", "{\"summary\":true}\n"),
+                ("notes.md", "# corpus\n"),
+                (".hidden.cg", "p coalesce 1 0 0\n"),
+                ("run.log", "done\n"),
+            ],
+        );
+        let paths = collect_corpus_paths(&dir).unwrap();
+        assert_eq!(paths, vec![dir.join("a.col")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_chordal_instances_report_null_omega() {
+        let dir = temp_corpus(
+            "c4",
+            &[("c4.col", "p edge 4 4\ne 1 2\ne 2 3\ne 3 4\ne 4 1\n")],
+        );
+        let paths = collect_corpus_paths(&dir).unwrap();
+        let mut out = Vec::new();
+        let summary = run_corpus(&paths, CorpusConfig::default(), &mut out).unwrap();
+        assert_eq!(summary.chordal, 0);
+        let text = String::from_utf8(out).unwrap();
+        let row = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(row.get("chordal").and_then(Json::as_bool), Some(false));
+        assert_eq!(row.get("omega"), Some(&Json::Null));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_file_argument_is_its_own_corpus() {
+        let dir = temp_corpus("single", &[("one.cg", "p coalesce 2 0 1\na 1 2\n")]);
+        let file = dir.join("one.cg");
+        let paths = collect_corpus_paths(&file).unwrap();
+        assert_eq!(paths, vec![file]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

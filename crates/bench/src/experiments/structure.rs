@@ -31,21 +31,33 @@ pub struct E5Instance {
     pub pairs: Vec<(VertexId, VertexId)>,
 }
 
+/// The one generation recipe of the E5 instances (seeded by
+/// `base_seed + n`); both [`e5_instance`] and [`e5_row`] build their graph
+/// here, so the bench and the report always measure the same instance.
+fn e5_graph(base_seed: u64, n: usize) -> Graph {
+    let mut rng = coalesce_gen::rng(base_seed + n as u64);
+    random_interval_graph(n, 3 * n, n / 2 + 2, &mut rng).0
+}
+
 /// Builds the E5 instance for `n` vertices (seeded by `base_seed + n`).
 pub fn e5_instance(base_seed: u64, n: usize) -> E5Instance {
-    let mut rng = coalesce_gen::rng(base_seed + n as u64);
-    let (graph, _) = random_interval_graph(n, 3 * n, n / 2 + 2, &mut rng);
+    let graph = e5_graph(base_seed, n);
     let omega = chordal::chordal_clique_number(&graph).expect("interval graphs are chordal");
-    let pairs: Vec<(VertexId, VertexId)> = (0..n)
-        .flat_map(|a| ((a + 1)..n).map(move |b| (v(a), v(b))))
-        .filter(|&(a, b)| !graph.has_edge(a, b))
-        .take(30)
-        .collect();
+    let pairs = e5_pairs(&graph, n);
     E5Instance {
         graph,
         omega,
         pairs,
     }
+}
+
+/// The first 30 non-adjacent vertex pairs of an E5 instance.
+fn e5_pairs(graph: &Graph, n: usize) -> Vec<(VertexId, VertexId)> {
+    (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (v(a), v(b))))
+        .filter(|&(a, b)| !graph.has_edge(a, b))
+        .take(30)
+        .collect()
 }
 
 /// One E5 table row.
@@ -65,21 +77,23 @@ pub struct E5Row {
 /// Computes one E5 row; the exact cross-check runs only for `n ≤ 30`.
 ///
 /// The clique tree and `ω` are prepared once per instance
-/// ([`ChordalIncremental`]), so the thousand-vertex rows pay the
-/// tree-construction cost once instead of once per query.
+/// ([`ChordalIncremental`]), so the multi-thousand-vertex rows pay the
+/// (linear) tree-construction cost once instead of once per query; `ω`
+/// is read off the prepared session rather than recomputed.
 pub fn e5_row(base_seed: u64, n: usize) -> E5Row {
-    let inst = e5_instance(base_seed, n);
-    let session = ChordalIncremental::prepare(&inst.graph).expect("interval graphs are chordal");
+    let graph = e5_graph(base_seed, n);
+    let session = ChordalIncremental::prepare(&graph).expect("interval graphs are chordal");
+    let omega = session.omega();
+    let pairs = e5_pairs(&graph, n);
     let mut exact = ExactSolver::new();
     let mut agree = 0;
-    for &(a, b) in &inst.pairs {
+    for &(a, b) in &pairs {
         let fast = session
-            .query(inst.omega, a, b)
+            .query(omega, a, b)
             .expect("chordal instance within hypotheses")
             .is_coalescible();
         if n <= 30 {
-            let slow =
-                incremental_exact_with(&mut exact, &inst.graph, inst.omega, a, b).is_coalescible();
+            let slow = incremental_exact_with(&mut exact, &graph, omega, a, b).is_coalescible();
             if fast == slow {
                 agree += 1;
             }
@@ -87,19 +101,20 @@ pub fn e5_row(base_seed: u64, n: usize) -> E5Row {
     }
     E5Row {
         n,
-        omega: inst.omega,
-        queries: inst.pairs.len(),
+        omega,
+        queries: pairs.len(),
         agreement: (n <= 30).then_some(agree),
     }
 }
 
 /// The instance sizes of the E5 sweep.  The small sizes are cross-checked
-/// against the exact solver; the 500- and 1000-vertex sizes exercise the
+/// against the exact solver; the 500-to-5000-vertex sizes exercise the
 /// polynomial chordal algorithm at production-ish scale (the Theorem 5
-/// side is the one that must stay cheap as instances grow).  The current
-/// ceiling is the quadratic clique-tree construction, a known ROADMAP
-/// target for pushing the sweep further.
-pub const E5_SIZES: [usize; 5] = [15, 30, 60, 500, 1000];
+/// side is the one that must stay cheap as instances grow).  The
+/// multi-thousand sizes became affordable when the clique-tree pipeline
+/// went linear (bucket-queue MCS + Blair–Peyton construction); at
+/// n = 5000 the instance has ~2 million interference edges.
+pub const E5_SIZES: [usize; 7] = [15, 30, 60, 500, 1000, 2000, 5000];
 
 /// Runs E5 and packages the report.
 pub fn e5_report(base_seed: u64) -> ExperimentReport {

@@ -18,11 +18,13 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod experiments;
 pub mod json;
 pub mod par;
 pub mod report;
 
+pub use corpus::{run_corpus, CorpusConfig, CorpusSummary};
 pub use experiments::{run_experiment, run_experiment_with_jobs, run_reports, ExperimentId};
 pub use json::Json;
 pub use report::ExperimentReport;

@@ -19,7 +19,7 @@
 
 use coalesce_graph::cliquetree::CliqueTree;
 use coalesce_graph::solver::ExactSolver;
-use coalesce_graph::{chordal, Graph, VertexId};
+use coalesce_graph::{Graph, VertexId};
 use std::collections::BTreeSet;
 
 /// Answer of an incremental coalescing query.
@@ -118,12 +118,13 @@ pub struct ChordalIncremental<'g> {
 }
 
 impl<'g> ChordalIncremental<'g> {
-    /// Builds the clique tree and clique number of `graph` once.
+    /// Builds the clique tree of `graph` once; `ω(G)` is read off the tree
+    /// (its largest clique), so preparation is a single MCS sweep.
     ///
     /// Returns `None` if `graph` is not chordal.
     pub fn prepare(graph: &'g Graph) -> Option<Self> {
-        let omega = chordal::chordal_clique_number(graph)?;
         let tree = CliqueTree::build(graph)?;
+        let omega = tree.clique_number();
         Some(ChordalIncremental { graph, tree, omega })
     }
 
@@ -283,7 +284,7 @@ pub fn apply_class(graph: &mut Graph, class: &BTreeSet<VertexId>) -> VertexId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coalesce_graph::greedy;
+    use coalesce_graph::{chordal, greedy};
 
     fn v(i: usize) -> VertexId {
         VertexId::new(i)

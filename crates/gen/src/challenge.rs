@@ -40,6 +40,29 @@ impl Default for ChallengeParams {
     }
 }
 
+impl ChallengeParams {
+    /// Parameters that generate an instance with at least `target_vars`
+    /// interference-graph vertices, for multi-thousand-vertex corpus and
+    /// sweep workloads.
+    ///
+    /// The per-diamond variable yield shrinks as `registers` grows (higher
+    /// pressure targets mean fewer spill-inserted reloads), bottoming out
+    /// around 15 variables per diamond; sizing by a conservative 12 keeps
+    /// the floor promise across register counts, at the price of
+    /// overshooting the target by up to ~75% for small `registers`.
+    pub fn at_scale(target_vars: usize, registers: usize) -> Self {
+        ChallengeParams {
+            registers,
+            program: ProgramParams {
+                diamonds: target_vars / 12 + 1,
+                ops_per_block: 4,
+                pressure: registers + 2,
+                phis_per_join: 2,
+            },
+        }
+    }
+}
+
 /// A generated challenge instance.
 #[derive(Debug)]
 pub struct ChallengeInstance {
@@ -122,6 +145,27 @@ mod tests {
             a.affinity_graph.num_affinities(),
             b.affinity_graph.num_affinities()
         );
+    }
+
+    #[test]
+    fn at_scale_reaches_multi_thousand_vertex_instances() {
+        // The ROADMAP scaling target: challenge-style instances with
+        // thousands of vertices, generated in a bounded amount of time
+        // (the clique-tree pipeline downstream is linear since the
+        // Blair–Peyton rewrite, so generation is the remaining cost).
+        // The floor must hold across register counts: the per-diamond
+        // yield shrinks as k grows.
+        for registers in [8usize, 16, 32] {
+            let params = ChallengeParams::at_scale(5000, registers);
+            let mut r = crate::rng(1);
+            let inst = challenge_instance(&params, &mut r);
+            assert!(
+                inst.affinity_graph.graph.num_vertices() >= 5000,
+                "k = {registers}: got {} vertices",
+                inst.affinity_graph.graph.num_vertices()
+            );
+            assert!(inst.affinity_graph.num_affinities() > 0);
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub fn random_graph(n: usize, p: f64, rng: &mut ChaCha8Rng) -> Graph {
 /// random start in `0..span` and a random length in `1..=max_len`.  Interval
 /// graphs are chordal, so this doubles as a chordal-graph generator whose
 /// clique number is the maximum interval overlap.
+///
+/// Edges are produced by a sweep over the intervals in start order
+/// (`O(n log n + n·ω)` rather than the all-pairs `O(n²)`), so the
+/// generator scales to the multi-thousand-vertex instances of the E5
+/// sweep.  The random draws — and therefore the generated graph — are
+/// identical to the old all-pairs implementation for any seed.
 pub fn random_interval_graph(
     n: usize,
     span: usize,
@@ -37,14 +43,19 @@ pub fn random_interval_graph(
         })
         .collect();
     let mut g = Graph::new(n);
-    for i in 0..n {
-        for j in i + 1..n {
-            let (a1, b1) = intervals[i];
-            let (a2, b2) = intervals[j];
-            if a1.max(a2) <= b1.min(b2) {
-                g.add_edge(VertexId::new(i), VertexId::new(j));
-            }
+    // Sweep: visit intervals by increasing start; the active list holds
+    // exactly the earlier-started intervals still covering the current
+    // start, and each of them overlaps the new interval.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| intervals[i].0);
+    let mut active: Vec<usize> = Vec::new();
+    for &i in &order {
+        let (start, _) = intervals[i];
+        active.retain(|&j| intervals[j].1 >= start);
+        for &j in &active {
+            g.add_edge(VertexId::new(i), VertexId::new(j));
         }
+        active.push(i);
     }
     (g, intervals)
 }
@@ -141,6 +152,43 @@ mod tests {
             let g = random_greedy_k_colorable(20, 0.4, 4, &mut r);
             assert!(greedy::is_greedy_k_colorable(&g, 4), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn interval_sweep_matches_the_all_pairs_construction() {
+        // The sweep-based edge construction must produce exactly the edge
+        // set of the reference all-pairs overlap test, for every seed.
+        for seed in 0..10 {
+            let mut r = crate::rng(seed);
+            let (g, intervals) = random_interval_graph(60, 90, 20, &mut r);
+            let mut reference = Graph::new(intervals.len());
+            for i in 0..intervals.len() {
+                for j in i + 1..intervals.len() {
+                    let (a1, b1) = intervals[i];
+                    let (a2, b2) = intervals[j];
+                    if a1.max(a2) <= b1.min(b2) {
+                        reference.add_edge(VertexId::new(i), VertexId::new(j));
+                    }
+                }
+            }
+            let got: Vec<_> = g.edges().collect();
+            let want: Vec<_> = reference.edges().collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generators_scale_to_thousands_of_vertices() {
+        // Both chordal-family generators must handle the multi-thousand
+        // sizes the E5 sweep now uses.
+        let mut r = crate::rng(3);
+        let (g, _) = random_interval_graph(5000, 15000, 2502, &mut r);
+        assert_eq!(g.num_vertices(), 5000);
+        assert!(chordal::is_chordal(&g));
+        let mut r = crate::rng(4);
+        let h = random_chordal_graph(5000, 8, &mut r);
+        assert_eq!(h.num_vertices(), 5000);
+        assert!(chordal::is_chordal(&h));
     }
 
     #[test]

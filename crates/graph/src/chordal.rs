@@ -19,12 +19,189 @@ use crate::coloring::Coloring;
 use crate::graph::{Graph, VertexId};
 use std::collections::BTreeSet;
 
+/// The result of one [`mcs_clique_forest`] pass: the MCS visit order, the
+/// chordality verdict, and the Blair–Peyton clique-tree skeleton derived
+/// from the same run.
+///
+/// Everything is computed in a single `O(V + E)` sweep (up to the
+/// logarithmic factors of the underlying adjacency sets), which is what
+/// makes [`chordal_maximal_cliques`] and
+/// [`crate::cliquetree::CliqueTree::build`] linear instead of quadratic.
+pub(crate) struct CliqueForest {
+    /// Vertices in MCS **visit** order (first visited first).  The reverse
+    /// is the elimination order [`maximum_cardinality_search`] returns.
+    pub visit_order: Vec<VertexId>,
+    /// `true` iff the reverse of `visit_order` is a perfect elimination
+    /// ordering, i.e. iff the graph is chordal.  When `false` the clique
+    /// and edge fields are meaningless and must not be used.
+    pub chordal: bool,
+    /// The maximal cliques, in discovery order (at most one per vertex).
+    pub cliques: Vec<BTreeSet<VertexId>>,
+    /// Clique-tree edges: the Blair–Peyton parent links, plus one
+    /// (empty-separator) stitch edge per extra connected component so the
+    /// node set always forms a single tree.
+    pub tree_edges: Vec<(usize, usize)>,
+}
+
+/// Runs MCS with a bucket queue and derives the maximal cliques and the
+/// clique-tree edges directly from the run, following Blair & Peyton's
+/// clique-tree algorithm (*An Introduction to Chordal Graphs and Clique
+/// Trees*, Fig. 4; the MCS treatment is Golumbic's, the paper's reference
+/// [20]).
+///
+/// The visit loop is the classical lazy-deletion bucket queue: every
+/// unvisited vertex has a valid entry in `buckets[weight(v)]`, stale
+/// entries are skipped on pop, and the running maximum only ever rises by
+/// one per visit, so the whole selection costs `O(V + E)`.
+///
+/// A vertex *starts a new clique* exactly when its visited-neighbor count
+/// fails to grow past the previous vertex's (Blair–Peyton); its visited
+/// neighborhood `M(v)` seeds the clique and the tree edge goes to the
+/// clique of the most recently visited vertex of `M(v)`.  Chordality is
+/// then verified by a Tarjan–Yannakakis pass over the elimination order
+/// (timestamped neighborhood bitmap, no per-edge set lookups), so the
+/// whole routine does `O(V + E)` work outside the adjacency-set scans.
+pub(crate) fn mcs_clique_forest(g: &Graph) -> CliqueForest {
+    let cap = g.capacity();
+    let n = g.num_vertices();
+    let mut weight = vec![0usize; cap];
+    let mut visited = vec![false; cap];
+    let mut visit_pos = vec![usize::MAX; cap];
+    let mut clique_of = vec![usize::MAX; cap];
+    let mut visit_order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut cliques: Vec<BTreeSet<VertexId>> = Vec::new();
+    let mut tree_edges: Vec<(usize, usize)> = Vec::new();
+
+    // buckets[w] holds candidates whose weight may be w; a vertex's entry
+    // in buckets[weight(v)] is always valid, older entries are stale.
+    let mut buckets: Vec<Vec<VertexId>> = vec![g.vertices().collect()];
+    let mut max_w = 0usize;
+    // Visited-neighbor count of the previously visited vertex; MAX is the
+    // "no previous vertex" sentinel so the first vertex starts a clique.
+    let mut prev_card = usize::MAX;
+
+    while visit_order.len() < n {
+        let v = loop {
+            match buckets[max_w].pop() {
+                Some(c) if !visited[c.index()] && weight[c.index()] == max_w => break c,
+                Some(_) => continue, // stale entry
+                None => max_w -= 1,  // bucket exhausted; the max can only drop
+            }
+        };
+        visited[v.index()] = true;
+        visit_pos[v.index()] = visit_order.len();
+        visit_order.push(v);
+        let card = weight[v.index()];
+
+        if prev_card == usize::MAX || card <= prev_card {
+            // M(v): the already-visited neighbors, and the one visited
+            // last (only clique starters need the set materialised).
+            let mut m_last: Option<VertexId> = None;
+            let mut m_v: Vec<VertexId> = Vec::with_capacity(card);
+            for u in g.neighbors(v) {
+                if visited[u.index()] && u != v {
+                    m_v.push(u);
+                    if m_last.is_none_or(|l| visit_pos[u.index()] > visit_pos[l.index()]) {
+                        m_last = Some(u);
+                    }
+                }
+            }
+            debug_assert_eq!(m_v.len(), card);
+            // v begins a new clique C_s = M(v) ∪ {v}.
+            let s = cliques.len();
+            match m_last {
+                // Tree edge to the clique of the most recent M(v) member;
+                // M(v) (the separator) is contained in that clique.
+                Some(last) => tree_edges.push((s, clique_of[last.index()])),
+                // New connected component: stitch it to the previous
+                // clique so the forest stays one tree (empty separator).
+                None if s > 0 => tree_edges.push((s, s - 1)),
+                None => {}
+            }
+            let mut clique: BTreeSet<VertexId> = m_v.iter().copied().collect();
+            clique.insert(v);
+            cliques.push(clique);
+        } else {
+            // v joins the clique under construction.
+            cliques
+                .last_mut()
+                .expect("a clique exists once a vertex was visited")
+                .insert(v);
+        }
+        clique_of[v.index()] = cliques.len() - 1;
+        prev_card = card;
+
+        // Bump the unvisited neighbors' weights into their new buckets.
+        for u in g.neighbors(v) {
+            if !visited[u.index()] {
+                let w = weight[u.index()] + 1;
+                weight[u.index()] = w;
+                if w >= buckets.len() {
+                    buckets.resize(w + 1, Vec::new());
+                }
+                buckets[w].push(u);
+            }
+        }
+        // The maximum weight can rise by at most one per visit.
+        if max_w + 1 < buckets.len() {
+            max_w += 1;
+        }
+    }
+
+    // Tarjan–Yannakakis chordality test over the elimination order (the
+    // reverse of the visit order).  Each vertex defers its later
+    // (earlier-visited) neighborhood minus its parent to that parent,
+    // which must contain the deferred set in its own neighborhood; a
+    // timestamped bitmap makes every membership test O(1), so the whole
+    // pass is O(V + E) with no per-edge set lookups.
+    let mut chordal = true;
+    let mut mark = vec![usize::MAX; cap];
+    let mut deferred: Vec<Vec<VertexId>> = vec![Vec::new(); cap];
+    'elimination: for i in (0..n).rev() {
+        let v = visit_order[i];
+        for u in g.neighbors(v) {
+            mark[u.index()] = i;
+        }
+        for w in deferred[v.index()].drain(..) {
+            if mark[w.index()] != i {
+                chordal = false;
+                break 'elimination;
+            }
+        }
+        // Parent: the most recently visited member of M(v).
+        let mut parent: Option<VertexId> = None;
+        for u in g.neighbors(v) {
+            if visit_pos[u.index()] < i
+                && parent.is_none_or(|p| visit_pos[u.index()] > visit_pos[p.index()])
+            {
+                parent = Some(u);
+            }
+        }
+        if let Some(p) = parent {
+            for u in g.neighbors(v) {
+                if visit_pos[u.index()] < i && u != p {
+                    deferred[p.index()].push(u);
+                }
+            }
+        }
+    }
+
+    CliqueForest {
+        visit_order,
+        chordal,
+        cliques,
+        tree_edges,
+    }
+}
+
 /// Runs Maximum Cardinality Search on the live part of `g`.
 ///
 /// Returns the vertices in **elimination order**: the returned sequence is a
 /// perfect elimination ordering iff `g` is chordal.  (MCS itself numbers
 /// vertices from `n` down to `1`; we return the order `1..n`, i.e. the
 /// reverse of the visit order.)
+///
+/// Runs in `O(V + E)` via a bucket queue with lazy deletion.
 ///
 /// ```
 /// use coalesce_graph::{Graph, chordal};
@@ -33,28 +210,9 @@ use std::collections::BTreeSet;
 /// assert_eq!(order.len(), 3);
 /// ```
 pub fn maximum_cardinality_search(g: &Graph) -> Vec<VertexId> {
-    let cap = g.capacity();
-    let mut weight = vec![0usize; cap];
-    let mut visited = vec![false; cap];
-    let mut visit_order = Vec::with_capacity(g.num_vertices());
-    // Buckets of vertices by weight for O((V+E) log V)-ish behaviour without
-    // a dedicated priority structure; graphs here are small enough.
-    for _ in 0..g.num_vertices() {
-        let v = g
-            .vertices()
-            .filter(|v| !visited[v.index()])
-            .max_by_key(|v| weight[v.index()])
-            .expect("live vertex must exist");
-        visited[v.index()] = true;
-        visit_order.push(v);
-        for u in g.neighbors(v) {
-            if !visited[u.index()] {
-                weight[u.index()] += 1;
-            }
-        }
-    }
-    visit_order.reverse();
-    visit_order
+    let mut order = mcs_clique_forest(g).visit_order;
+    order.reverse();
+    order
 }
 
 /// Checks whether `order` (a permutation of the live vertices of `g`) is a
@@ -97,14 +255,15 @@ pub fn is_perfect_elimination_ordering(g: &Graph, order: &[VertexId]) -> bool {
 }
 
 /// Returns a perfect elimination ordering of `g`, or `None` if `g` is not
-/// chordal.
+/// chordal.  `O(V + E)`: the chordality verdict comes out of the same MCS
+/// sweep that produces the order.
 pub fn perfect_elimination_ordering(g: &Graph) -> Option<Vec<VertexId>> {
-    let order = maximum_cardinality_search(g);
-    if is_perfect_elimination_ordering(g, &order) {
-        Some(order)
-    } else {
-        None
-    }
+    let forest = mcs_clique_forest(g);
+    forest.chordal.then(|| {
+        let mut order = forest.visit_order;
+        order.reverse();
+        order
+    })
 }
 
 /// Returns `true` iff the live part of `g` is a chordal graph.
@@ -135,65 +294,31 @@ pub fn find_simplicial_vertex(g: &Graph) -> Option<VertexId> {
     g.vertices().find(|&v| is_simplicial(g, v))
 }
 
-/// Computes the clique number `ω(G)` of a **chordal** graph from a perfect
-/// elimination ordering, in linear time: `ω(G) = 1 + max_v |later
-/// neighbors of v|`.
+/// Computes the clique number `ω(G)` of a **chordal** graph in linear
+/// time: it is the size of the largest clique the Blair–Peyton sweep
+/// discovers (equivalently `1 + max_v |later neighbors of v|` over a
+/// perfect elimination ordering).
 ///
 /// Returns `None` if `g` is not chordal (use [`crate::cliques`] for general
 /// graphs).
 pub fn chordal_clique_number(g: &Graph) -> Option<usize> {
-    let order = perfect_elimination_ordering(g)?;
-    if order.is_empty() {
-        return Some(0);
-    }
-    let cap = g.capacity();
-    let mut position = vec![usize::MAX; cap];
-    for (i, &v) in order.iter().enumerate() {
-        position[v.index()] = i;
-    }
-    let mut omega = 1;
-    for &v in &order {
-        let later = g
-            .neighbors(v)
-            .filter(|u| position[u.index()] > position[v.index()])
-            .count();
-        omega = omega.max(later + 1);
-    }
-    Some(omega)
+    let forest = mcs_clique_forest(g);
+    forest
+        .chordal
+        .then(|| forest.cliques.iter().map(BTreeSet::len).max().unwrap_or(0))
 }
 
-/// Enumerates the maximal cliques of a **chordal** graph.
+/// Enumerates the maximal cliques of a **chordal** graph, in `O(V + E)`.
 ///
-/// For each vertex `v` in a perfect elimination ordering, the set
-/// `{v} ∪ {later neighbors of v}` is a clique; the maximal ones (those not
-/// strictly contained in the clique of an earlier vertex) are exactly the
-/// maximal cliques of the graph.  A chordal graph on `n` vertices has at
-/// most `n` maximal cliques.
+/// The cliques fall out of the Blair–Peyton MCS sweep directly: a new
+/// clique starts exactly when a vertex's visited-neighbor count stops
+/// growing, so no subset checks between candidate cliques are needed.  A
+/// chordal graph on `n` vertices has at most `n` maximal cliques.
 ///
 /// Returns `None` if `g` is not chordal.
 pub fn chordal_maximal_cliques(g: &Graph) -> Option<Vec<BTreeSet<VertexId>>> {
-    let order = perfect_elimination_ordering(g)?;
-    let cap = g.capacity();
-    let mut position = vec![usize::MAX; cap];
-    for (i, &v) in order.iter().enumerate() {
-        position[v.index()] = i;
-    }
-    let mut cliques: Vec<BTreeSet<VertexId>> = Vec::new();
-    for &v in &order {
-        let mut clique: BTreeSet<VertexId> = g
-            .neighbors(v)
-            .filter(|u| position[u.index()] > position[v.index()])
-            .collect();
-        clique.insert(v);
-        if !cliques.iter().any(|c| clique.is_subset(c)) {
-            cliques.retain(|c| !c.is_subset(&clique));
-            cliques.push(clique);
-        }
-    }
-    if cliques.is_empty() && g.num_vertices() == 0 {
-        return Some(Vec::new());
-    }
-    Some(cliques)
+    let forest = mcs_clique_forest(g);
+    forest.chordal.then_some(forest.cliques)
 }
 
 /// Optimally colors a **chordal** graph with `ω(G)` colors by coloring the

@@ -10,7 +10,8 @@ use std::collections::BTreeSet;
 ///
 /// Exponential in the worst case; intended for the small instances used to
 /// validate reductions.  For chordal graphs prefer
-/// [`crate::chordal::chordal_maximal_cliques`], which is linear.
+/// [`crate::chordal::chordal_maximal_cliques`], which is `O(V + E)` (the
+/// Blair–Peyton enumeration off a single MCS sweep).
 pub fn maximal_cliques(g: &Graph) -> Vec<BTreeSet<VertexId>> {
     if g.num_vertices() == 0 {
         return Vec::new();

@@ -11,7 +11,6 @@
 //! works on a path of this tree; [`CliqueTree::path_between`] provides it.
 
 use crate::chordal;
-use crate::dsu::DisjointSets;
 use crate::graph::{Graph, VertexId};
 use std::collections::BTreeSet;
 
@@ -27,43 +26,41 @@ use std::collections::BTreeSet;
 pub struct CliqueTree {
     cliques: Vec<BTreeSet<VertexId>>,
     adjacency: Vec<Vec<usize>>,
+    /// For each vertex index, the (ascending) tree nodes whose clique
+    /// contains it — the subtree `T_v`, precomputed so the per-vertex
+    /// queries on the Theorem-5 hot path don't scan every clique.
+    containing: Vec<Vec<usize>>,
     capacity: usize,
 }
 
 impl CliqueTree {
-    /// Builds a clique tree of the live part of `g`.
+    /// Builds a clique tree of the live part of `g` in `O(V + E)`: the
+    /// maximal cliques *and* the tree edges both come out of a single
+    /// Blair–Peyton MCS sweep ([`chordal`]'s clique-forest machinery), so
+    /// no pairwise clique intersections or spanning-tree search is needed.
     ///
     /// Returns `None` if `g` is not chordal.
     pub fn build(g: &Graph) -> Option<Self> {
-        let cliques = chordal::chordal_maximal_cliques(g)?;
-        let m = cliques.len();
-        let mut adjacency = vec![Vec::new(); m];
-        if m > 1 {
-            // Maximum-weight spanning tree on clique-intersection sizes
-            // (Kruskal).  For chordal graphs any such tree satisfies the
-            // junction property.
-            let mut edges: Vec<(usize, usize, usize)> = Vec::new();
-            for i in 0..m {
-                for j in i + 1..m {
-                    let w = cliques[i].intersection(&cliques[j]).count();
-                    edges.push((w, i, j));
-                }
-            }
-            edges.sort_by_key(|&(w, _, _)| std::cmp::Reverse(w));
-            let mut dsu = DisjointSets::new(m);
-            for (_w, i, j) in edges {
-                if dsu.union(i, j).is_some() {
-                    adjacency[i].push(j);
-                    adjacency[j].push(i);
-                    if dsu.num_sets() == 1 {
-                        break;
-                    }
-                }
+        let forest = chordal::mcs_clique_forest(g);
+        if !forest.chordal {
+            return None;
+        }
+        let cliques = forest.cliques;
+        let mut adjacency = vec![Vec::new(); cliques.len()];
+        for &(a, b) in &forest.tree_edges {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        let mut containing = vec![Vec::new(); g.capacity()];
+        for (i, clique) in cliques.iter().enumerate() {
+            for &v in clique {
+                containing[v.index()].push(i);
             }
         }
         Some(CliqueTree {
             cliques,
             adjacency,
+            containing,
             capacity: g.capacity(),
         })
     }
@@ -94,16 +91,18 @@ impl CliqueTree {
         self.cliques.iter().map(BTreeSet::len).max().unwrap_or(0)
     }
 
-    /// Nodes whose clique contains vertex `v` (the subtree `T_v`).
-    pub fn nodes_containing(&self, v: VertexId) -> Vec<usize> {
-        (0..self.num_nodes())
-            .filter(|&i| self.cliques[i].contains(&v))
-            .collect()
+    /// Nodes whose clique contains vertex `v` (the subtree `T_v`), in
+    /// ascending node order.  `O(1)`: served from the precomputed
+    /// vertex→node index.
+    pub fn nodes_containing(&self, v: VertexId) -> &[usize] {
+        self.containing
+            .get(v.index())
+            .map_or(&[], |nodes| nodes.as_slice())
     }
 
-    /// Some node whose clique contains `v`, if any.
+    /// Some node whose clique contains `v`, if any.  `O(1)`.
     pub fn any_node_containing(&self, v: VertexId) -> Option<usize> {
-        (0..self.num_nodes()).find(|&i| self.cliques[i].contains(&v))
+        self.nodes_containing(v).first().copied()
     }
 
     /// The unique tree path from node `from` to node `to` (inclusive).
@@ -283,9 +282,9 @@ mod tests {
     fn nodes_containing_and_intervals() {
         let g = two_triangles();
         let t = CliqueTree::build(&g).unwrap();
-        let shared: Vec<usize> = t.nodes_containing(1.into());
+        let shared = t.nodes_containing(1.into());
         assert_eq!(shared.len(), 2);
-        let only0: Vec<usize> = t.nodes_containing(0.into());
+        let only0 = t.nodes_containing(0.into());
         assert_eq!(only0.len(), 1);
         let path = t.path_between(0, 1);
         let intervals = t.intervals_on_path(&path);

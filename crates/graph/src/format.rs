@@ -96,11 +96,15 @@ pub fn to_dimacs(g: &Graph) -> String {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] if the problem line is missing or malformed, a
-/// vertex number is out of range or zero, or an unknown line type is
+/// Returns a [`ParseError`] if the problem line is missing, duplicated or
+/// malformed, a vertex number is out of range or zero, an edge is a
+/// self-loop, the number of `e` lines does not match the declared edge
+/// count (truncated or padded file), or an unknown line type is
 /// encountered.
 pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
     let mut graph: Option<Graph> = None;
+    let mut declared_edges = 0usize;
+    let mut edge_lines = 0usize;
     for (idx, raw) in input.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
@@ -110,6 +114,12 @@ pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("p") => {
+                if graph.is_some() {
+                    return Err(err(
+                        lineno,
+                        "duplicate problem line (the graph was already declared)",
+                    ));
+                }
                 let kind = parts
                     .next()
                     .ok_or_else(|| err(lineno, "missing problem kind"))?;
@@ -117,7 +127,7 @@ pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
                     return Err(err(lineno, format!("unsupported problem kind `{kind}`")));
                 }
                 let n: usize = parse_field(parts.next(), lineno, "vertex count")?;
-                let _m: usize = parse_field(parts.next(), lineno, "edge count")?;
+                declared_edges = parse_field(parts.next(), lineno, "edge count")?;
                 graph = Some(Graph::new(n));
             }
             Some("e") => {
@@ -125,9 +135,11 @@ pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
                     .as_mut()
                     .ok_or_else(|| err(lineno, "edge line before problem line"))?;
                 let (u, v) = parse_edge(&mut parts, lineno, g.capacity())?;
-                if u != v {
-                    g.add_edge(u, v);
+                if u == v {
+                    return Err(err(lineno, "self-loop edge is not allowed"));
                 }
+                g.add_edge(u, v);
+                edge_lines += 1;
             }
             Some(other) => {
                 return Err(err(lineno, format!("unknown line type `{other}`")));
@@ -135,7 +147,14 @@ pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
             None => unreachable!("non-empty line has a first token"),
         }
     }
-    graph.ok_or_else(|| err(0, "no problem line found"))
+    let graph = graph.ok_or_else(|| err(0, "no problem line found"))?;
+    if edge_lines != declared_edges {
+        return Err(err(
+            0,
+            format!("problem line declares {declared_edges} edge(s) but {edge_lines} were parsed"),
+        ));
+    }
+    Ok(graph)
 }
 
 /// Serialises a full coalescing instance in the challenge format.
@@ -163,13 +182,18 @@ pub fn to_challenge(file: &ChallengeFile) -> String {
 ///
 /// # Errors
 ///
-/// Returns a [`ParseError`] on a malformed or missing problem line, vertex
-/// numbers out of range, affinities between identical vertices, or unknown
+/// Returns a [`ParseError`] on a malformed, missing or duplicated problem
+/// line, vertex numbers out of range, self-loop interferences, affinities
+/// between identical vertices, interference/affinity line counts that do
+/// not match the declared counts (truncated or padded file), or unknown
 /// line types.
 pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
     let mut graph: Option<Graph> = None;
     let mut affinities: Vec<(VertexId, VertexId, u64)> = Vec::new();
     let mut registers = None;
+    let mut declared_edges = 0usize;
+    let mut declared_affinities = 0usize;
+    let mut edge_lines = 0usize;
     for (idx, raw) in input.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
@@ -179,6 +203,12 @@ pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("p") => {
+                if graph.is_some() {
+                    return Err(err(
+                        lineno,
+                        "duplicate problem line (the instance was already declared)",
+                    ));
+                }
                 let kind = parts
                     .next()
                     .ok_or_else(|| err(lineno, "missing problem kind"))?;
@@ -186,8 +216,8 @@ pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
                     return Err(err(lineno, format!("unsupported problem kind `{kind}`")));
                 }
                 let n: usize = parse_field(parts.next(), lineno, "vertex count")?;
-                let _m: usize = parse_field(parts.next(), lineno, "interference count")?;
-                let _a: usize = parse_field(parts.next(), lineno, "affinity count")?;
+                declared_edges = parse_field(parts.next(), lineno, "interference count")?;
+                declared_affinities = parse_field(parts.next(), lineno, "affinity count")?;
                 graph = Some(Graph::new(n));
             }
             Some("k") => {
@@ -202,6 +232,7 @@ pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
                     return Err(err(lineno, "self-interference is not allowed"));
                 }
                 g.add_edge(u, v);
+                edge_lines += 1;
             }
             Some("a") => {
                 let g = graph
@@ -226,6 +257,23 @@ pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
         }
     }
     let graph = graph.ok_or_else(|| err(0, "no problem line found"))?;
+    if edge_lines != declared_edges {
+        return Err(err(
+            0,
+            format!(
+                "problem line declares {declared_edges} interference(s) but {edge_lines} were parsed"
+            ),
+        ));
+    }
+    if affinities.len() != declared_affinities {
+        return Err(err(
+            0,
+            format!(
+                "problem line declares {declared_affinities} affinity(ies) but {} were parsed",
+                affinities.len()
+            ),
+        ));
+    }
     Ok(ChallengeFile {
         graph,
         affinities,
@@ -354,6 +402,45 @@ mod tests {
     fn challenge_rejects_bad_weights() {
         let e = from_challenge("p coalesce 2 0 1\na 1 2 heavy\n").unwrap_err();
         assert!(e.message.contains("invalid affinity weight"));
+    }
+
+    #[test]
+    fn duplicate_problem_lines_are_rejected() {
+        // A second `p` line used to silently reset the graph, discarding
+        // every previously parsed edge/affinity.
+        let e = from_dimacs("p edge 3 1\ne 1 2\np edge 5 0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate problem line"), "{e}");
+        let e = from_challenge("p coalesce 3 1 0\ne 1 2\np coalesce 9 0 0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate problem line"), "{e}");
+    }
+
+    #[test]
+    fn self_loops_are_rejected_by_both_parsers() {
+        // `from_dimacs` used to drop `e u u` silently while
+        // `from_challenge` errored; both must error now.
+        let e = from_dimacs("p edge 2 1\ne 1 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("self-loop"), "{e}");
+        assert!(from_challenge("p coalesce 2 1 0\ne 2 2\n").is_err());
+    }
+
+    #[test]
+    fn truncated_files_no_longer_parse_silently() {
+        // Fewer `e` lines than declared: a truncated download or an
+        // interrupted writer must not yield a silently smaller graph.
+        let e = from_dimacs("p edge 3 2\ne 1 2\n").unwrap_err();
+        assert!(e.message.contains("declares 2 edge(s) but 1"), "{e}");
+        // More lines than declared is just as suspicious.
+        let e = from_dimacs("p edge 3 1\ne 1 2\ne 2 3\n").unwrap_err();
+        assert!(e.message.contains("declares 1 edge(s) but 2"), "{e}");
+        // Challenge: both the interference and the affinity counts are
+        // validated.
+        let e = from_challenge("p coalesce 3 2 0\ne 1 2\n").unwrap_err();
+        assert!(e.message.contains("interference"), "{e}");
+        let e = from_challenge("p coalesce 3 0 2\na 1 2 4\n").unwrap_err();
+        assert!(e.message.contains("affinity"), "{e}");
     }
 
     #[test]

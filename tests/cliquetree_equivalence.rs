@@ -1,0 +1,250 @@
+//! Equivalence and fuzz suite for the linear (Blair–Peyton) clique-tree
+//! pipeline and the hardened DIMACS/challenge parsers.
+//!
+//! The Blair–Peyton construction replaced a quadratic pipeline (subset
+//! checks between candidate cliques + all-pairs Kruskal); these tests pin
+//! the new construction to the old one's observable behavior: the same
+//! maximal-clique set, a tree with the junction property, and the same
+//! clique number.  The parser fuzz covers the bugfixes of the same PR:
+//! duplicate problem lines, self-loops and truncated files must all be
+//! rejected instead of silently mangling the instance.
+
+use coalesce_gen::graphs::{random_chordal_graph, random_interval_graph};
+use coalesce_graph::cliquetree::CliqueTree;
+use coalesce_graph::format::{from_challenge, from_dimacs, to_challenge, to_dimacs, ChallengeFile};
+use coalesce_graph::{chordal, Graph, VertexId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The pre-Blair–Peyton enumeration, kept verbatim as the reference: for
+/// every vertex of a perfect elimination ordering, `{v} ∪ {later
+/// neighbors}` is a candidate clique, and the maximal candidates under
+/// set inclusion are the maximal cliques.
+fn subset_check_maximal_cliques(g: &Graph) -> Option<Vec<BTreeSet<VertexId>>> {
+    let order = chordal::perfect_elimination_ordering(g)?;
+    let cap = g.capacity();
+    let mut position = vec![usize::MAX; cap];
+    for (i, &v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut cliques: Vec<BTreeSet<VertexId>> = Vec::new();
+    for &v in &order {
+        let mut clique: BTreeSet<VertexId> = g
+            .neighbors(v)
+            .filter(|u| position[u.index()] > position[v.index()])
+            .collect();
+        clique.insert(v);
+        if !cliques.iter().any(|c| clique.is_subset(c)) {
+            cliques.retain(|c| !c.is_subset(&clique));
+            cliques.push(clique);
+        }
+    }
+    Some(cliques)
+}
+
+/// Strategy: a random interval graph (always chordal) of up to 40 vertices.
+fn arbitrary_interval_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0usize..40, 1usize..12), 1..40).prop_map(|intervals| {
+        let n = intervals.len();
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let (a1, l1) = intervals[i];
+                let (a2, l2) = intervals[j];
+                let (b1, b2) = (a1 + l1, a2 + l2);
+                if a1.max(a2) <= b1.min(b2) {
+                    g.add_edge(VertexId::new(i), VertexId::new(j));
+                }
+            }
+        }
+        g
+    })
+}
+
+fn sorted(mut cliques: Vec<BTreeSet<VertexId>>) -> Vec<BTreeSet<VertexId>> {
+    cliques.sort();
+    cliques
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole equivalence: the Blair–Peyton enumeration yields exactly
+    /// the clique set of the old subset-check enumeration, and the tree
+    /// built from the same sweep has the junction property.
+    #[test]
+    fn blair_peyton_matches_the_subset_check_enumeration(g in arbitrary_interval_graph()) {
+        let new = chordal::chordal_maximal_cliques(&g).expect("interval graphs are chordal");
+        let old = subset_check_maximal_cliques(&g).expect("interval graphs are chordal");
+        prop_assert_eq!(sorted(new.clone()), sorted(old));
+        // Every clique really is a clique, and the tree is junction-valid.
+        for clique in &new {
+            let members: Vec<VertexId> = clique.iter().copied().collect();
+            prop_assert!(g.is_clique(&members));
+        }
+        let tree = CliqueTree::build(&g).expect("interval graphs are chordal");
+        prop_assert_eq!(tree.num_nodes(), new.len());
+        prop_assert!(tree.has_junction_property());
+        prop_assert_eq!(
+            Some(tree.clique_number()),
+            chordal::chordal_clique_number(&g)
+        );
+    }
+
+    /// Same equivalence on the clique-attachment chordal generator, whose
+    /// shape (many small separators, disconnected pieces possible) differs
+    /// from interval graphs.
+    #[test]
+    fn blair_peyton_matches_on_attachment_chordal_graphs(seed in 0u64..400, n in 1usize..40) {
+        let mut rng = coalesce_gen::rng(seed);
+        let g = random_chordal_graph(n, 5, &mut rng);
+        let new = chordal::chordal_maximal_cliques(&g).expect("generator output is chordal");
+        let old = subset_check_maximal_cliques(&g).expect("generator output is chordal");
+        prop_assert_eq!(sorted(new), sorted(old));
+        let tree = CliqueTree::build(&g).expect("generator output is chordal");
+        prop_assert!(tree.has_junction_property());
+    }
+
+    /// The precomputed vertex→node index must agree with a scan of the
+    /// cliques, for every vertex.
+    #[test]
+    fn nodes_containing_index_matches_a_full_scan(g in arbitrary_interval_graph()) {
+        let tree = CliqueTree::build(&g).expect("interval graphs are chordal");
+        for v in g.vertices() {
+            let scanned: Vec<usize> = (0..tree.num_nodes())
+                .filter(|&i| tree.clique(i).contains(&v))
+                .collect();
+            prop_assert_eq!(tree.nodes_containing(v), scanned.as_slice());
+            prop_assert_eq!(tree.any_node_containing(v), scanned.first().copied());
+        }
+    }
+
+    /// Round trip plus mutation fuzz for the DIMACS parser: the writer's
+    /// output parses back to the same graph; appending a duplicate problem
+    /// line, appending a self-loop, or truncating the last edge line must
+    /// every one turn into a `ParseError`.
+    #[test]
+    fn dimacs_round_trip_and_mutations(seed in 0u64..500, n in 2usize..30) {
+        let mut rng = coalesce_gen::rng(seed);
+        let (g, _) = random_interval_graph(n, 2 * n, n / 2 + 1, &mut rng);
+        let text = to_dimacs(&g);
+        let parsed = from_dimacs(&text).expect("writer output parses");
+        prop_assert_eq!(parsed.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            prop_assert!(parsed.has_edge(u, v));
+        }
+
+        let duplicated = format!("{text}p edge {n} 0\n");
+        prop_assert!(from_dimacs(&duplicated).is_err(), "duplicate p must be rejected");
+
+        let self_loop = format!("{text}e 1 1\n");
+        prop_assert!(from_dimacs(&self_loop).is_err(), "self-loop must be rejected");
+
+        if g.num_edges() > 0 {
+            let truncated: String = text
+                .lines()
+                .take(text.lines().count() - 1)
+                .map(|l| format!("{l}\n"))
+                .collect();
+            prop_assert!(from_dimacs(&truncated).is_err(), "truncation must be detected");
+        }
+    }
+
+    /// The same round trip and mutation fuzz for the challenge parser,
+    /// including the affinity-count check.
+    #[test]
+    fn challenge_round_trip_and_mutations(seed in 0u64..500, n in 2usize..24, k in 2usize..9) {
+        let mut rng = coalesce_gen::rng(seed);
+        let (g, _) = random_interval_graph(n, 2 * n, n / 2 + 1, &mut rng);
+        // Affinities between the first few non-adjacent pairs.
+        let live: Vec<VertexId> = g.vertices().collect();
+        let mut affinities = Vec::new();
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if !g.has_edge(a, b) && affinities.len() < 6 {
+                    affinities.push((a, b, 1 + (a.index() + b.index()) as u64));
+                }
+            }
+        }
+        let file = ChallengeFile {
+            graph: g.clone(),
+            affinities: affinities.clone(),
+            registers: Some(k),
+        };
+        let text = to_challenge(&file);
+        let parsed = from_challenge(&text).expect("writer output parses");
+        prop_assert_eq!(parsed.registers, Some(k));
+        prop_assert_eq!(&parsed.affinities, &affinities);
+        prop_assert_eq!(parsed.graph.num_edges(), g.num_edges());
+
+        let duplicated = format!("{text}p coalesce {n} 0 0\n");
+        prop_assert!(from_challenge(&duplicated).is_err(), "duplicate p must be rejected");
+
+        let self_loop = format!("{text}e 1 1\n");
+        prop_assert!(from_challenge(&self_loop).is_err(), "self-loop must be rejected");
+
+        if !affinities.is_empty() {
+            // Dropping the last line (an `a` line) desynchronizes the
+            // declared affinity count.
+            let truncated: String = text
+                .lines()
+                .take(text.lines().count() - 1)
+                .map(|l| format!("{l}\n"))
+                .collect();
+            prop_assert!(from_challenge(&truncated).is_err(), "truncation must be detected");
+        }
+    }
+}
+
+/// Deterministic spot checks for shapes proptest rarely hits: stars,
+/// disconnected graphs, isolated vertices, cliques.
+#[test]
+fn blair_peyton_handles_degenerate_shapes() {
+    // Empty and edgeless graphs.
+    assert_eq!(
+        chordal::chordal_maximal_cliques(&Graph::new(0)),
+        Some(vec![])
+    );
+    let isolated = Graph::new(3);
+    let cliques = chordal::chordal_maximal_cliques(&isolated).unwrap();
+    assert_eq!(cliques.len(), 3);
+    let tree = CliqueTree::build(&isolated).unwrap();
+    assert_eq!(tree.num_nodes(), 3);
+    assert!(tree.has_junction_property());
+    // A path exists between any two stitched components.
+    assert_eq!(tree.path_between(0, 2).len(), 3);
+
+    // A star K_{1,5}: 5 maximal cliques (the edges), all sharing the hub.
+    let mut star = Graph::new(6);
+    for leaf in 1..6 {
+        star.add_edge(VertexId::new(0), VertexId::new(leaf));
+    }
+    let new = sorted(chordal::chordal_maximal_cliques(&star).unwrap());
+    let old = sorted(subset_check_maximal_cliques(&star).unwrap());
+    assert_eq!(new, old);
+    assert_eq!(new.len(), 5);
+    let tree = CliqueTree::build(&star).unwrap();
+    assert!(tree.has_junction_property());
+    assert_eq!(tree.nodes_containing(VertexId::new(0)).len(), 5);
+
+    // A graph whose merged (dead) vertices leave identifier gaps.
+    let mut merged = Graph::with_edges(
+        5,
+        [
+            (VertexId::new(0), VertexId::new(1)),
+            (VertexId::new(2), VertexId::new(3)),
+            (VertexId::new(3), VertexId::new(4)),
+        ],
+    );
+    merged.merge(VertexId::new(0), VertexId::new(2));
+    let new = sorted(chordal::chordal_maximal_cliques(&merged).unwrap());
+    let old = sorted(subset_check_maximal_cliques(&merged).unwrap());
+    assert_eq!(new, old);
+    let tree = CliqueTree::build(&merged).unwrap();
+    assert!(tree.has_junction_property());
+    // Dead vertices are in no clique.
+    assert!(tree.nodes_containing(VertexId::new(2)).is_empty());
+    assert_eq!(tree.any_node_containing(VertexId::new(2)), None);
+    // Out-of-range identifiers are simply absent.
+    assert!(tree.nodes_containing(VertexId::new(99)).is_empty());
+}

@@ -117,3 +117,28 @@ fn e4_rows_finish_within_the_wall_clock_budget() {
          exponential blow-up is back; check the ExactSolver prunings"
     );
 }
+
+/// The clique-tree perf-regression budget (mirroring the E4 one): building
+/// the clique tree of a 2000-vertex random interval graph (~312 k
+/// interference edges at the E5 sweep's density) must finish well under
+/// 2 seconds.  The pre-Blair–Peyton pipeline was quadratic at every stage
+/// (O(n²) MCS scans, O(m²) subset checks, all-pairs Kruskal) and would
+/// blow this budget by orders of magnitude; the linear construction takes
+/// tens of milliseconds.
+#[test]
+fn clique_tree_build_at_n_2000_stays_within_the_wall_clock_budget() {
+    let n = 2000usize;
+    let mut rng = coalesce_gen::rng(42 + n as u64);
+    let (g, _) = coalesce_gen::graphs::random_interval_graph(n, 3 * n, n / 2 + 2, &mut rng);
+    let start = Instant::now();
+    let tree =
+        coalesce_graph::cliquetree::CliqueTree::build(&g).expect("interval graphs are chordal");
+    let elapsed = start.elapsed();
+    assert!(tree.num_nodes() > 0 && tree.clique_number() > 0);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "CliqueTree::build at n = {n} took {elapsed:?} (budget: 2 s) — the \
+         quadratic clique-tree construction is back; check the Blair–Peyton \
+         sweep in coalesce_graph::chordal"
+    );
+}
