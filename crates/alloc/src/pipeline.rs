@@ -69,13 +69,17 @@ pub struct AllocationReport {
     pub moves: MoveCosts,
     /// Number of distinct registers actually used.
     pub registers_used: usize,
+    /// `Maxlive` of the final (lowered) function — the lower bound any
+    /// spill-free coloring must meet, reported so tables can show colors
+    /// vs. pressure side by side.
+    pub maxlive: usize,
 }
 
 impl AllocationReport {
     /// Formats the report as one row of a comparison table.
     pub fn row(&self) -> String {
         format!(
-            "{:<22} k={:<2} spills={:<3} reloads={:<3} moves {}/{} removed (weight {}/{}) regs={} {}",
+            "{:<22} k={:<2} spills={:<3} reloads={:<3} moves {}/{} removed (weight {}/{}) regs={} maxlive={} {}",
             self.kind.name(),
             self.registers,
             self.spilled_values,
@@ -85,6 +89,7 @@ impl AllocationReport {
             self.moves.eliminated_weight,
             self.moves.total_weight,
             self.registers_used,
+            self.maxlive,
             if self.valid { "ok" } else { "INVALID" },
         )
     }
@@ -98,6 +103,9 @@ impl fmt::Display for AllocationReport {
 
 /// Runs one allocator configuration on `f` with `k` registers.
 pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationReport {
+    let lowered_maxlive = |function: &Function| {
+        coalesce_ir::liveness::Liveness::compute(function).maxlive_precise(function)
+    };
     match kind {
         AllocatorKind::ChaitinBriggs => {
             let outcome = chaitin_allocate(f, ChaitinConfig::new(k));
@@ -116,6 +124,7 @@ pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationR
                 reloads_inserted: outcome.reloads_inserted,
                 moves,
                 registers_used: outcome.assignment.registers_used(),
+                maxlive: lowered_maxlive(&outcome.function),
             }
         }
         AllocatorKind::SsaBased(strategy) => {
@@ -129,6 +138,7 @@ pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationR
                 reloads_inserted: outcome.reloads_inserted,
                 moves,
                 registers_used: outcome.assignment.registers_used(),
+                maxlive: outcome.maxlive,
             }
         }
     }

@@ -8,7 +8,7 @@
 
 use coalesce_alloc::pipeline::{run_allocator, AllocatorKind};
 use coalesce_alloc::ssa_based::CoalescingStrategy;
-use coalesce_bench::experiments::{allocators, reductions, strategies, structure};
+use coalesce_bench::experiments::{allocators, reductions, regalloc, strategies, structure};
 use coalesce_bench::{run_experiment, ExperimentId};
 use coalesce_core::chordal_strategy::{chordal_conservative_coalesce, ChordalMode};
 use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
@@ -222,6 +222,34 @@ fn e12_splitting(c: &mut Criterion) {
     group.finish();
 }
 
+/// E13 — structured-CFG workloads through the end-to-end allocators.
+fn e13_cfg_workloads(c: &mut Criterion) {
+    print_report(ExperimentId::E13);
+    use coalesce_gen::cfg::{PressureLevel, ShapeProfile};
+    let mut group = c.benchmark_group("e13_cfg_workloads");
+    for profile in ShapeProfile::ALL {
+        group.bench_function(format!("generate_{}", profile.name()), |b| {
+            b.iter(|| regalloc::workload_program(42, profile, PressureLevel::Medium))
+        });
+    }
+    group.bench_function("allocate_fp_loopnest_medium", |b| {
+        b.iter(|| regalloc::e13_rows(42, ShapeProfile::FpLoopNest, PressureLevel::Medium))
+    });
+    group.finish();
+}
+
+/// E14 — generated corpus through the strategy zoo.
+fn e14_strategy_zoo(c: &mut Criterion) {
+    print_report(ExperimentId::E14);
+    use coalesce_gen::cfg::ShapeProfile;
+    let (ag, _) = regalloc::e14_instance(42, ShapeProfile::IntBranchy, 6);
+    let mut group = c.benchmark_group("e14_strategy_zoo");
+    group.bench_function("strategy_zoo_int_branchy", |b| {
+        b.iter(|| regalloc::run_strategy_zoo(&ag, 6))
+    });
+    group.finish();
+}
+
 /// Throughput of the core strategies on one fixed mid-size instance (used
 /// for regression tracking rather than a paper artifact).
 fn core_throughput(c: &mut Criterion) {
@@ -246,6 +274,7 @@ criterion_group!(
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(150));
     targets = e1_aggressive, e2_conservative, e3_local_rules, e4_incremental, e5_chordal,
               e6_optimistic, e7_ssa_chordal, e8_challenge, e9_lifting, e10_allocators,
-              e11_chordal_strategy, e12_splitting, core_throughput
+              e11_chordal_strategy, e12_splitting, e13_cfg_workloads, e14_strategy_zoo,
+              core_throughput
 );
 criterion_main!(experiments);

@@ -10,7 +10,12 @@
 //! boolean `agree` / `equal` / theorem-holds columns and the summary
 //! quantities) must match, while instrumentation counters
 //! (`nodes_expanded`, `memo_*`) may drift as the solver evolves across
-//! PRs.  Exit code 0 means no regression; 1 lists every difference.
+//! PRs.  On top of the baseline comparison, a set of *domain invariants*
+//! is checked inside the current artifact itself: no coloring may use
+//! fewer colors than `Maxlive` without spilling (the E13 `chordal_colors`
+//! vs `maxlive` columns), and every spill-count field must be a
+//! non-negative number.  Exit code 0 means no regression; 1 lists every
+//! difference.
 
 use coalesce_bench::Json;
 use std::process::ExitCode;
@@ -114,6 +119,60 @@ fn compare(current: &Json, baseline: &Json, problems: &mut Vec<String>) {
     }
 }
 
+/// Domain invariants of the current artifact: `chordal_colors ≥ maxlive`
+/// wherever both appear in one object (a proper coloring can never beat
+/// the clique bound `ω = Maxlive`), and every `*spill*` field holds a
+/// non-negative number.  Values are visited recursively so nested
+/// per-allocator arrays are covered too.
+fn check_domain_invariants(context: &str, value: &Json, problems: &mut Vec<String>) {
+    match value {
+        Json::Object(pairs) => {
+            let field = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            if let (Some(colors), Some(maxlive)) = (
+                field("chordal_colors").and_then(Json::as_u64),
+                field("maxlive").and_then(Json::as_u64),
+            ) {
+                if colors < maxlive {
+                    problems.push(format!(
+                        "{context}: chordal_colors {colors} below maxlive {maxlive}"
+                    ));
+                }
+            }
+            for (key, v) in pairs {
+                if key.contains("spill") && !matches!(v, Json::Object(_) | Json::Array(_)) {
+                    match v.as_u64() {
+                        Some(_) => {}
+                        None => problems.push(format!(
+                            "{context}: spill field `{key}` is not a non-negative number: {v}"
+                        )),
+                    }
+                }
+                check_domain_invariants(context, v, problems);
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                check_domain_invariants(context, item, problems);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn check_current_invariants(current: &Json, problems: &mut Vec<String>) {
+    for experiment in experiments_of(current) {
+        let name = experiment
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        if let Some(rows) = experiment.get("rows").and_then(Json::as_array) {
+            for (i, row) in rows.iter().enumerate() {
+                check_domain_invariants(&format!("{name} row {i}"), row, problems);
+            }
+        }
+    }
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -137,6 +196,7 @@ fn main() -> ExitCode {
 
     let mut problems = Vec::new();
     compare(&current, &baseline, &mut problems);
+    check_current_invariants(&current, &mut problems);
     if problems.is_empty() {
         println!("bench-diff: {current_path} matches the invariants of {baseline_path}");
         ExitCode::SUCCESS

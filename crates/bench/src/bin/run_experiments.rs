@@ -16,7 +16,8 @@
 
 use coalesce_bench::corpus::{collect_corpus_paths, run_corpus, CorpusConfig};
 use coalesce_bench::experiments::UnknownExperiment;
-use coalesce_bench::{run_reports, ExperimentId, Json};
+use coalesce_bench::{run_reports_filtered, ExperimentId, Json};
+use coalesce_gen::cfg::{ShapeProfile, UnknownProfile};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,10 +29,13 @@ USAGE:
     run-experiments [OPTIONS]
 
 OPTIONS:
-    --experiment <ID>   Experiment to run: e1..e12, or `all` (default: all)
+    --experiment <ID>   Experiment to run: e1..e14, or `all` (default: all)
     --seed <N>          Base seed offsetting every internal seed (default: 0)
     --jobs <N>          Worker threads fanning out experiments and rows
                         (default: 1; output is byte-identical for any N)
+    --profile <NAME>    Restrict the E13/E14 workload sweeps to a shape
+                        profile (int-branchy, fp-loopnest, call-heavy);
+                        repeatable, default: all profiles
     --json <PATH>       Write the JSON report to PATH (`-` for stdout)
     --corpus <PATH>     Analyze a DIMACS/challenge instance file or directory
                         instead of running experiments; repeatable.  Rows are
@@ -46,6 +50,7 @@ struct Options {
     experiments: Vec<ExperimentId>,
     seed: u64,
     jobs: usize,
+    profiles: Vec<ShapeProfile>,
     json_path: Option<String>,
     corpus: Vec<PathBuf>,
     batch_size: usize,
@@ -56,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut experiments: Option<Vec<ExperimentId>> = None;
     let mut seed: Option<u64> = None;
     let mut jobs = 1usize;
+    let mut profiles: Vec<ShapeProfile> = Vec::new();
     let mut json_path = None;
     let mut corpus: Vec<PathBuf> = Vec::new();
     let mut batch_size: Option<usize> = None;
@@ -107,6 +113,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .filter(|&n: &usize| n >= 1)
                     .ok_or(format!("--jobs expects a positive integer, got `{value}`"))?;
             }
+            "--profile" | "-p" => {
+                let value = value_for("--profile")?;
+                profiles.push(value.parse().map_err(|e: UnknownProfile| e.to_string())?);
+            }
             "--json" | "-j" => json_path = Some(value_for("--json")?),
             "--corpus" => corpus.push(PathBuf::from(value_for("--corpus")?)),
             "--batch" => {
@@ -127,8 +137,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     // Each mode rejects the other's flags rather than silently ignoring
     // them: --experiment/--seed drive only the experiment runner, --batch
     // only the corpus analyzer.
-    if !corpus.is_empty() && (experiments.is_some() || seed.is_some()) {
-        return Err("--corpus cannot be combined with --experiment or --seed".into());
+    if !corpus.is_empty() && (experiments.is_some() || seed.is_some() || !profiles.is_empty()) {
+        return Err("--corpus cannot be combined with --experiment, --seed or --profile".into());
     }
     if corpus.is_empty() && batch_size.is_some() {
         return Err("--batch only applies to --corpus mode".into());
@@ -143,10 +153,28 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         .filter(|&id| seen.insert(id))
         .collect();
 
+    // Dedupe profiles the same way.
+    let mut seen_profiles = std::collections::BTreeSet::new();
+    let profiles: Vec<ShapeProfile> = profiles
+        .into_iter()
+        .filter(|&p| seen_profiles.insert(p))
+        .collect();
+
+    // Like --batch, --profile is mode-specific: reject it rather than
+    // silently ignoring it when no selected experiment consumes it.
+    if !profiles.is_empty()
+        && !experiments
+            .iter()
+            .any(|&id| id == ExperimentId::E13 || id == ExperimentId::E14)
+    {
+        return Err("--profile only applies to experiments e13/e14".into());
+    }
+
     Ok(Some(Options {
         experiments,
         seed: seed.unwrap_or(0),
         jobs,
+        profiles,
         json_path,
         corpus,
         batch_size: batch_size.unwrap_or(64),
@@ -196,13 +224,16 @@ fn run_corpus_mode(options: &Options) -> ExitCode {
             if !options.quiet {
                 eprintln!(
                     "corpus: {} file(s), {} parse error(s), {} chordal, {} vertices, \
-                     {} interferences, {} affinities",
+                     {} interferences, {} affinities, {} weight coalesced (best), \
+                     {} IRC spills",
                     summary.files,
                     summary.parse_errors,
                     summary.chordal,
                     summary.total_vertices,
                     summary.total_interferences,
                     summary.total_affinities,
+                    summary.total_best_coalesced_weight,
+                    summary.total_irc_spills,
                 );
             }
             ExitCode::SUCCESS
@@ -229,7 +260,12 @@ fn main() -> ExitCode {
         return run_corpus_mode(&options);
     }
 
-    let reports = run_reports(&options.experiments, options.seed, options.jobs);
+    let reports = run_reports_filtered(
+        &options.experiments,
+        options.seed,
+        options.jobs,
+        &options.profiles,
+    );
 
     if !options.quiet {
         for report in &reports {

@@ -14,10 +14,21 @@
 //! Per instance the analysis is the linear structural pipeline this
 //! repository is built around: parse, count, chordality via the
 //! Blair–Peyton MCS sweep, and — when chordal — `ω(G)` and the clique-tree
-//! node count read off the same construction.
+//! node count read off the same construction.  On top of the structural
+//! stats, every parsed instance is fed through the polynomial coalescing
+//! strategies of `coalesce_core` (aggressive, Briggs, Briggs+George,
+//! brute-force, optimistic, chordal where applicable, and IRC with its
+//! resulting spills), so a corpus run reports *how the strategies fare*,
+//! not just what the graphs look like.  The superlinear zoo members
+//! (brute force, chordal) are size-bounded so streaming over
+//! multi-thousand-vertex files stays near the structural pass's cost.
 
+use crate::experiments::regalloc::{
+    run_strategy_zoo_with, strategies_json, StrategyOutcome, ZooConfig,
+};
 use crate::json::Json;
 use crate::par::par_map;
+use coalesce_core::affinity::{Affinity, AffinityGraph};
 use coalesce_graph::cliquetree::CliqueTree;
 use coalesce_graph::format::{self, ChallengeFile};
 use coalesce_graph::Graph;
@@ -57,6 +68,10 @@ pub struct CorpusSummary {
     pub total_interferences: usize,
     /// Total affinities over parsed instances.
     pub total_affinities: usize,
+    /// Total affinity weight coalesced by the best strategy per instance.
+    pub total_best_coalesced_weight: u64,
+    /// Total actual spills of the IRC allocator over parsed instances.
+    pub total_irc_spills: usize,
 }
 
 impl CorpusSummary {
@@ -70,6 +85,11 @@ impl CorpusSummary {
             ("total_vertices", Json::from(self.total_vertices)),
             ("total_interferences", Json::from(self.total_interferences)),
             ("total_affinities", Json::from(self.total_affinities)),
+            (
+                "total_best_coalesced_weight",
+                Json::from(self.total_best_coalesced_weight),
+            ),
+            ("total_irc_spills", Json::from(self.total_irc_spills)),
         ])
     }
 }
@@ -146,6 +166,14 @@ pub struct CorpusInstance {
     pub omega: Option<usize>,
     /// Clique-tree nodes (maximal cliques) when chordal.
     pub clique_tree_nodes: Option<usize>,
+    /// Register count the strategies ran at: the file's `k` when present,
+    /// else `ω(G)` when chordal, else `max_degree + 1` (always colorable).
+    pub k: usize,
+    /// Per-strategy results, in fixed strategy order (the superlinear zoo
+    /// members are skipped on instances beyond [`ZooConfig::bounded`]).
+    pub strategies: Vec<StrategyOutcome>,
+    /// Actual spills of the IRC allocator at `k`.
+    pub irc_spills: usize,
 }
 
 impl CorpusRow {
@@ -168,6 +196,9 @@ impl CorpusRow {
                     "clique_tree_nodes",
                     inst.clique_tree_nodes.map_or(Json::Null, Json::from),
                 ),
+                ("k", Json::from(inst.k)),
+                ("strategies", strategies_json(&inst.strategies)),
+                ("irc_spills", Json::from(inst.irc_spills)),
             ]),
         }
     }
@@ -187,35 +218,61 @@ pub fn analyze_file(path: &Path) -> CorpusRow {
 fn analyze_text(path: &Path, text: &str) -> Result<CorpusInstance, String> {
     let (fmt, graph, affinities, registers) = if is_dimacs(path) {
         let graph = format::from_dimacs(text).map_err(|e| e.to_string())?;
-        ("dimacs", graph, 0, None)
+        ("dimacs", graph, Vec::new(), None)
     } else {
         let ChallengeFile {
             graph,
             affinities,
             registers,
         } = format::from_challenge(text).map_err(|e| e.to_string())?;
-        ("challenge", graph, affinities.len(), registers)
+        ("challenge", graph, affinities, registers)
     };
-    Ok(analyze_graph(fmt, &graph, affinities, registers))
+    Ok(analyze_graph(fmt, graph, &affinities, registers))
 }
 
 fn analyze_graph(
     fmt: &'static str,
-    graph: &Graph,
-    affinities: usize,
+    graph: Graph,
+    affinities: &[(coalesce_graph::VertexId, coalesce_graph::VertexId, u64)],
     registers: Option<usize>,
 ) -> CorpusInstance {
-    let tree = CliqueTree::build(graph);
+    let tree = CliqueTree::build(&graph);
+    let omega = tree.as_ref().map(CliqueTree::clique_number);
+    // The register count the strategies target: the instance's own `k`
+    // when the file records one, otherwise `ω(G)` (the tightest spill-free
+    // count) on chordal graphs, otherwise the always-sufficient
+    // `max_degree + 1`.
+    let k = registers
+        .or(omega)
+        .unwrap_or_else(|| graph.max_degree() + 1)
+        .max(1);
+    let vertices = graph.num_vertices();
+    let interferences = graph.num_edges();
+    let max_degree = graph.max_degree();
+    let ag = AffinityGraph::new(
+        graph,
+        affinities
+            .iter()
+            .map(|&(u, v, w)| Affinity::weighted(u, v, w))
+            .collect(),
+    );
+    // Streaming runs must stay near the structural pass's cost on huge
+    // instances, so the superlinear zoo members are size-bounded.
+    let zoo_config = ZooConfig::bounded(interferences, affinities.len());
+    let (strategies, irc_spills) = run_strategy_zoo_with(&ag, k, zoo_config);
     CorpusInstance {
         format: fmt,
-        vertices: graph.num_vertices(),
-        interferences: graph.num_edges(),
-        affinities,
+        vertices,
+        interferences,
+        affinities: affinities.len(),
         registers,
-        max_degree: graph.max_degree(),
+        max_degree,
         chordal: tree.is_some(),
-        omega: tree.as_ref().map(CliqueTree::clique_number),
+        omega,
         clique_tree_nodes: tree.as_ref().map(CliqueTree::num_nodes),
+        k,
+        strategies,
+        irc_spills,
     }
 }
 
@@ -244,6 +301,13 @@ pub fn run_corpus(
                     summary.total_vertices += inst.vertices;
                     summary.total_interferences += inst.interferences;
                     summary.total_affinities += inst.affinities;
+                    summary.total_best_coalesced_weight += inst
+                        .strategies
+                        .iter()
+                        .map(|s| s.stats.coalesced_weight)
+                        .max()
+                        .unwrap_or(0);
+                    summary.total_irc_spills += inst.irc_spills;
                 }
             }
             writeln!(out, "{}", row.to_json().to_compact_string())?;
@@ -301,10 +365,25 @@ mod tests {
             second.get("format").and_then(Json::as_str),
             Some("challenge")
         );
+        // The challenge instance (k 2, one affinity 3-4 of weight 5 with no
+        // interference between them) is fully coalesced by every strategy.
+        assert_eq!(second.get("k").and_then(Json::as_u64), Some(2));
+        let strategies = second.get("strategies").unwrap();
+        for name in ["aggressive", "briggs_george", "optimistic", "irc"] {
+            let s = strategies.get(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(s.get("coalesced_weight").and_then(Json::as_u64), Some(5));
+        }
+        assert_eq!(second.get("irc_spills").and_then(Json::as_u64), Some(0));
         let third = Json::parse(lines[2]).unwrap();
         assert!(third.get("error").is_some());
         let last = Json::parse(lines[3]).unwrap();
         assert_eq!(last.get("summary").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            last.get("total_best_coalesced_weight")
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(last.get("total_irc_spills").and_then(Json::as_u64), Some(0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

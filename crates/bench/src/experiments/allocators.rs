@@ -65,6 +65,7 @@ fn allocation_report_json(r: &AllocationReport) -> Json {
         ("total_weight", Json::from(r.moves.total_weight)),
         ("eliminated_weight", Json::from(r.moves.eliminated_weight)),
         ("registers_used", Json::from(r.registers_used)),
+        ("maxlive", Json::from(r.maxlive)),
     ])
 }
 

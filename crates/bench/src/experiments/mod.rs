@@ -8,10 +8,12 @@
 
 pub mod allocators;
 pub mod reductions;
+pub mod regalloc;
 pub mod strategies;
 pub mod structure;
 
 use crate::report::ExperimentReport;
+use coalesce_gen::cfg::ShapeProfile;
 use coalesce_graph::VertexId;
 use std::fmt;
 use std::str::FromStr;
@@ -48,11 +50,15 @@ pub enum ExperimentId {
     E11,
     /// Live-range splitting / coalescing interplay.
     E12,
+    /// Structured-CFG generator sweep through the end-to-end allocators.
+    E13,
+    /// Generated program corpus through the coalescing strategies.
+    E14,
 }
 
 impl ExperimentId {
     /// Every experiment, in order.
-    pub const ALL: [ExperimentId; 12] = [
+    pub const ALL: [ExperimentId; 14] = [
         ExperimentId::E1,
         ExperimentId::E2,
         ExperimentId::E3,
@@ -65,6 +71,8 @@ impl ExperimentId {
         ExperimentId::E10,
         ExperimentId::E11,
         ExperimentId::E12,
+        ExperimentId::E13,
+        ExperimentId::E14,
     ];
 
     /// One-line description of what the experiment checks; used as the
@@ -101,6 +109,12 @@ impl ExperimentId {
             ExperimentId::E12 => {
                 "live-range splitting then coalescing (moves removed / moves added)"
             }
+            ExperimentId::E13 => {
+                "SPEC-like CFG workloads: end-to-end allocators per shape profile x pressure"
+            }
+            ExperimentId::E14 => {
+                "generated program corpus through the coalescing strategies (weight / spills)"
+            }
         }
     }
 
@@ -119,6 +133,8 @@ impl ExperimentId {
             ExperimentId::E10 => "e10",
             ExperimentId::E11 => "e11",
             ExperimentId::E12 => "e12",
+            ExperimentId::E13 => "e13",
+            ExperimentId::E14 => "e14",
         }
     }
 }
@@ -165,10 +181,23 @@ pub fn run_experiment(id: ExperimentId, base_seed: u64) -> ExperimentReport {
 
 /// Runs one experiment with the given base seed, fanning its per-seed /
 /// per-size rows over up to `jobs` worker threads where the experiment
-/// supports it (E1, E4, E5, E7 — the ones whose rows are independent and
-/// heavy enough to matter).  Row order, and therefore the serialized
-/// report, is identical for every `jobs` value.
+/// supports it (E1, E4, E5, E7, E13, E14 — the ones whose rows are
+/// independent and heavy enough to matter).  Row order, and therefore the
+/// serialized report, is identical for every `jobs` value.
 pub fn run_experiment_with_jobs(id: ExperimentId, base_seed: u64, jobs: usize) -> ExperimentReport {
+    run_experiment_filtered(id, base_seed, jobs, &[])
+}
+
+/// Like [`run_experiment_with_jobs`], restricting the E13/E14 workload
+/// sweeps to the given shape profiles (empty = all profiles; the filter is
+/// ignored by every other experiment).  This is the function behind the
+/// CLI's `--profile`.
+pub fn run_experiment_filtered(
+    id: ExperimentId,
+    base_seed: u64,
+    jobs: usize,
+    profiles: &[ShapeProfile],
+) -> ExperimentReport {
     match id {
         ExperimentId::E1 => reductions::e1_report_with_jobs(base_seed, jobs),
         ExperimentId::E2 => reductions::e2_report(base_seed),
@@ -182,6 +211,8 @@ pub fn run_experiment_with_jobs(id: ExperimentId, base_seed: u64, jobs: usize) -
         ExperimentId::E10 => allocators::e10_report(base_seed),
         ExperimentId::E11 => strategies::e11_report(base_seed),
         ExperimentId::E12 => allocators::e12_report(base_seed),
+        ExperimentId::E13 => regalloc::e13_report_filtered(base_seed, jobs, profiles),
+        ExperimentId::E14 => regalloc::e14_report_filtered(base_seed, jobs, profiles),
     }
 }
 
@@ -194,10 +225,21 @@ pub fn run_experiment_with_jobs(id: ExperimentId, base_seed: u64, jobs: usize) -
 /// byte-identical to the serial one.  This is the function behind the
 /// CLI's `--jobs`.
 pub fn run_reports(ids: &[ExperimentId], base_seed: u64, jobs: usize) -> Vec<ExperimentReport> {
+    run_reports_filtered(ids, base_seed, jobs, &[])
+}
+
+/// Like [`run_reports`], restricting the E13/E14 sweeps to the given shape
+/// profiles (empty = all).
+pub fn run_reports_filtered(
+    ids: &[ExperimentId],
+    base_seed: u64,
+    jobs: usize,
+    profiles: &[ShapeProfile],
+) -> Vec<ExperimentReport> {
     let outer_jobs = jobs.clamp(1, ids.len().max(1));
     let row_jobs = (jobs / outer_jobs).max(1);
     crate::par::par_map(ids, outer_jobs, |&id| {
-        run_experiment_with_jobs(id, base_seed, row_jobs)
+        run_experiment_filtered(id, base_seed, row_jobs, profiles)
     })
 }
 
@@ -214,7 +256,7 @@ mod tests {
                 id
             );
         }
-        assert!("e13".parse::<ExperimentId>().is_err());
+        assert!("e15".parse::<ExperimentId>().is_err());
         assert!("".parse::<ExperimentId>().is_err());
     }
 
@@ -232,7 +274,13 @@ mod tests {
 
     #[test]
     fn row_parallelism_does_not_change_reports() {
-        for id in [ExperimentId::E1, ExperimentId::E4, ExperimentId::E7] {
+        for id in [
+            ExperimentId::E1,
+            ExperimentId::E4,
+            ExperimentId::E7,
+            ExperimentId::E13,
+            ExperimentId::E14,
+        ] {
             let serial = run_experiment_with_jobs(id, 3, 1)
                 .to_json()
                 .to_pretty_string();

@@ -25,6 +25,9 @@ pub mod par;
 pub mod report;
 
 pub use corpus::{run_corpus, CorpusConfig, CorpusSummary};
-pub use experiments::{run_experiment, run_experiment_with_jobs, run_reports, ExperimentId};
+pub use experiments::{
+    run_experiment, run_experiment_filtered, run_experiment_with_jobs, run_reports,
+    run_reports_filtered, ExperimentId,
+};
 pub use json::Json;
 pub use report::ExperimentReport;

@@ -1,0 +1,765 @@
+//! Structured-CFG program generator: SPEC-like workload shapes.
+//!
+//! [`random_ssa_program`](crate::programs::random_ssa_program) only chains
+//! if/else diamonds, which covers the paper's φ-affinity story but none of
+//! the control-flow structure real allocator inputs have.  This module
+//! generates strict-SSA [`Function`]s from a region grammar instead:
+//!
+//! * **straight** regions — basic blocks of fresh ops;
+//! * **if/else** regions — two arms (optionally holding nested regions)
+//!   merged by φ-functions at the join;
+//! * **switch** regions — a branch cascade dispatching to 3+ arms, all
+//!   joining in one block whose φs have one argument per arm;
+//! * **loop** regions — natural loops (preheader / header / body / latch /
+//!   exit) with *loop-carried φs*: the header φs merge an init value from
+//!   the preheader with a value copied in the latch, so every iteration
+//!   carries explicit move instructions at weight `10^depth`;
+//! * **call points** — call-clobber sites that split the live range of
+//!   every value live across them (the caller-save shuffle), producing the
+//!   copy pressure calls cause in real code;
+//! * an optional **irreducible** knob appending two-entry cycles (off by
+//!   default: the grammar is reducible by construction).
+//!
+//! Generation maintains the invariant that every value handed to a region
+//! dominates the region's blocks, so the output is strict SSA *by
+//! construction*; values defined inside arms escape only through φs.
+//! After construction, block loop depths are recomputed from the CFG
+//! itself ([`coalesce_ir::loops::annotate_loop_depths`]), which threads the
+//! loop-nesting structure into every downstream cost: affinity weights,
+//! [`MoveCosts`](coalesce_ir::InterferenceGraph) and the loop-aware spill
+//! costs of `coalesce_ir::spill`.
+//!
+//! [`ShapeProfile`] bundles parameter presets with the region mixes of
+//! SPEC-like program families (branchy integer code, floating-point loop
+//! nests, call-heavy dispatch code).
+
+use coalesce_ir::function::{BlockId, Function, FunctionBuilder, Var};
+use coalesce_ir::loops::annotate_loop_depths;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// Parameters of the structured-CFG generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CfgParams {
+    /// Number of top-level regions chained on the main spine.
+    pub regions: usize,
+    /// Maximum region nesting depth (loops inside loops, branches inside
+    /// arms); depth-exhausted regions degrade to straight code.
+    pub max_depth: usize,
+    /// Relative frequency of loop regions.
+    pub loop_weight: u32,
+    /// Relative frequency of if/else regions.
+    pub if_weight: u32,
+    /// Relative frequency of switch regions.
+    pub switch_weight: u32,
+    /// Relative frequency of straight-line regions.
+    pub straight_weight: u32,
+    /// Maximum number of switch arms (minimum is 3).
+    pub max_switch_arms: usize,
+    /// Ordinary operations emitted per basic block.
+    pub ops_per_block: usize,
+    /// Target number of simultaneously live values (register pressure).
+    pub pressure: usize,
+    /// φ-functions per if/else or switch join.
+    pub phis_per_join: usize,
+    /// Loop-carried φs per loop header.
+    pub loop_phis: usize,
+    /// Percent chance (0–100) that a block contains a call-clobber point.
+    pub call_percent: u32,
+    /// Number of irreducible (two-entry cycle) regions appended after the
+    /// structured spine; 0 keeps the CFG reducible by construction.
+    pub irreducible_regions: usize,
+}
+
+impl Default for CfgParams {
+    fn default() -> Self {
+        CfgParams {
+            regions: 4,
+            max_depth: 2,
+            loop_weight: 2,
+            if_weight: 3,
+            switch_weight: 1,
+            straight_weight: 2,
+            max_switch_arms: 4,
+            ops_per_block: 3,
+            pressure: 6,
+            phis_per_join: 2,
+            loop_phis: 2,
+            call_percent: 10,
+            irreducible_regions: 0,
+        }
+    }
+}
+
+/// SPEC-like shape profiles: named region mixes modelling the control-flow
+/// signature of common benchmark families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShapeProfile {
+    /// SPECint-style branchy scalar code: many if/else regions, some
+    /// switches, shallow loops, occasional calls.
+    IntBranchy,
+    /// SPECfp-style loop nests: deep natural loops with several carried
+    /// values, few branches, no calls in the kernel.
+    FpLoopNest,
+    /// Interpreter/dispatcher-style code: switch-heavy with frequent
+    /// call-clobber points splitting live ranges.
+    CallHeavy,
+}
+
+impl ShapeProfile {
+    /// Every profile, in sweep order.
+    pub const ALL: [ShapeProfile; 3] = [
+        ShapeProfile::IntBranchy,
+        ShapeProfile::FpLoopNest,
+        ShapeProfile::CallHeavy,
+    ];
+
+    /// The profile's name as used on the command line and in JSON rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeProfile::IntBranchy => "int-branchy",
+            ShapeProfile::FpLoopNest => "fp-loopnest",
+            ShapeProfile::CallHeavy => "call-heavy",
+        }
+    }
+
+    /// Generator parameters for this profile at the given register
+    /// pressure.
+    pub fn params(self, pressure: usize) -> CfgParams {
+        match self {
+            ShapeProfile::IntBranchy => CfgParams {
+                regions: 5,
+                max_depth: 2,
+                loop_weight: 1,
+                if_weight: 4,
+                switch_weight: 2,
+                straight_weight: 2,
+                max_switch_arms: 4,
+                ops_per_block: 3,
+                pressure,
+                phis_per_join: 2,
+                loop_phis: 1,
+                call_percent: 10,
+                irreducible_regions: 0,
+            },
+            ShapeProfile::FpLoopNest => CfgParams {
+                regions: 2,
+                max_depth: 3,
+                loop_weight: 5,
+                if_weight: 1,
+                switch_weight: 0,
+                straight_weight: 1,
+                max_switch_arms: 3,
+                ops_per_block: 4,
+                pressure,
+                phis_per_join: 2,
+                loop_phis: 3,
+                call_percent: 0,
+                irreducible_regions: 0,
+            },
+            ShapeProfile::CallHeavy => CfgParams {
+                regions: 4,
+                max_depth: 2,
+                loop_weight: 2,
+                if_weight: 2,
+                switch_weight: 3,
+                straight_weight: 1,
+                max_switch_arms: 5,
+                ops_per_block: 2,
+                pressure,
+                phis_per_join: 2,
+                loop_phis: 1,
+                call_percent: 40,
+                irreducible_regions: 0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ShapeProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown profile name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProfile(pub String);
+
+impl fmt::Display for UnknownProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown shape profile `{}` (expected one of: {})",
+            self.0,
+            ShapeProfile::ALL.map(ShapeProfile::name).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownProfile {}
+
+impl FromStr for ShapeProfile {
+    type Err = UnknownProfile;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        ShapeProfile::ALL
+            .into_iter()
+            .find(|p| p.name() == lower)
+            .ok_or_else(|| UnknownProfile(s.to_owned()))
+    }
+}
+
+/// The pressure levels the E13 sweep crosses with the shape profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PressureLevel {
+    /// Low register pressure (few simultaneously live values).
+    Low,
+    /// Medium register pressure.
+    Medium,
+    /// High register pressure.
+    High,
+}
+
+impl PressureLevel {
+    /// Every level, in sweep order.
+    pub const ALL: [PressureLevel; 3] = [
+        PressureLevel::Low,
+        PressureLevel::Medium,
+        PressureLevel::High,
+    ];
+
+    /// The generator `pressure` value of this level.
+    pub fn pressure(self) -> usize {
+        match self {
+            PressureLevel::Low => 4,
+            PressureLevel::Medium => 8,
+            PressureLevel::High => 12,
+        }
+    }
+
+    /// The level's name as used in JSON rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            PressureLevel::Low => "low",
+            PressureLevel::Medium => "medium",
+            PressureLevel::High => "high",
+        }
+    }
+}
+
+/// Generates a strict SSA function from the region grammar.
+///
+/// The output always validates, is strict SSA, and — when
+/// [`CfgParams::irreducible_regions`] is 0 — has a reducible CFG.  Block
+/// loop depths are recomputed from the final CFG, so downstream affinity /
+/// move / spill costs see the real nesting structure.
+pub fn generate(params: &CfgParams, rng: &mut ChaCha8Rng) -> Function {
+    let mut gen = CfgGen {
+        b: FunctionBuilder::new("cfg"),
+        params: *params,
+        rng,
+        names: 0,
+    };
+    let entry = gen.b.entry_block();
+    let mut live: Vec<Var> = Vec::new();
+    for i in 0..params.pressure.max(2) {
+        live.push(gen.b.def(entry, format!("init{i}")));
+    }
+    let mut current = entry;
+    for _ in 0..params.regions.max(1) {
+        current = gen.emit_region(current, &mut live, 0);
+    }
+    for _ in 0..params.irreducible_regions {
+        current = gen.emit_irreducible(current, &mut live);
+    }
+    // Consume the surviving values pairwise so they stay live to the end
+    // without any instruction needing more than two operands (an arity-`a`
+    // instruction forces `Maxlive ≥ a` no matter how much is spilled).
+    let tail: Vec<Var> = live.iter().copied().take(params.pressure.max(2)).collect();
+    for pair in tail.chunks(2) {
+        gen.b.effect(current, pair);
+    }
+    gen.b.ret(current, &[]);
+    let mut f = gen.b.finish();
+    annotate_loop_depths(&mut f);
+    debug_assert!(
+        coalesce_ir::ssa::is_strict(&f),
+        "cfg generator must emit strict SSA"
+    );
+    f
+}
+
+/// The region kinds the grammar chooses between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    Straight,
+    IfElse,
+    Switch,
+    Loop,
+}
+
+struct CfgGen<'r> {
+    b: FunctionBuilder,
+    params: CfgParams,
+    rng: &'r mut ChaCha8Rng,
+    names: usize,
+}
+
+impl CfgGen<'_> {
+    fn name(&mut self, tag: &str) -> String {
+        self.names += 1;
+        format!("{tag}{}", self.names)
+    }
+
+    fn pick_uses(&mut self, live: &[Var]) -> Vec<Var> {
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let count = self.rng.gen_range(1..=2.min(live.len()));
+        (0..count)
+            .map(|_| live[self.rng.gen_range(0..live.len())])
+            .collect()
+    }
+
+    fn push_live(&mut self, live: &mut Vec<Var>, v: Var) {
+        live.push(v);
+        let cap = self.params.pressure.max(2);
+        while live.len() > cap {
+            let idx = self.rng.gen_range(0..live.len());
+            live.swap_remove(idx);
+        }
+    }
+
+    /// Emits the straight-line payload of one block: `ops_per_block` fresh
+    /// ops over the live set, with a chance of one call-clobber point.
+    fn emit_ops(&mut self, blk: BlockId, live: &mut Vec<Var>) {
+        let call_at = if self.params.call_percent > 0
+            && self.rng.gen_range(0..100) < self.params.call_percent
+        {
+            Some(self.rng.gen_range(0..self.params.ops_per_block.max(1)))
+        } else {
+            None
+        };
+        for i in 0..self.params.ops_per_block.max(1) {
+            if call_at == Some(i) {
+                self.emit_call(blk, live);
+            }
+            let uses = self.pick_uses(live);
+            let name = self.name("v");
+            let v = self.b.op(blk, name, &uses);
+            self.push_live(live, v);
+        }
+    }
+
+    /// Emits a call-clobber point: a call-like op consuming up to two
+    /// arguments, after which the live range of every value live across
+    /// the call is split by an explicit copy (the caller-save shuffle).
+    /// The copies are coalescing candidates the allocators must deal with.
+    fn emit_call(&mut self, blk: BlockId, live: &mut Vec<Var>) {
+        let args = self.pick_uses(live);
+        let name = self.name("call");
+        let ret = self.b.op(blk, name, &args);
+        for slot in live.iter_mut() {
+            let name = self.name("save");
+            *slot = self.b.copy(blk, name, *slot);
+        }
+        self.push_live(live, ret);
+    }
+
+    fn choose_kind(&mut self, depth: usize) -> RegionKind {
+        if depth >= self.params.max_depth {
+            return RegionKind::Straight;
+        }
+        let p = self.params;
+        let total = p.loop_weight + p.if_weight + p.switch_weight + p.straight_weight;
+        if total == 0 {
+            return RegionKind::Straight;
+        }
+        let mut roll = self.rng.gen_range(0..total);
+        for (weight, kind) in [
+            (p.loop_weight, RegionKind::Loop),
+            (p.if_weight, RegionKind::IfElse),
+            (p.switch_weight, RegionKind::Switch),
+            (p.straight_weight, RegionKind::Straight),
+        ] {
+            if roll < weight {
+                return kind;
+            }
+            roll -= weight;
+        }
+        RegionKind::Straight
+    }
+
+    /// Emits one region starting in `current`; returns the block where
+    /// control continues.  Every value in `live` dominates `current` on
+    /// entry, and every value in `live` dominates the returned block on
+    /// exit — the invariant that makes the output strict by construction.
+    fn emit_region(&mut self, current: BlockId, live: &mut Vec<Var>, depth: usize) -> BlockId {
+        match self.choose_kind(depth) {
+            RegionKind::Straight => {
+                self.emit_ops(current, live);
+                current
+            }
+            RegionKind::IfElse => self.emit_if_else(current, live, depth),
+            RegionKind::Switch => self.emit_switch(current, live, depth),
+            RegionKind::Loop => self.emit_loop(current, live, depth),
+        }
+    }
+
+    /// One arm of a branch/switch: ops, an optional nested region, and one
+    /// fresh value per join φ.  Returns the arm's final block and its φ
+    /// contributions.
+    fn emit_arm(&mut self, arm: BlockId, live: &[Var], depth: usize) -> (BlockId, Vec<Var>) {
+        let mut arm_live = live.to_vec();
+        self.emit_ops(arm, &mut arm_live);
+        let arm_end = if depth + 1 < self.params.max_depth && self.rng.gen_range(0..100) < 35 {
+            self.emit_region(arm, &mut arm_live, depth + 1)
+        } else {
+            arm
+        };
+        let mut vals = Vec::new();
+        for _ in 0..self.params.phis_per_join.max(1) {
+            let uses = self.pick_uses(&arm_live);
+            let name = self.name("a");
+            vals.push(self.b.op(arm_end, name, &uses));
+        }
+        (arm_end, vals)
+    }
+
+    fn emit_if_else(&mut self, current: BlockId, live: &mut Vec<Var>, depth: usize) -> BlockId {
+        self.emit_ops(current, live);
+        let cond_name = self.name("c");
+        let cond = self.b.def(current, cond_name);
+        let then_block = self.b.new_block();
+        let else_block = self.b.new_block();
+        let join = self.b.new_block();
+        self.b.branch(current, cond, then_block, else_block);
+        let (then_end, then_vals) = self.emit_arm(then_block, live, depth);
+        let (else_end, else_vals) = self.emit_arm(else_block, live, depth);
+        self.b.jump(then_end, join);
+        self.b.jump(else_end, join);
+        for i in 0..self.params.phis_per_join.max(1) {
+            let name = self.name("phi");
+            let p = self.b.phi(
+                join,
+                name,
+                &[(then_end, then_vals[i]), (else_end, else_vals[i])],
+            );
+            self.push_live(live, p);
+        }
+        join
+    }
+
+    /// A switch region: a cascade of dispatch branches to `n ≥ 3` arms,
+    /// all joining in one block whose φs take one argument per arm.
+    fn emit_switch(&mut self, current: BlockId, live: &mut Vec<Var>, depth: usize) -> BlockId {
+        self.emit_ops(current, live);
+        let arms = self.rng.gen_range(3..=self.params.max_switch_arms.max(3));
+        let join = self.b.new_block();
+        // Build the dispatch cascade: each dispatch block tests one arm,
+        // the final test selects between the last two arms.
+        let mut arm_entries = Vec::new();
+        let mut dispatch = current;
+        for i in 0..arms - 1 {
+            let cond_name = self.name("sw");
+            let cond = self.b.def(dispatch, cond_name);
+            let arm = self.b.new_block();
+            arm_entries.push(arm);
+            if i == arms - 2 {
+                let last = self.b.new_block();
+                arm_entries.push(last);
+                self.b.branch(dispatch, cond, arm, last);
+            } else {
+                let next = self.b.new_block();
+                self.b.branch(dispatch, cond, arm, next);
+                dispatch = next;
+            }
+        }
+        let mut ends_and_vals = Vec::new();
+        for &arm in &arm_entries {
+            let (end, vals) = self.emit_arm(arm, live, depth);
+            self.b.jump(end, join);
+            ends_and_vals.push((end, vals));
+        }
+        for i in 0..self.params.phis_per_join.max(1) {
+            let args: Vec<(BlockId, Var)> = ends_and_vals
+                .iter()
+                .map(|(end, vals)| (*end, vals[i]))
+                .collect();
+            let name = self.name("sphi");
+            let p = self.b.phi(join, name, &args);
+            self.push_live(live, p);
+        }
+        join
+    }
+
+    /// A natural loop: preheader (`current`) → header (φs + test) → body
+    /// (nested regions) → latch (carried copies) → header, with a single
+    /// exit from the header.  The loop-carried φs merge an init value from
+    /// the preheader with a value copied in the latch, so every iteration
+    /// executes real move instructions at the loop's weight.
+    fn emit_loop(&mut self, current: BlockId, live: &mut Vec<Var>, depth: usize) -> BlockId {
+        self.emit_ops(current, live);
+        let header = self.b.new_block();
+        let latch = self.b.new_block();
+        let exit = self.b.new_block();
+        self.b.jump(current, header);
+
+        // Loop-carried φs: init from the preheader, carried value defined
+        // by a copy in the latch (the back-edge move).
+        let nphis = self.params.loop_phis.max(1);
+        let mut phis = Vec::new();
+        let mut carried = Vec::new();
+        for _ in 0..nphis {
+            let init = if live.is_empty() || self.rng.gen_range(0..2) == 0 {
+                let name = self.name("li");
+                self.b.def(current, name)
+            } else {
+                live[self.rng.gen_range(0..live.len())]
+            };
+            let carry_name = self.name("carry");
+            let c = self.b.fresh_var(carry_name);
+            carried.push(c);
+            let phi_name = self.name("lphi");
+            let p = self.b.phi(header, phi_name, &[(current, init), (latch, c)]);
+            phis.push(p);
+        }
+
+        // Values dominating the header: the preheader's live set plus the
+        // φs and whatever the header computes before the test.
+        let mut loop_live = live.clone();
+        for &p in &phis {
+            self.push_live(&mut loop_live, p);
+        }
+        self.emit_ops(header, &mut loop_live);
+        let cond_name = self.name("lc");
+        let cond = self.b.def(header, cond_name);
+        let body = self.b.new_block();
+        self.b.branch(header, cond, body, exit);
+
+        // The body: one or two nested regions over a scoped live set.
+        let mut body_live = loop_live.clone();
+        let mut body_end = body;
+        let body_regions = self.rng.gen_range(1..=2);
+        self.emit_ops(body_end, &mut body_live);
+        for _ in 0..body_regions {
+            body_end = self.emit_region(body_end, &mut body_live, depth + 1);
+        }
+        self.b.jump(body_end, latch);
+
+        // The latch defines the carried values by copying body values: the
+        // loop-carried moves every iteration must execute unless the
+        // allocator coalesces them with the φs.
+        for &c in &carried {
+            let src = body_live[self.rng.gen_range(0..body_live.len())];
+            self.b.copy_to(latch, c, src);
+        }
+        self.b.jump(latch, header);
+
+        // After the loop only header-dominating values are in scope.
+        *live = loop_live;
+        exit
+    }
+
+    /// An irreducible region: `current` branches into both nodes of an
+    /// A ⇄ B cycle, so the cycle has two entries and no dominating header.
+    /// φs at both nodes keep the output strict SSA.
+    fn emit_irreducible(&mut self, current: BlockId, live: &mut Vec<Var>) -> BlockId {
+        let seed_name = self.name("ir");
+        let x0 = self.b.def(current, seed_name);
+        let cond_name = self.name("irc");
+        let cond = self.b.def(current, cond_name);
+        let a = self.b.new_block();
+        let bb = self.b.new_block();
+        let exit = self.b.new_block();
+        self.b.branch(current, cond, a, bb);
+
+        // B's contribution to A's φ is defined later (in B) via copy_to.
+        let vb_name = self.name("irb");
+        let vb = self.b.fresh_var(vb_name);
+        let pa_name = self.name("irpa");
+        let pa = self.b.phi(a, pa_name, &[(current, x0), (bb, vb)]);
+        let va_name = self.name("irva");
+        let va = self.b.op(a, va_name, &[pa]);
+        let ca_name = self.name("irca");
+        let ca = self.b.def(a, ca_name);
+        self.b.branch(a, ca, bb, exit);
+
+        let pb_name = self.name("irpb");
+        let pb = self.b.phi(bb, pb_name, &[(current, x0), (a, va)]);
+        self.b.copy_to(bb, vb, pb);
+        self.b.jump(bb, a);
+
+        // `a` dominates `exit`, so its values are in scope afterwards.
+        self.push_live(live, pa);
+        self.push_live(live, va);
+        exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::chordal;
+    use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
+    use coalesce_ir::liveness::Liveness;
+    use coalesce_ir::loops::{is_reducible, LoopInfo};
+    use coalesce_ir::ssa;
+
+    fn check_structure(f: &Function) {
+        assert!(f.validate().is_ok());
+        assert!(ssa::is_ssa(f));
+        assert!(ssa::is_strict(f));
+    }
+
+    #[test]
+    fn default_params_generate_valid_reducible_strict_ssa() {
+        for seed in 0..12 {
+            let f = generate(&CfgParams::default(), &mut crate::rng(seed));
+            check_structure(&f);
+            assert!(is_reducible(&f), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_profile_and_pressure_generates_loops_and_phis() {
+        for profile in ShapeProfile::ALL {
+            for level in PressureLevel::ALL {
+                let params = profile.params(level.pressure());
+                let f = generate(&params, &mut crate::rng(7));
+                check_structure(&f);
+                assert!(f.num_phis() > 0, "{profile} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp_loopnest_profile_produces_nested_natural_loops() {
+        let params = ShapeProfile::FpLoopNest.params(8);
+        let mut found_nested = false;
+        for seed in 0..8 {
+            let f = generate(&params, &mut crate::rng(seed));
+            let info = LoopInfo::compute(&f);
+            assert!(info.num_loops() > 0, "seed {seed}: no loops");
+            if info.depth.iter().any(|&d| d >= 2) {
+                found_nested = true;
+            }
+            // `annotate_loop_depths` ran: block depths match LoopInfo.
+            for b in f.block_ids() {
+                assert_eq!(f.block(b).loop_depth, info.depth_of(b));
+            }
+        }
+        assert!(found_nested, "no seed produced a depth-2 loop nest");
+    }
+
+    #[test]
+    fn theorem_1_holds_on_generated_cfgs() {
+        for profile in ShapeProfile::ALL {
+            let params = profile.params(6);
+            for seed in 0..4 {
+                let f = generate(&params, &mut crate::rng(seed));
+                let live = Liveness::compute(&f);
+                let ig = InterferenceGraph::build_with(
+                    &f,
+                    &live,
+                    BuildOptions {
+                        kind: InterferenceKind::Intersection,
+                        ..Default::default()
+                    },
+                );
+                assert!(chordal::is_chordal(&ig.graph), "{profile} seed {seed}");
+                let omega = chordal::chordal_clique_number(&ig.graph).unwrap();
+                assert_eq!(omega, live.maxlive_precise(&f), "{profile} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn irreducible_knob_breaks_reducibility_but_not_strictness() {
+        let params = CfgParams {
+            irreducible_regions: 1,
+            ..CfgParams::default()
+        };
+        for seed in 0..6 {
+            let f = generate(&params, &mut crate::rng(seed));
+            check_structure(&f);
+            assert!(!is_reducible(&f), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn call_points_split_live_ranges_into_copies() {
+        let params = CfgParams {
+            call_percent: 100,
+            ..CfgParams::default()
+        };
+        let f = generate(&params, &mut crate::rng(3));
+        check_structure(&f);
+        assert!(
+            f.num_copies() > 0,
+            "calls must introduce caller-save copies"
+        );
+    }
+
+    #[test]
+    fn loop_carried_phis_put_copies_in_latches() {
+        let params = CfgParams {
+            loop_weight: 10,
+            if_weight: 0,
+            switch_weight: 0,
+            straight_weight: 0,
+            call_percent: 0,
+            ..CfgParams::default()
+        };
+        let f = generate(&params, &mut crate::rng(1));
+        check_structure(&f);
+        // Some copy must live at loop depth >= 1 (the latch).
+        let mut found = false;
+        for b in f.block_ids() {
+            if f.block(b).loop_depth >= 1 && f.block(b).instrs.iter().any(|i| i.is_copy()) {
+                found = true;
+            }
+        }
+        assert!(found, "no loop-carried copy found inside a loop");
+    }
+
+    #[test]
+    fn pressure_parameter_controls_maxlive() {
+        let low = generate(
+            &CfgParams {
+                pressure: 3,
+                ..CfgParams::default()
+            },
+            &mut crate::rng(5),
+        );
+        let high = generate(
+            &CfgParams {
+                pressure: 12,
+                ..CfgParams::default()
+            },
+            &mut crate::rng(5),
+        );
+        let ml_low = Liveness::compute(&low).maxlive_precise(&low);
+        let ml_high = Liveness::compute(&high).maxlive_precise(&high);
+        assert!(ml_high > ml_low, "{ml_high} vs {ml_low}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate(&CfgParams::default(), &mut crate::rng(11));
+        let b = generate(&CfgParams::default(), &mut crate::rng(11));
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in ShapeProfile::ALL {
+            assert_eq!(p.name().parse::<ShapeProfile>().unwrap(), p);
+        }
+        assert!("spec-unknown".parse::<ShapeProfile>().is_err());
+    }
+}

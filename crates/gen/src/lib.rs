@@ -10,6 +10,9 @@
 //! * [`programs`] — random structured SSA programs (straight-line blocks and
 //!   if/else diamonds with φ-functions) with a configurable register
 //!   pressure;
+//! * [`cfg`] — SPEC-like structured CFGs: nested natural loops with
+//!   loop-carried φs, if/else and switch regions, call-clobber points and
+//!   shape profiles, reducible by construction (with an irreducible knob);
 //! * [`permutation`] — the Figure 3 gadgets: a permutation of `n` values to
 //!   be implemented by parallel moves, optionally embedded in a high-degree
 //!   context where the local Briggs/George rules fail;
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cfg;
 pub mod challenge;
 pub mod families;
 pub mod graphs;

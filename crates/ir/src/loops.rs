@@ -141,6 +141,50 @@ impl LoopInfo {
     }
 }
 
+/// Returns `true` when the CFG of `f` is reducible.
+///
+/// A CFG is reducible iff deleting every *back edge* (an edge `t → h`
+/// whose target `h` dominates its source `t`) leaves an acyclic graph:
+/// in a reducible CFG every cycle is a natural loop entered through its
+/// header, so every retreating edge is a back edge.  Unreachable blocks
+/// are ignored (they belong to no execution).
+pub fn is_reducible(f: &Function) -> bool {
+    let dom = DominatorTree::compute(f);
+    // DFS with colors over the CFG minus its back edges; a gray→gray edge
+    // is a cycle that no dominating header explains.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; f.num_blocks()];
+    // Each frame carries the block's non-back-edge successors, computed
+    // once when the block is first pushed.
+    let forward_succs = |b: BlockId| -> Vec<BlockId> {
+        f.successors(b)
+            .into_iter()
+            .filter(|&s| !dom.dominates(s, b))
+            .collect()
+    };
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = vec![(f.entry, forward_succs(f.entry), 0)];
+    color[f.entry.index()] = GRAY;
+    while let Some((b, succs, i)) = stack.pop() {
+        if i < succs.len() {
+            let s = succs[i];
+            stack.push((b, succs, i + 1));
+            match color[s.index()] {
+                WHITE => {
+                    color[s.index()] = GRAY;
+                    stack.push((s, forward_succs(s), 0));
+                }
+                GRAY => return false,
+                _ => {}
+            }
+        } else {
+            color[b.index()] = BLACK;
+        }
+    }
+    true
+}
+
 /// Computes loop depths from the CFG and stores them into every block's
 /// `loop_depth` field, overwriting any hand-set values.  Returns the number
 /// of detected loops.
@@ -249,6 +293,38 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(f.block(BlockId::new(0)).loop_depth, 0);
         assert_eq!(f.block(BlockId::new(2)).loop_depth, 1);
+    }
+
+    #[test]
+    fn natural_loops_and_straight_code_are_reducible() {
+        assert!(is_reducible(&simple_loop()));
+        let mut b = FunctionBuilder::new("straight");
+        let entry = b.entry_block();
+        b.ret(entry, &[]);
+        assert!(is_reducible(&b.finish()));
+    }
+
+    #[test]
+    fn two_entry_cycle_is_irreducible() {
+        // entry branches to both A and B while A and B form a cycle: the
+        // cycle has two entries, so neither node dominates the other and
+        // the classic irreducible shape appears.
+        let mut b = FunctionBuilder::new("irreducible");
+        let entry = b.entry_block();
+        let a = b.new_block();
+        let bb = b.new_block();
+        let exit = b.new_block();
+        let c = b.def(entry, "c");
+        b.branch(entry, c, a, bb);
+        let ca = b.def(a, "ca");
+        b.branch(a, ca, bb, exit);
+        b.jump(bb, a);
+        b.ret(exit, &[]);
+        let f = b.finish();
+        assert!(!is_reducible(&f));
+        // ...and no natural loop is detected: the cycle has no dominating
+        // header.
+        assert_eq!(LoopInfo::compute(&f).num_loops(), 0);
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! short-lived temporary right before every use, so its contribution to the
 //! register pressure shrinks to single program points.
 //!
-//! The spill-candidate choice is deliberately basic (highest pressure
-//! reduction first); the point of the reproduction is the coalescing phase,
-//! not the spilling heuristics.
+//! The spill-candidate choice is Chaitin-style and loop-aware: among the
+//! variables live at an over-pressured point, it picks the one with the
+//! lowest *spill cost per freed program point*, where the cost of spilling
+//! a variable is the `10^loop_depth`-weighted count of the stores and
+//! reloads the rewrite would insert (the same dynamic-execution-count
+//! estimate that weights affinities and move costs).  A value that idles
+//! across a hot loop is spilled long before one that is rewritten inside
+//! it.
 
 use crate::function::{BlockId, Function, Instr, Terminator, Var};
 use crate::liveness::Liveness;
@@ -39,8 +44,10 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
         if liveness.maxlive_precise(f) <= k {
             break;
         }
-        // Pick the candidate live at the largest number of program points
-        // among those live at some over-pressured point.
+        // Candidates are the variables live at some over-pressured point;
+        // `occurrences` (program points where the variable is live) is the
+        // pressure-reduction benefit of spilling it, `spill_cost` the
+        // loop-depth-weighted store/reload traffic the rewrite would add.
         let mut occurrences: Vec<usize> = vec![0; f.num_vars()];
         let mut candidates: BTreeSet<Var> = BTreeSet::new();
         for b in f.block_ids() {
@@ -54,10 +61,22 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
                 }
             }
         }
+        let spill_cost = spill_costs(f);
+        // Pick the candidate minimizing cost/benefit (compared by cross
+        // multiplication to stay in integers); ties fall to the higher
+        // benefit, then to the lower variable index, so the choice is
+        // deterministic.
         let candidate = candidates
             .into_iter()
             .filter(|v| !not_spillable.contains(v))
-            .max_by_key(|v| occurrences[v.index()]);
+            .min_by(|&a, &b| {
+                let (ca, cb) = (spill_cost[a.index()], spill_cost[b.index()]);
+                let (oa, ob) = (occurrences[a.index()], occurrences[b.index()]);
+                (ca as u128 * ob as u128)
+                    .cmp(&(cb as u128 * oa as u128))
+                    .then(ob.cmp(&oa))
+                    .then(a.cmp(&b))
+            });
         let Some(victim) = candidate else { break };
         if occurrences[victim.index()] <= 2 {
             // Already as short-lived as a reload temp; spilling it cannot
@@ -76,6 +95,41 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
         result.spilled.push(victim);
     }
     result
+}
+
+/// Estimated dynamic cost of spilling each variable, indexed by variable:
+/// one store at the definition plus one reload per use, each weighted by
+/// `10^loop_depth` of the block the access happens in (φ arguments are
+/// reloaded at the end of the corresponding predecessor, so they count at
+/// the predecessor's depth).
+pub fn spill_costs(f: &Function) -> Vec<u64> {
+    let mut cost = vec![0u64; f.num_vars()];
+    for b in f.block_ids() {
+        let block = f.block(b);
+        let weight = 10u64.saturating_pow(block.loop_depth);
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                cost[d.index()] = cost[d.index()].saturating_add(weight);
+            }
+            match instr {
+                Instr::Phi { args, .. } => {
+                    for &(p, v) in args {
+                        let w = 10u64.saturating_pow(f.block(p).loop_depth);
+                        cost[v.index()] = cost[v.index()].saturating_add(w);
+                    }
+                }
+                _ => {
+                    for u in instr.local_uses() {
+                        cost[u.index()] = cost[u.index()].saturating_add(weight);
+                    }
+                }
+            }
+        }
+        for u in block.terminator.uses() {
+            cost[u.index()] = cost[u.index()].saturating_add(weight);
+        }
+    }
+    cost
 }
 
 /// Rewrites `f` so that `victim` is reloaded into a fresh temporary before
@@ -267,6 +321,58 @@ mod tests {
         for bid in f.block_ids() {
             assert!(!f.block(bid).terminator.uses().contains(&x));
         }
+    }
+
+    #[test]
+    fn spill_costs_weight_uses_by_loop_depth() {
+        // x is used inside a depth-2 loop body, y only outside it.
+        let mut b = FunctionBuilder::new("cost");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.set_loop_depth(body, 2);
+        let x = b.def(entry, "x");
+        let y = b.def(entry, "y");
+        let c = b.def(entry, "c");
+        b.jump(entry, body);
+        b.effect(body, &[x]);
+        b.branch(body, c, body, exit);
+        b.ret(exit, &[y]);
+        let f = b.finish();
+        let costs = spill_costs(&f);
+        assert_eq!(costs[x.index()], 1 + 100); // store + loop-body use
+        assert_eq!(costs[y.index()], 1 + 1); // store + use at exit
+        assert_eq!(costs[c.index()], 1 + 100); // store + loop-body branch
+    }
+
+    #[test]
+    fn loop_aware_choice_spills_the_value_idle_across_the_loop() {
+        // Both `hot` and `idle` are live through a loop body that is over
+        // pressure, but only `hot` is used inside it; the loop-aware cost
+        // must pick `idle` even though both free the same pressure points.
+        let mut b = FunctionBuilder::new("loop_spill");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.set_loop_depth(body, 1);
+        let idle = b.def(entry, "idle");
+        let hot = b.def(entry, "hot");
+        let c = b.def(entry, "c");
+        b.jump(entry, body);
+        let t = b.op(body, "t", &[hot]);
+        b.effect(body, &[t, hot]);
+        b.branch(body, c, body, exit);
+        b.effect(exit, &[idle, hot]);
+        b.ret(exit, &[]);
+        let mut f = b.finish();
+        let result = spill_to_pressure(&mut f, 3);
+        assert!(
+            result.spilled.contains(&idle),
+            "expected `idle` to be spilled, got {:?}",
+            result.spilled
+        );
+        assert!(!result.spilled.contains(&hot));
+        assert!(f.validate().is_ok());
     }
 
     #[test]

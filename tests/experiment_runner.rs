@@ -43,6 +43,73 @@ fn the_golden_fixture_is_internally_consistent() {
     }
 }
 
+/// `run-experiments --experiment e13 --seed 42` must reproduce the
+/// committed fixture byte-for-byte.  If this fails because the E13 report
+/// format deliberately changed, regenerate the fixture with
+/// `run-experiments --experiment e13 --seed 42 --quiet --json tests/fixtures/e13_seed42.json`.
+#[test]
+fn e13_seed_42_matches_the_golden_fixture() {
+    let fixture = include_str!("fixtures/e13_seed42.json");
+    // The shared serial sweep's E13 report is exactly
+    // `run_experiment(ExperimentId::E13, 42)` (pinned by the jobs-identity
+    // tests); reusing it keeps this binary's wall clock down.
+    let current = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E13)
+        .expect("sweep contains e13")
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(
+        current, fixture,
+        "E13 seed-42 JSON deviates from tests/fixtures/e13_seed42.json"
+    );
+}
+
+/// The E13 fixture parses, covers the full 3-profile × 3-pressure sweep,
+/// and its acceptance invariants hold on every row: strict SSA, reducible,
+/// chordal, and a chordal coloring with exactly `Maxlive` colors.
+#[test]
+fn the_e13_fixture_is_internally_consistent() {
+    let doc = Json::parse(include_str!("fixtures/e13_seed42.json")).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    assert!(rows.len() >= 9, "3 profiles x 3 pressures at minimum");
+    let mut cells = std::collections::BTreeSet::new();
+    for row in rows {
+        let profile = row.get("profile").and_then(Json::as_str).unwrap();
+        let pressure = row.get("pressure").and_then(Json::as_str).unwrap();
+        cells.insert((profile.to_owned(), pressure.to_owned()));
+        for key in [
+            "strict_ssa",
+            "reducible",
+            "chordal",
+            "chordal_colors_eq_maxlive",
+        ] {
+            assert_eq!(row.get(key).and_then(Json::as_bool), Some(true), "{key}");
+        }
+        assert_eq!(
+            row.get("chordal_colors").and_then(Json::as_u64),
+            row.get("maxlive").and_then(Json::as_u64),
+        );
+    }
+    assert_eq!(cells.len(), 9, "sweep must cross 3 profiles x 3 pressures");
+}
+
+/// E13's per-cell rows must not depend on `--jobs` (they are fanned over
+/// the worker pool like E1/E4/E5/E7's).
+#[test]
+fn e13_rows_are_byte_identical_for_any_jobs_value() {
+    let serial = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E13)
+        .expect("sweep contains e13")
+        .to_json()
+        .to_pretty_string();
+    let parallel = coalesce_bench::run_experiment_with_jobs(ExperimentId::E13, 42, 4)
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(serial, parallel);
+}
+
 /// `--jobs 4` must produce byte-identical output to `--jobs 1` for the
 /// full `--experiment all` sweep (the CLI's core determinism guarantee;
 /// `run_reports` is exactly the function the binary calls).
