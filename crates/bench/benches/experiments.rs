@@ -8,7 +8,9 @@
 
 use coalesce_alloc::pipeline::{run_allocator, AllocatorKind};
 use coalesce_alloc::ssa_based::CoalescingStrategy;
-use coalesce_bench::experiments::{allocators, reductions, regalloc, strategies, structure};
+use coalesce_bench::experiments::{
+    allocators, reductions, regalloc, scaling, strategies, structure,
+};
 use coalesce_bench::{run_experiment, ExperimentId};
 use coalesce_core::chordal_strategy::{chordal_conservative_coalesce, ChordalMode};
 use coalesce_core::conservative::{conservative_coalesce, ConservativeRule};
@@ -250,6 +252,43 @@ fn e14_strategy_zoo(c: &mut Criterion) {
     group.finish();
 }
 
+/// E15 — data-structure scaling: bulk graph construction, clique trees,
+/// bitset liveness and incremental spilling at production-ish sizes.
+fn e15_scaling(c: &mut Criterion) {
+    use coalesce_gen::cfg::ShapeProfile;
+    use coalesce_graph::cliquetree::CliqueTree;
+    use coalesce_ir::spill::spill_to_pressure;
+    let mut group = c.benchmark_group("e15_scaling");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("interval_build", n), &n, |b, &n| {
+            b.iter(|| scaling::e15_interval_graph(42, n))
+        });
+        let g = scaling::e15_interval_graph(42, n);
+        group.bench_with_input(BenchmarkId::new("clique_tree", n), &n, |b, _| {
+            b.iter(|| CliqueTree::build(&g).expect("interval graphs are chordal"))
+        });
+    }
+    let f = scaling::e15_cfg_program(42, ShapeProfile::IntBranchy);
+    group.bench_function("cfg_liveness_2k_blocks", |b| {
+        b.iter(|| Liveness::compute(&f))
+    });
+    let live = Liveness::compute(&f);
+    group.bench_function("cfg_interference_2k_blocks", |b| {
+        b.iter(|| InterferenceGraph::build(&f, &live))
+    });
+    let k = (live.maxlive_precise(&f) / 2).max(3);
+    // The shim criterion has no `iter_batched`, so the spill measurement
+    // necessarily includes one `Function::clone` per iteration; the clone
+    // is benchmarked on its own line so the setup cost can be read off and
+    // subtracted rather than silently inflating the spill number.
+    group.bench_function("cfg_clone_2k_blocks", |b| b.iter(|| f.clone()));
+    group.bench_function("cfg_spill_2k_blocks", |b| {
+        b.iter(|| spill_to_pressure(&mut f.clone(), k))
+    });
+    group.finish();
+}
+
 /// Throughput of the core strategies on one fixed mid-size instance (used
 /// for regression tracking rather than a paper artifact).
 fn core_throughput(c: &mut Criterion) {
@@ -275,6 +314,6 @@ criterion_group!(
     targets = e1_aggressive, e2_conservative, e3_local_rules, e4_incremental, e5_chordal,
               e6_optimistic, e7_ssa_chordal, e8_challenge, e9_lifting, e10_allocators,
               e11_chordal_strategy, e12_splitting, e13_cfg_workloads, e14_strategy_zoo,
-              core_throughput
+              e15_scaling, core_throughput
 );
 criterion_main!(experiments);

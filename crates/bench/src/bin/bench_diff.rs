@@ -14,10 +14,15 @@
 //! is checked inside the current artifact itself: no coloring may use
 //! fewer colors than `Maxlive` without spilling (the E13 `chordal_colors`
 //! vs `maxlive` columns), and every spill-count field must be a
-//! non-negative number.  Exit code 0 means no regression; 1 lists every
-//! difference.
+//! non-negative number.  Experiments that carry a wall-clock regression
+//! guard embed their declared budget as a `budget_ms` summary field; the
+//! diff checks that every guarded experiment still declares it, that the
+//! value matches the library's [`ExperimentId::budget_ms`] table, and that
+//! it never grew past the baseline's (loosening a budget is a reviewed
+//! baseline change, not a drive-by).  Exit code 0 means no regression; 1
+//! lists every difference.
 
-use coalesce_bench::Json;
+use coalesce_bench::{ExperimentId, Json};
 use std::process::ExitCode;
 
 /// Summary/row keys that are allowed to drift between runs: search
@@ -173,6 +178,52 @@ fn check_current_invariants(current: &Json, problems: &mut Vec<String>) {
     }
 }
 
+/// The per-experiment wall-clock budget fields: every *guarded*
+/// experiment present in the current artifact ([`ExperimentId::budget_ms`]
+/// declares a budget for it) must carry the field in its summary with
+/// exactly the declared value, and the current artifact's budget must
+/// never exceed the baseline's.  Experiments absent from the artifact are
+/// not required — single-experiment files are valid diff inputs.
+fn check_budget_fields(current: &Json, baseline: &Json, problems: &mut Vec<String>) {
+    fn report_of(doc: &Json, id: ExperimentId) -> Option<&Json> {
+        experiments_of(doc)
+            .into_iter()
+            .find(|e| e.get("experiment").and_then(Json::as_str) == Some(id.as_str()))
+    }
+    fn budget_of(doc: &Json, id: ExperimentId) -> Option<u64> {
+        report_of(doc, id)
+            .and_then(|e| e.get("summary"))
+            .and_then(|s| s.get("budget_ms"))
+            .and_then(Json::as_u64)
+    }
+    for id in ExperimentId::ALL {
+        let Some(declared) = id.budget_ms() else {
+            continue;
+        };
+        if report_of(current, id).is_none() {
+            continue;
+        }
+        match budget_of(current, id) {
+            None => problems.push(format!(
+                "{id}: guarded experiment is missing its `budget_ms` summary field"
+            )),
+            Some(ms) if ms != declared => problems.push(format!(
+                "{id}: `budget_ms` {ms} does not match the declared budget {declared}"
+            )),
+            Some(ms) => {
+                if let Some(base) = budget_of(baseline, id) {
+                    if ms > base {
+                        problems.push(format!(
+                            "{id}: `budget_ms` grew from {base} to {ms} — budgets only tighten \
+                             without a baseline review"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -197,6 +248,7 @@ fn main() -> ExitCode {
     let mut problems = Vec::new();
     compare(&current, &baseline, &mut problems);
     check_current_invariants(&current, &mut problems);
+    check_budget_fields(&current, &baseline, &mut problems);
     if problems.is_empty() {
         println!("bench-diff: {current_path} matches the invariants of {baseline_path}");
         ExitCode::SUCCESS

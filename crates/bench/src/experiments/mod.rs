@@ -1,4 +1,4 @@
-//! The E1–E12 experiments of the reproduction, as reusable library code.
+//! The E1–E15 experiments of the reproduction, as reusable library code.
 //!
 //! Each experiment is a function from a *base seed* to an
 //! [`ExperimentReport`]; base seed 0 reproduces the tables the original
@@ -9,9 +9,11 @@
 pub mod allocators;
 pub mod reductions;
 pub mod regalloc;
+pub mod scaling;
 pub mod strategies;
 pub mod structure;
 
+use crate::json::Json;
 use crate::report::ExperimentReport;
 use coalesce_gen::cfg::ShapeProfile;
 use coalesce_graph::VertexId;
@@ -23,7 +25,7 @@ pub(crate) fn v(i: usize) -> VertexId {
     VertexId::new(i)
 }
 
-/// Identifier of one experiment (E1–E12).
+/// Identifier of one experiment (E1–E15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExperimentId {
     /// Theorem 2 / Figure 1: multiway cut vs optimal aggressive coalescing.
@@ -54,11 +56,14 @@ pub enum ExperimentId {
     E13,
     /// Generated program corpus through the coalescing strategies.
     E14,
+    /// Data-structure scaling: flat graphs, bitset liveness, incremental
+    /// spilling at production-ish sizes.
+    E15,
 }
 
 impl ExperimentId {
     /// Every experiment, in order.
-    pub const ALL: [ExperimentId; 14] = [
+    pub const ALL: [ExperimentId; 15] = [
         ExperimentId::E1,
         ExperimentId::E2,
         ExperimentId::E3,
@@ -73,7 +78,23 @@ impl ExperimentId {
         ExperimentId::E12,
         ExperimentId::E13,
         ExperimentId::E14,
+        ExperimentId::E15,
     ];
+
+    /// The wall-clock budget (milliseconds) the experiment's hot path must
+    /// stay within in release builds, for the experiments that carry a
+    /// perf-regression guard.  The value is embedded in the report summary
+    /// (deterministic — it is a constant), `bench-diff` cross-checks it
+    /// against the baseline, and `tests/experiment_runner.rs` enforces the
+    /// actual wall clock.
+    pub fn budget_ms(self) -> Option<u64> {
+        match self {
+            ExperimentId::E4 => Some(2_000),
+            ExperimentId::E5 => Some(5_000),
+            ExperimentId::E15 => Some(5_000),
+            _ => None,
+        }
+    }
 
     /// One-line description of what the experiment checks; used as the
     /// report title and by the CLI's `--list`.
@@ -115,6 +136,9 @@ impl ExperimentId {
             ExperimentId::E14 => {
                 "generated program corpus through the coalescing strategies (weight / spills)"
             }
+            ExperimentId::E15 => {
+                "data-structure scaling: bulk graphs, bitset liveness, incremental spilling"
+            }
         }
     }
 
@@ -135,6 +159,7 @@ impl ExperimentId {
             ExperimentId::E12 => "e12",
             ExperimentId::E13 => "e13",
             ExperimentId::E14 => "e14",
+            ExperimentId::E15 => "e15",
         }
     }
 }
@@ -181,7 +206,7 @@ pub fn run_experiment(id: ExperimentId, base_seed: u64) -> ExperimentReport {
 
 /// Runs one experiment with the given base seed, fanning its per-seed /
 /// per-size rows over up to `jobs` worker threads where the experiment
-/// supports it (E1, E4, E5, E7, E13, E14 — the ones whose rows are
+/// supports it (E1, E4, E5, E7, E13, E14, E15 — the ones whose rows are
 /// independent and heavy enough to matter).  Row order, and therefore the
 /// serialized report, is identical for every `jobs` value.
 pub fn run_experiment_with_jobs(id: ExperimentId, base_seed: u64, jobs: usize) -> ExperimentReport {
@@ -198,7 +223,7 @@ pub fn run_experiment_filtered(
     jobs: usize,
     profiles: &[ShapeProfile],
 ) -> ExperimentReport {
-    match id {
+    let mut report = match id {
         ExperimentId::E1 => reductions::e1_report_with_jobs(base_seed, jobs),
         ExperimentId::E2 => reductions::e2_report(base_seed),
         ExperimentId::E3 => strategies::e3_report(base_seed),
@@ -213,7 +238,16 @@ pub fn run_experiment_filtered(
         ExperimentId::E12 => allocators::e12_report(base_seed),
         ExperimentId::E13 => regalloc::e13_report_filtered(base_seed, jobs, profiles),
         ExperimentId::E14 => regalloc::e14_report_filtered(base_seed, jobs, profiles),
+        ExperimentId::E15 => scaling::e15_report_with_jobs(base_seed, jobs),
+    };
+    // Experiments with a wall-clock regression guard carry their declared
+    // budget in the summary so `bench-diff` can cross-check it against the
+    // baseline artifact (the value is a constant, so reports stay
+    // byte-identical across runs and `--jobs` values).
+    if let Some(ms) = id.budget_ms() {
+        report.summary.push(("budget_ms".into(), Json::from(ms)));
     }
+    report
 }
 
 /// Runs a batch of experiments, fanning whole experiments (and, within
@@ -256,7 +290,7 @@ mod tests {
                 id
             );
         }
-        assert!("e15".parse::<ExperimentId>().is_err());
+        assert!("e16".parse::<ExperimentId>().is_err());
         assert!("".parse::<ExperimentId>().is_err());
     }
 
@@ -280,6 +314,7 @@ mod tests {
             ExperimentId::E7,
             ExperimentId::E13,
             ExperimentId::E14,
+            ExperimentId::E15,
         ] {
             let serial = run_experiment_with_jobs(id, 3, 1)
                 .to_json()

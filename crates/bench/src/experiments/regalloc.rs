@@ -301,8 +301,9 @@ pub struct ZooConfig {
     /// Run [`ConservativeRule::BruteForce`] (a full greedy `k`-coloring
     /// check per candidate — quadratic-ish in instance size).
     pub brute_force: bool,
-    /// Run the Theorem-5 chordal strategy where applicable (rebuilds
-    /// clique structure per affinity).
+    /// Run the Theorem-5 chordal strategy where applicable (a prepared
+    /// clique-tree session per graph state, rebuilt after each accepted
+    /// merge).
     pub chordal: bool,
 }
 

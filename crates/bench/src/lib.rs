@@ -1,7 +1,7 @@
 //! Reusable experiment library for the CGO'07 register-coalescing
 //! reproduction.
 //!
-//! The E1–E12 experiments (instance generation, exact-vs-heuristic
+//! The E1–E15 experiments (instance generation, exact-vs-heuristic
 //! comparison, gap and table computation) live here as ordinary library
 //! functions returning structured [`report::ExperimentReport`]s, so that
 //! three consumers share one implementation:

@@ -29,8 +29,8 @@
 //! E11 ablation of the benchmark harness.
 
 use crate::affinity::{AffinityGraph, Coalescing, CoalescingStats};
-use crate::incremental::{chordal_incremental, IncrementalAnswer};
-use coalesce_graph::{chordal, coloring, fillin, VertexId};
+use crate::incremental::{IncrementalAnswer, PreparedChordal};
+use coalesce_graph::{coloring, fillin, VertexId};
 use std::collections::BTreeSet;
 
 /// How much of the witness the strategy merges after a positive query.
@@ -78,13 +78,15 @@ pub fn chordal_conservative_coalesce(
     k: usize,
     mode: ChordalMode,
 ) -> Option<ChordalStrategyResult> {
-    if !chordal::is_chordal(&ag.graph) {
+    // One prepared session per graph *state*: the clique tree is built once
+    // up front and rebuilt only after an accepted merge (plus fill-in)
+    // actually changes the working graph — rejected affinities, the common
+    // case, reuse the session instead of paying a full MCS sweep each.
+    let session = PreparedChordal::prepare(&ag.graph)?;
+    if session.omega() > k {
         return None;
     }
-    let omega = chordal::chordal_clique_number(&ag.graph)?;
-    if omega > k {
-        return None;
-    }
+    let mut session = Some(session);
 
     let mut coalescing = Coalescing::identity(&ag.graph);
     // The working graph carries the fill edges on top of the merged graph,
@@ -104,7 +106,7 @@ pub fn chordal_conservative_coalesce(
             // cannot coalesce under the current invariant.
             continue;
         }
-        let answer = match chordal_incremental(&work, k, ra, rb) {
+        let answer = match session.as_ref().and_then(|s| s.query(&work, k, ra, rb)) {
             Some(answer) => answer,
             None => {
                 // The working graph left the theorem's hypotheses (it can
@@ -140,16 +142,19 @@ pub fn chordal_conservative_coalesce(
                 coalescing.merge(ra, rb);
             }
         }
-        // Restore the chordal invariant if the merge left the class (this
-        // can happen in both modes when the witness does not cover the full
+        // Re-prepare against the changed graph; a failed preparation *is*
+        // the chordality check, in which case the invariant is restored
+        // with a minimal fill-in before preparing again (this can be
+        // needed in both modes when the witness does not cover the full
         // clique-tree path with real vertices).
-        if !chordal::is_chordal(&work) {
+        session = PreparedChordal::prepare(&work).or_else(|| {
             let tri = fillin::mcs_m(&work);
             for &(a, b) in &tri.fill_edges {
                 work.add_edge(a, b);
             }
             fill_edges_added += tri.fill_edges.len();
-        }
+            PreparedChordal::prepare(&work)
+        });
     }
 
     let stats = coalescing.stats(&ag.affinities);

@@ -104,28 +104,32 @@ pub fn chordal_incremental(
     ChordalIncremental::prepare(graph)?.query(k, x, y)
 }
 
-/// A prepared chordal incremental-coalescing session.
+/// A prepared Theorem-5 oracle that **owns** its clique tree and `ω(G)`
+/// without borrowing the graph.
 ///
-/// [`chordal_incremental`] recomputes the clique tree and `ω(G)` on every
-/// call, which dominates its cost on large graphs; batch workloads (the E5
-/// sweeps query the same thousand-vertex graph dozens of times) prepare a
-/// session once and run [`ChordalIncremental::query`] per pair instead.
+/// This is the building block behind both session types: a caller that
+/// mutates its working graph between queries (the chordal coalescing
+/// strategy merges vertices and adds fill edges) keeps the graph by value
+/// and re-prepares only when the graph actually changed, instead of paying
+/// a clique-tree construction per affinity.  The graph passed to
+/// [`PreparedChordal::query`] must be the one the session was prepared
+/// from (unchanged since), which the borrow-holding
+/// [`ChordalIncremental`] wrapper enforces statically.
 #[derive(Debug, Clone)]
-pub struct ChordalIncremental<'g> {
-    graph: &'g Graph,
+pub struct PreparedChordal {
     tree: CliqueTree,
     omega: usize,
 }
 
-impl<'g> ChordalIncremental<'g> {
+impl PreparedChordal {
     /// Builds the clique tree of `graph` once; `ω(G)` is read off the tree
     /// (its largest clique), so preparation is a single MCS sweep.
     ///
     /// Returns `None` if `graph` is not chordal.
-    pub fn prepare(graph: &'g Graph) -> Option<Self> {
+    pub fn prepare(graph: &Graph) -> Option<Self> {
         let tree = CliqueTree::build(graph)?;
         let omega = tree.clique_number();
-        Some(ChordalIncremental { graph, tree, omega })
+        Some(PreparedChordal { tree, omega })
     }
 
     /// The clique number `ω(G)` of the prepared graph.
@@ -138,11 +142,17 @@ impl<'g> ChordalIncremental<'g> {
         &self.tree
     }
 
-    /// Answers one incremental query against the prepared graph; same
-    /// semantics as [`chordal_incremental`] (`None` when the instance is
-    /// outside the theorem's hypotheses).
-    pub fn query(&self, k: usize, x: VertexId, y: VertexId) -> Option<IncrementalAnswer> {
-        let graph = self.graph;
+    /// Answers one incremental query; same semantics as
+    /// [`chordal_incremental`] (`None` when the instance is outside the
+    /// theorem's hypotheses).  `graph` must be the exact graph this
+    /// session was prepared from.
+    pub fn query(
+        &self,
+        graph: &Graph,
+        k: usize,
+        x: VertexId,
+        y: VertexId,
+    ) -> Option<IncrementalAnswer> {
         if !graph.is_live(x) || !graph.is_live(y) || x == y {
             return None;
         }
@@ -260,6 +270,50 @@ impl<'g> ChordalIncremental<'g> {
             }
         }
         Some(IncrementalAnswer::Coalescible(class))
+    }
+}
+
+/// A prepared chordal incremental-coalescing session over a borrowed,
+/// immutable graph.
+///
+/// [`chordal_incremental`] recomputes the clique tree and `ω(G)` on every
+/// call, which dominates its cost on large graphs; batch workloads (the E5
+/// sweeps query the same thousand-vertex graph dozens of times) prepare a
+/// session once and run [`ChordalIncremental::query`] per pair instead.
+/// Strategies that mutate their working graph between queries use the
+/// underlying [`PreparedChordal`] directly and re-prepare after a change.
+#[derive(Debug, Clone)]
+pub struct ChordalIncremental<'g> {
+    graph: &'g Graph,
+    prepared: PreparedChordal,
+}
+
+impl<'g> ChordalIncremental<'g> {
+    /// Builds the clique tree of `graph` once (a single MCS sweep).
+    ///
+    /// Returns `None` if `graph` is not chordal.
+    pub fn prepare(graph: &'g Graph) -> Option<Self> {
+        Some(ChordalIncremental {
+            graph,
+            prepared: PreparedChordal::prepare(graph)?,
+        })
+    }
+
+    /// The clique number `ω(G)` of the prepared graph.
+    pub fn omega(&self) -> usize {
+        self.prepared.omega()
+    }
+
+    /// The clique tree the session walks.
+    pub fn tree(&self) -> &CliqueTree {
+        self.prepared.tree()
+    }
+
+    /// Answers one incremental query against the prepared graph; same
+    /// semantics as [`chordal_incremental`] (`None` when the instance is
+    /// outside the theorem's hypotheses).
+    pub fn query(&self, k: usize, x: VertexId, y: VertexId) -> Option<IncrementalAnswer> {
+        self.prepared.query(self.graph, k, x, y)
     }
 }
 

@@ -54,7 +54,8 @@ pub use aggressive::{aggressive_exact, aggressive_heuristic};
 pub use chordal_strategy::{chordal_conservative_coalesce, ChordalMode, ChordalStrategyResult};
 pub use conservative::{conservative_coalesce, conservative_exact, ConservativeRule};
 pub use incremental::{
-    chordal_incremental, incremental_exact, incremental_exact_with, IncrementalAnswer,
+    chordal_incremental, incremental_exact, incremental_exact_with, ChordalIncremental,
+    IncrementalAnswer, PreparedChordal,
 };
 pub use irc::{allocate, IrcResult};
 pub use optimistic::{decoalesce_exact, optimistic_coalesce};

@@ -42,22 +42,25 @@ pub fn random_interval_graph(
             (start, start + len)
         })
         .collect();
-    let mut g = Graph::new(n);
     // Sweep: visit intervals by increasing start; the active list holds
     // exactly the earlier-started intervals still covering the current
-    // start, and each of them overlaps the new interval.
+    // start, and each of them overlaps the new interval.  The overlap
+    // pairs are collected into one flat list and handed to the bulk
+    // `Graph::from_edges` constructor, so the multi-million-edge E5/E15
+    // instances never pay a per-edge sorted insertion.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| intervals[i].0);
     let mut active: Vec<usize> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     for &i in &order {
         let (start, _) = intervals[i];
         active.retain(|&j| intervals[j].1 >= start);
         for &j in &active {
-            g.add_edge(VertexId::new(i), VertexId::new(j));
+            edges.push((VertexId::new(i), VertexId::new(j)));
         }
         active.push(i);
     }
-    (g, intervals)
+    (Graph::from_edges(n, edges), intervals)
 }
 
 /// Random connected chordal graph built by the "add a vertex adjacent to a

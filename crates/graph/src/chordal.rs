@@ -23,8 +23,9 @@ use std::collections::BTreeSet;
 /// chordality verdict, and the Blair–Peyton clique-tree skeleton derived
 /// from the same run.
 ///
-/// Everything is computed in a single `O(V + E)` sweep (up to the
-/// logarithmic factors of the underlying adjacency sets), which is what
+/// Everything is computed in a single `O(V + E)` sweep (the adjacency
+/// rows are flat sorted slices, so the neighbor scans carry no
+/// per-element set overhead), which is what
 /// makes [`chordal_maximal_cliques`] and
 /// [`crate::cliquetree::CliqueTree::build`] linear instead of quadratic.
 pub(crate) struct CliqueForest {
@@ -60,7 +61,7 @@ pub(crate) struct CliqueForest {
 /// clique of the most recently visited vertex of `M(v)`.  Chordality is
 /// then verified by a Tarjan–Yannakakis pass over the elimination order
 /// (timestamped neighborhood bitmap, no per-edge set lookups), so the
-/// whole routine does `O(V + E)` work outside the adjacency-set scans.
+/// whole routine does `O(V + E)` work, slice scans included.
 pub(crate) fn mcs_clique_forest(g: &Graph) -> CliqueForest {
     let cap = g.capacity();
     let n = g.num_vertices();

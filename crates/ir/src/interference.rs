@@ -19,7 +19,6 @@
 use crate::function::{Function, Instr, Var};
 use crate::liveness::Liveness;
 use coalesce_graph::{Graph, VertexId};
-use std::collections::BTreeSet;
 
 /// Which notion of interference to use when building the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,7 +88,6 @@ impl InterferenceGraph {
 
         for b in f.block_ids() {
             let block = f.block(b);
-            let points = liveness.live_points(f, b);
             let weight = 10u64.saturating_pow(block.loop_depth);
 
             // Parallel φ definitions at the block entry are simultaneously
@@ -101,18 +99,25 @@ impl InterferenceGraph {
                 }
                 // φ results also interfere with everything live into the
                 // block (other than themselves).
-                for &v in liveness.live_in(b) {
+                for v in liveness.live_in(b).iter() {
                     if v != p {
                         add_edge(&mut graph, p, v);
                     }
                 }
             }
 
-            for (i, instr) in block.instrs.iter().enumerate() {
-                // Live *after* this instruction.
-                let live_after: &BTreeSet<Var> = &points[i + 1];
+            // Stream the per-point live sets backwards through the block:
+            // when the cursor stands at point `i + 1` it is exactly the set
+            // live *after* instruction `i`, so the definition edges fall
+            // out of one reverse walk with a single reused cursor set.
+            let instrs = &block.instrs;
+            liveness.for_each_point_rev(f, b, |point, live_after| {
+                if point == 0 {
+                    return;
+                }
+                let instr = &instrs[point - 1];
                 if let Some(d) = instr.def() {
-                    for &v in live_after {
+                    for v in live_after.iter() {
                         if v == d {
                             continue;
                         }
@@ -126,6 +131,9 @@ impl InterferenceGraph {
                         add_edge(&mut graph, d, v);
                     }
                 }
+            });
+
+            for instr in instrs {
                 match instr {
                     Instr::Copy { dst, src } if options.copy_affinities && dst != src => {
                         affinities.push(Affinity {

@@ -9,8 +9,8 @@
 //! * [`dom`]: dominator trees and dominance frontiers (Cooper–Harvey–Kennedy);
 //! * [`ssa`]: SSA construction (φ placement at dominance frontiers and
 //!   variable renaming) and strictness/SSA validation;
-//! * [`liveness`]: iterative live-variable analysis, per-point live sets and
-//!   `Maxlive`;
+//! * [`liveness`]: worklist live-variable analysis over dense bitsets
+//!   ([`liveness::VarSet`]), streamed per-point live cursors and `Maxlive`;
 //! * [`interference`]: interference-graph and affinity construction, with
 //!   both the live-range-intersection and the Chaitin definitions of
 //!   interference discussed in §2.1 of the paper;
@@ -63,5 +63,5 @@ pub mod ssa;
 
 pub use function::{Block, BlockId, Function, FunctionBuilder, Instr, Var};
 pub use interference::{Affinity, InterferenceGraph};
-pub use liveness::Liveness;
+pub use liveness::{Liveness, VarSet};
 pub use loops::LoopInfo;

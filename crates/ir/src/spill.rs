@@ -16,6 +16,21 @@
 //! estimate that weights affinities and move costs).  A value that idles
 //! across a hot loop is spilled long before one that is rewritten inside
 //! it.
+//!
+//! The pass is **incremental end to end**, which is what lets E15-scale
+//! programs (thousands of blocks) spill hundreds of victims in well under
+//! a second where the seed recomputed everything per victim:
+//!
+//! * liveness is solved once and then patched in place after each rewrite
+//!   ([`Liveness::apply_spill_rewrite`]) — a spilled variable is live at no
+//!   block boundary afterwards, and the only reload temporaries that cross
+//!   a boundary are the φ-argument ones;
+//! * the per-block candidate statistics (precise per-block `Maxlive`,
+//!   per-variable live-point counts, over-pressure membership) are cached
+//!   in [`BlockSpillStats`] and recomputed only for the blocks a rewrite
+//!   actually touched or the victim was live through;
+//! * spill costs never change for a variable that was not itself rewritten,
+//!   so they are computed once up front.
 
 use crate::function::{BlockId, Function, Instr, Terminator, Var};
 use crate::liveness::Liveness;
@@ -30,6 +45,116 @@ pub struct SpillResult {
     pub reloads: usize,
 }
 
+/// What one [`spill_everywhere`] rewrite did to the function, in the terms
+/// the incremental bookkeeping needs.
+#[derive(Debug, Clone, Default)]
+pub struct SpillRewrite {
+    /// φ-argument reloads as `(predecessor, reload)` pairs — the only
+    /// reload temporaries whose live range crosses a block boundary,
+    /// which is exactly what [`Liveness::apply_spill_rewrite`] consumes.
+    pub phi_pred_reloads: Vec<(BlockId, Var)>,
+    /// Blocks whose instruction list or terminator changed (may contain
+    /// duplicates).
+    pub modified_blocks: Vec<BlockId>,
+}
+
+/// Per-block spill-candidate statistics, derived from one backward walk of
+/// the block's live points:
+///
+/// * `contributions[(v, c)]` — variable `v` is live at `c` program points
+///   of this block (the pressure-reduction benefit of spilling it);
+/// * `candidates` — variables live at at least one point of this block
+///   whose pressure exceeds the target `k`;
+/// * `maxlive` — the precise per-block `Maxlive` (dead definitions and
+///   simultaneously live φ results included).
+///
+/// The walk tracks liveness *segments* instead of materialising per-point
+/// sets: a variable's live points inside a block are contiguous runs
+/// delimited by its definition and last use, so one insert/remove event
+/// pair yields the whole count, and over-pressure membership reduces to
+/// comparing the segment against the latest over-pressured point index.
+#[derive(Debug, Clone, Default)]
+struct BlockSpillStats {
+    contributions: Vec<(Var, u64)>,
+    candidates: Vec<Var>,
+    maxlive: usize,
+}
+
+/// Computes the [`BlockSpillStats`] of one block against the current
+/// liveness solution.  `birth` is a scratch array of at least `num_vars`
+/// entries (contents irrelevant between calls).
+fn block_spill_stats(
+    f: &Function,
+    liveness: &Liveness,
+    b: BlockId,
+    k: usize,
+    birth: &mut Vec<u32>,
+) -> BlockSpillStats {
+    let block = f.block(b);
+    let n = block.instrs.len();
+    if birth.len() < f.num_vars() {
+        birth.resize(f.num_vars(), 0);
+    }
+    let mut stats = BlockSpillStats::default();
+    // The walk starts at point n: live-out plus the terminator's uses.
+    let mut live = liveness.live_out(b).clone();
+    for u in block.terminator.uses() {
+        live.insert(u);
+    }
+    for v in live.iter() {
+        birth[v.index()] = n as u32;
+    }
+    stats.maxlive = live.len();
+    // Index of the lowest (most recently seen, walking backwards)
+    // over-pressured point; `u32::MAX` while none was seen.
+    let mut min_over = if live.len() > k { n as u32 } else { u32::MAX };
+    for (i, instr) in block.instrs.iter().enumerate().rev() {
+        if let Some(d) = instr.def() {
+            // Pressure of the definition point: the set after the
+            // instruction plus the defined value if it is dead there (a
+            // dead definition still occupies a register — this keeps
+            // Maxlive equal to ω of the SSA interference graph, Thm 1).
+            if !instr.is_phi() {
+                stats.maxlive = stats
+                    .maxlive
+                    .max(live.len() + usize::from(!live.contains(d)));
+            }
+            if live.remove(d) {
+                // Close the segment: d was live at points i+1 ..= birth.
+                let first = birth[d.index()];
+                stats.contributions.push((d, u64::from(first) - i as u64));
+                if min_over <= first {
+                    stats.candidates.push(d);
+                }
+            }
+        }
+        for u in instr.local_uses() {
+            if live.insert(u) {
+                birth[u.index()] = i as u32;
+            }
+        }
+        stats.maxlive = stats.maxlive.max(live.len());
+        if live.len() > k {
+            min_over = i as u32;
+        }
+    }
+    // Flush the segments still open at the block entry (live-in).
+    for v in live.iter() {
+        let first = birth[v.index()];
+        stats.contributions.push((v, u64::from(first) + 1));
+        if min_over <= first {
+            stats.candidates.push(v);
+        }
+    }
+    // φ results are all simultaneously live at the block entry together
+    // with the live-in set.
+    let phi_defs = block.phis().filter_map(Instr::def).count();
+    if phi_defs > 0 {
+        stats.maxlive = stats.maxlive.max(liveness.live_in(b).len() + phi_defs);
+    }
+    stats
+}
+
 /// Spills variables of `f` until `Maxlive ≤ k` (or no candidate remains),
 /// using a spill-everywhere rewrite.  Returns the list of spilled variables
 /// and rewrites `f` in place.
@@ -39,41 +164,62 @@ pub struct SpillResult {
 pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
     let mut result = SpillResult::default();
     let mut not_spillable: BTreeSet<Var> = BTreeSet::new();
-    loop {
-        let liveness = Liveness::compute(f);
-        if liveness.maxlive_precise(f) <= k {
-            break;
+    // One full fixpoint up front; every later iteration patches it in
+    // place via `apply_spill_rewrite` (the patch is exact, see its docs).
+    let mut liveness = Liveness::compute(f);
+    // Spill costs only change for rewritten variables, and those are never
+    // reconsidered (`not_spillable`), so one up-front computation serves
+    // every iteration.
+    let spill_cost = spill_costs(f);
+    // Block of each variable's definition (first definition for non-SSA
+    // inputs): the one block whose statistics a rewrite can change even
+    // when the victim is live at none of its boundaries.
+    let mut def_block: Vec<Option<BlockId>> = vec![None; f.num_vars()];
+    for (b, _, instr) in f.instructions() {
+        if let Some(d) = instr.def() {
+            def_block[d.index()].get_or_insert(b);
         }
-        // Candidates are the variables live at some over-pressured point;
-        // `occurrences` (program points where the variable is live) is the
-        // pressure-reduction benefit of spilling it, `spill_cost` the
-        // loop-depth-weighted store/reload traffic the rewrite would add.
-        let mut occurrences: Vec<usize> = vec![0; f.num_vars()];
-        let mut candidates: BTreeSet<Var> = BTreeSet::new();
-        for b in f.block_ids() {
-            let points = liveness.live_points(f, b);
-            for p in &points {
-                for &v in p {
-                    occurrences[v.index()] += 1;
-                }
-                if p.len() > k {
-                    candidates.extend(p.iter().copied());
-                }
+    }
+    // Per-block candidate statistics plus the global aggregates derived
+    // from them: per-variable point counts, and the candidate set with a
+    // per-variable reference count (how many blocks currently list it).
+    let mut birth: Vec<u32> = Vec::new();
+    let mut occurrences: Vec<u64> = vec![0; f.num_vars()];
+    let mut candidate_refs: Vec<u32> = vec![0; f.num_vars()];
+    let mut candidates: BTreeSet<Var> = BTreeSet::new();
+    let mut stats: Vec<BlockSpillStats> = Vec::with_capacity(f.num_blocks());
+    for b in f.block_ids() {
+        let s = block_spill_stats(f, &liveness, b, k, &mut birth);
+        for &(v, c) in &s.contributions {
+            occurrences[v.index()] += c;
+        }
+        for &v in &s.candidates {
+            candidate_refs[v.index()] += 1;
+            if candidate_refs[v.index()] == 1 {
+                candidates.insert(v);
             }
         }
-        let spill_cost = spill_costs(f);
+        stats.push(s);
+    }
+
+    loop {
+        let maxlive = stats.iter().map(|s| s.maxlive).max().unwrap_or(0);
+        if maxlive <= k {
+            break;
+        }
         // Pick the candidate minimizing cost/benefit (compared by cross
         // multiplication to stay in integers); ties fall to the higher
         // benefit, then to the lower variable index, so the choice is
         // deterministic.
         let candidate = candidates
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|v| !not_spillable.contains(v))
             .min_by(|&a, &b| {
                 let (ca, cb) = (spill_cost[a.index()], spill_cost[b.index()]);
                 let (oa, ob) = (occurrences[a.index()], occurrences[b.index()]);
-                (ca as u128 * ob as u128)
-                    .cmp(&(cb as u128 * oa as u128))
+                (u128::from(ca) * u128::from(ob))
+                    .cmp(&(u128::from(cb) * u128::from(oa)))
                     .then(ob.cmp(&oa))
                     .then(a.cmp(&b))
             });
@@ -84,8 +230,55 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
             not_spillable.insert(victim);
             continue;
         }
+        // Blocks whose statistics the rewrite can change: the ones the
+        // victim was live through, its definition block, and every block
+        // the rewrite touches (collected below).
+        let mut affected = vec![false; f.num_blocks()];
+        for b in f.block_ids() {
+            if liveness.is_live_in(b, victim) || liveness.is_live_out(b, victim) {
+                affected[b.index()] = true;
+            }
+        }
+        if let Some(b) = def_block[victim.index()] {
+            affected[b.index()] = true;
+        }
         let vars_before = f.num_vars();
-        spill_everywhere(f, victim, &mut result);
+        let rewrite = spill_everywhere(f, victim, &mut result);
+        liveness.apply_spill_rewrite(victim, &rewrite.phi_pred_reloads);
+        for &b in &rewrite.modified_blocks {
+            affected[b.index()] = true;
+        }
+        occurrences.resize(f.num_vars(), 0);
+        candidate_refs.resize(f.num_vars(), 0);
+        // Retract the affected blocks' old statistics and fold in the
+        // recomputed ones; everything else is untouched by construction.
+        for (bi, touched) in affected.iter().enumerate() {
+            if !touched {
+                continue;
+            }
+            let b = BlockId::new(bi);
+            let old = std::mem::take(&mut stats[bi]);
+            for (v, c) in old.contributions {
+                occurrences[v.index()] -= c;
+            }
+            for v in old.candidates {
+                candidate_refs[v.index()] -= 1;
+                if candidate_refs[v.index()] == 0 {
+                    candidates.remove(&v);
+                }
+            }
+            let s = block_spill_stats(f, &liveness, b, k, &mut birth);
+            for &(v, c) in &s.contributions {
+                occurrences[v.index()] += c;
+            }
+            for &v in &s.candidates {
+                candidate_refs[v.index()] += 1;
+                if candidate_refs[v.index()] == 1 {
+                    candidates.insert(v);
+                }
+            }
+            stats[bi] = s;
+        }
         // Never re-spill a reload temporary (or the victim itself): reload
         // temps of early spills can grow long again as later reloads are
         // inserted between them and their use, and re-spilling them would
@@ -136,7 +329,14 @@ pub fn spill_costs(f: &Function) -> Vec<u64> {
 /// every use (spill-everywhere).  The original definition of `victim` is
 /// kept (it represents the value being stored to memory) but the variable
 /// itself dies immediately after its definition.
-pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult) {
+///
+/// Returns the [`SpillRewrite`] describing what changed: the φ-argument
+/// reloads (the only reload temporaries whose live range crosses a block
+/// boundary — what [`Liveness::apply_spill_rewrite`] consumes) and the
+/// blocks whose code was touched (what the incremental candidate
+/// bookkeeping of [`spill_to_pressure`] consumes).
+pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult) -> SpillRewrite {
+    let mut rewrite = SpillRewrite::default();
     let block_ids: Vec<BlockId> = f.block_ids().collect();
     for b in block_ids {
         // Rewrite φ arguments: reload at the end of the predecessor.
@@ -160,6 +360,7 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
                             dst,
                             args: new_args,
                         };
+                        rewrite.modified_blocks.push(b);
                     }
                 }
             }
@@ -170,6 +371,8 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
                 uses: Vec::new(),
             });
             result.reloads += 1;
+            rewrite.modified_blocks.push(pred);
+            rewrite.phi_pred_reloads.push((pred, reload));
         }
 
         // Rewrite ordinary uses inside the block.
@@ -182,6 +385,7 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
                 Instr::Phi { .. } => false,
             };
             if uses_victim {
+                rewrite.modified_blocks.push(b);
                 let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
                 let new_instr = match instr {
                     Instr::Op { dst, uses } => Instr::Op {
@@ -213,6 +417,7 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
         let term = f.block(b).terminator.clone();
         let term_uses_victim = term.uses().contains(&victim);
         if term_uses_victim {
+            rewrite.modified_blocks.push(b);
             let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
             let new_term = match term {
                 Terminator::Branch {
@@ -241,6 +446,7 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
         }
     }
     debug_assert!(f.validate().is_ok());
+    rewrite
 }
 
 #[cfg(test)]

@@ -162,6 +162,101 @@ fn the_sweep_matches_the_committed_baseline_invariants() {
     }
 }
 
+/// `run-experiments --experiment e15 --seed 42` must reproduce the
+/// committed fixture byte-for-byte.  If this fails because the E15 report
+/// format deliberately changed, regenerate the fixture with
+/// `run-experiments --experiment e15 --seed 42 --quiet --json tests/fixtures/e15_seed42.json`.
+#[test]
+fn e15_seed_42_matches_the_golden_fixture() {
+    let fixture = include_str!("fixtures/e15_seed42.json");
+    let current = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E15)
+        .expect("sweep contains e15")
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(
+        current, fixture,
+        "E15 seed-42 JSON deviates from tests/fixtures/e15_seed42.json"
+    );
+}
+
+/// The E15 fixture parses, covers the interval sweep up to n = 50 000 and
+/// CFG programs of ≥ 2000 blocks, and its invariants hold: strict SSA,
+/// chordal interference graphs with ω = Maxlive, and the declared
+/// wall-clock budget field.
+#[test]
+fn the_e15_fixture_is_internally_consistent() {
+    let doc = Json::parse(include_str!("fixtures/e15_seed42.json")).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    let interval_ns: Vec<u64> = rows
+        .iter()
+        .filter(|r| r.get("kind").and_then(Json::as_str) == Some("interval"))
+        .filter_map(|r| r.get("n").and_then(Json::as_u64))
+        .collect();
+    assert_eq!(interval_ns, vec![5_000, 20_000, 50_000]);
+    let cfg_rows: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("kind").and_then(Json::as_str) == Some("cfg"))
+        .collect();
+    assert!(cfg_rows.len() >= 2);
+    for row in cfg_rows {
+        assert!(row.get("blocks").and_then(Json::as_u64).unwrap() >= 2000);
+        assert_eq!(row.get("strict_ssa").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            row.get("chordal_omega_is_maxlive").and_then(Json::as_bool),
+            Some(true)
+        );
+        // Spilling to the tight k must have brought pressure down to (or
+        // near) the target; `maxlive_after` can only exceed `k` when an
+        // instruction's operands alone do.
+        let k = row.get("k").and_then(Json::as_u64).unwrap();
+        let after = row.get("maxlive_after").and_then(Json::as_u64).unwrap();
+        let before = row.get("maxlive").and_then(Json::as_u64).unwrap();
+        assert!(after < before, "spilling must lower the precise Maxlive");
+        assert!(after <= k + 2, "maxlive_after {after} far above k {k}");
+    }
+    assert_eq!(
+        doc.get("summary")
+            .and_then(|s| s.get("budget_ms"))
+            .and_then(Json::as_u64),
+        ExperimentId::E15.budget_ms(),
+        "the report must embed the declared wall-clock budget"
+    );
+}
+
+/// E15's rows must not depend on `--jobs` (they are fanned over the worker
+/// pool like E1/E4/E5/E7/E13's).
+#[test]
+fn e15_rows_are_byte_identical_for_any_jobs_value() {
+    let serial = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E15)
+        .expect("sweep contains e15")
+        .to_json()
+        .to_pretty_string();
+    let parallel = coalesce_bench::run_experiment_with_jobs(ExperimentId::E15, 42, 4)
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(serial, parallel);
+}
+
+/// Every experiment with a wall-clock guard must embed its declared
+/// `budget_ms` in the summary — the field `bench-diff` cross-checks
+/// against the baseline artifact.
+#[test]
+fn guarded_experiments_declare_their_budget_in_the_summary() {
+    for report in serial_sweep() {
+        let declared = report.id.budget_ms();
+        let embedded = report
+            .summary
+            .iter()
+            .find(|(k, _)| k == "budget_ms")
+            .and_then(|(_, v)| v.as_u64());
+        assert_eq!(embedded, declared, "{}", report.id);
+    }
+}
+
 /// The E4 perf-regression budget: all 6 reduction rows of the acceptance
 /// seed must finish well under 2 seconds (the seed's naive backtracker
 /// took ~25 s in *release*; the pruned solver takes milliseconds, so a
@@ -207,5 +302,55 @@ fn clique_tree_build_at_n_2000_stays_within_the_wall_clock_budget() {
         "CliqueTree::build at n = {n} took {elapsed:?} (budget: 2 s) — the \
          quadratic clique-tree construction is back; check the Blair–Peyton \
          sweep in coalesce_graph::chordal"
+    );
+}
+
+/// The E15 graph-backend budget: bulk-building the n = 20 000 interval
+/// instance *and* its clique tree must finish well under 2 seconds (the
+/// release path runs in a few hundred milliseconds).  A per-edge ordered
+/// insertion or a quadratic sweep anywhere in `Graph::from_edges` /
+/// `random_interval_graph` / the MCS pipeline blows this budget
+/// immediately at this size.
+#[test]
+fn e15_interval_build_at_n_20k_stays_within_the_wall_clock_budget() {
+    let n = 20_000usize;
+    let start = Instant::now();
+    let g = coalesce_bench::experiments::scaling::e15_interval_graph(42, n);
+    let tree =
+        coalesce_graph::cliquetree::CliqueTree::build(&g).expect("interval graphs are chordal");
+    let elapsed = start.elapsed();
+    assert_eq!(g.num_vertices(), n);
+    assert!(g.num_edges() > 100_000, "instance density collapsed");
+    assert!(tree.num_nodes() > 0 && tree.clique_number() > 0);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "building the n = {n} interval graph + clique tree took {elapsed:?} \
+         (budget: 2 s) — check the bulk `Graph::from_edges` path and the \
+         sorted-row adjacency backend"
+    );
+}
+
+/// The incremental-spiller budget: spilling a ≥ 2000-block generated
+/// program to a tight `k` must finish well under 4 seconds (release: a
+/// fraction of that).  The seed recomputed full liveness and a whole-
+/// function candidate scan per victim, which blows this budget by an
+/// order of magnitude at this size.
+#[test]
+fn e15_cfg_spill_at_2k_blocks_stays_within_the_wall_clock_budget() {
+    use coalesce_gen::cfg::ShapeProfile;
+    let mut f = coalesce_bench::experiments::scaling::e15_cfg_program(42, ShapeProfile::IntBranchy);
+    assert!(f.num_blocks() >= 2000);
+    let live = coalesce_ir::Liveness::compute(&f);
+    let k = (live.maxlive_precise(&f) / 2).max(3);
+    let start = Instant::now();
+    let result = coalesce_ir::spill::spill_to_pressure(&mut f, k);
+    let elapsed = start.elapsed();
+    assert!(!result.spilled.is_empty());
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "spill_to_pressure on a {}-block program took {elapsed:?} (budget: \
+         4 s) — the per-victim full recomputation is back; check the \
+         incremental liveness patch and the cached block statistics",
+        f.num_blocks()
     );
 }
