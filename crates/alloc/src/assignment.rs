@@ -11,7 +11,7 @@
 //! * **spill cost** — the number of spilled values and of reload
 //!   temporaries the allocator had to introduce.
 
-use coalesce_ir::function::{Function, Instr, Var};
+use coalesce_ir::function::{Function, InstrView, Var};
 use coalesce_ir::interference::InterferenceGraph;
 use coalesce_ir::liveness::Liveness;
 use std::collections::BTreeMap;
@@ -128,12 +128,12 @@ impl RegisterAssignment {
     pub fn move_costs(&self, f: &Function) -> MoveCosts {
         let mut costs = MoveCosts::default();
         for b in f.block_ids() {
-            let weight = 10u64.saturating_pow(f.block(b).loop_depth);
-            for instr in &f.block(b).instrs {
-                if let Instr::Copy { dst, src } = instr {
+            let weight = 10u64.saturating_pow(f.loop_depth(b));
+            for instr in f.block_instrs(b) {
+                if let InstrView::Copy { dst, src } = instr {
                     costs.total_moves += 1;
                     costs.total_weight += weight;
-                    let same = match (self.register_of(*dst), self.register_of(*src)) {
+                    let same = match (self.register_of(dst), self.register_of(src)) {
                         (Some(rd), Some(rs)) => rd == rs,
                         _ => false,
                     };

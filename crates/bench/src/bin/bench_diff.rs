@@ -19,16 +19,23 @@
 //! diff checks that every guarded experiment still declares it, that the
 //! value matches the library's [`ExperimentId::budget_ms`] table, and that
 //! it never grew past the baseline's (loosening a budget is a reviewed
-//! baseline change, not a drive-by).  Exit code 0 means no regression; 1
-//! lists every difference.
+//! baseline change, not a drive-by).  Measured throughput summaries
+//! (E16's `functions_per_sec`) are exempt from equality but must not
+//! collapse below a quarter of the baseline.  Exit code 0 means no
+//! regression; 1 lists every difference.
 
 use coalesce_bench::{ExperimentId, Json};
 use std::process::ExitCode;
 
 /// Summary/row keys that are allowed to drift between runs: search
-/// instrumentation, not paper invariants.
+/// instrumentation and measured wall-clock throughput, not paper
+/// invariants.  Throughput is still guarded — by the floor check in
+/// [`check_throughput_floor`], not by equality.
 fn is_perf_counter(key: &str) -> bool {
-    key.contains("nodes_expanded") || key.contains("memo")
+    key.contains("nodes_expanded")
+        || key.contains("memo")
+        || key.ends_with("_per_sec")
+        || key.contains("elapsed")
 }
 
 fn experiments_of(doc: &Json) -> Vec<&Json> {
@@ -224,6 +231,50 @@ fn check_budget_fields(current: &Json, baseline: &Json, problems: &mut Vec<Strin
     }
 }
 
+/// Measured throughput (E16's `functions_per_sec`) drifts run to run —
+/// the equality comparison exempts it as a perf counter — but a *collapse*
+/// is a regression: every summary `*_per_sec` field present in both
+/// artifacts must stay at or above a quarter of the baseline value.
+fn check_throughput_floor(current: &Json, baseline: &Json, problems: &mut Vec<String>) {
+    let baseline_experiments = experiments_of(baseline);
+    for experiment in experiments_of(current) {
+        let name = experiment
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>");
+        let base_summary = baseline_experiments
+            .iter()
+            .find(|e| e.get("experiment").and_then(Json::as_str) == Some(name))
+            .and_then(|e| e.get("summary"));
+        let (Some(Json::Object(pairs)), Some(Json::Object(base_pairs))) =
+            (experiment.get("summary"), base_summary)
+        else {
+            continue;
+        };
+        for (key, base_value) in base_pairs {
+            if !key.ends_with("_per_sec") {
+                continue;
+            }
+            let current_value = pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_u64());
+            let (Some(base), Some(now)) = (base_value.as_u64(), current_value) else {
+                problems.push(format!(
+                    "{name}: throughput `{key}` missing or non-numeric in the current artifact"
+                ));
+                continue;
+            };
+            if now < base / 4 {
+                problems.push(format!(
+                    "{name}: throughput `{key}` collapsed: {now} vs baseline {base} \
+                     (floor: baseline / 4)"
+                ));
+            }
+        }
+    }
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
@@ -249,6 +300,7 @@ fn main() -> ExitCode {
     compare(&current, &baseline, &mut problems);
     check_current_invariants(&current, &mut problems);
     check_budget_fields(&current, &baseline, &mut problems);
+    check_throughput_floor(&current, &baseline, &mut problems);
     if problems.is_empty() {
         println!("bench-diff: {current_path} matches the invariants of {baseline_path}");
         ExitCode::SUCCESS

@@ -1,4 +1,4 @@
-//! `run-experiments` — deterministic CLI driver for the E1–E15 experiments
+//! `run-experiments` — deterministic CLI driver for the E1–E16 experiments
 //! and the streaming corpus analyzer.
 //!
 //! ```text
@@ -23,13 +23,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-run-experiments: run the E1-E15 coalescing experiments deterministically
+run-experiments: run the E1-E16 coalescing experiments deterministically
 
 USAGE:
     run-experiments [OPTIONS]
 
 OPTIONS:
-    --experiment <ID>   Experiment to run: e1..e15, or `all` (default: all)
+    --experiment <ID>   Experiment to run: e1..e16, or `all` (default: all)
     --seed <N>          Base seed offsetting every internal seed (default: 0)
     --jobs <N>          Worker threads fanning out experiments and rows
                         (default: 1; output is byte-identical for any N)

@@ -1,4 +1,4 @@
-//! The E1–E15 experiments of the reproduction, as reusable library code.
+//! The E1–E16 experiments of the reproduction, as reusable library code.
 //!
 //! Each experiment is a function from a *base seed* to an
 //! [`ExperimentReport`]; base seed 0 reproduces the tables the original
@@ -7,6 +7,7 @@
 //! path is exactly the reported one.
 
 pub mod allocators;
+pub mod module;
 pub mod reductions;
 pub mod regalloc;
 pub mod scaling;
@@ -25,7 +26,7 @@ pub(crate) fn v(i: usize) -> VertexId {
     VertexId::new(i)
 }
 
-/// Identifier of one experiment (E1–E15).
+/// Identifier of one experiment (E1–E16).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExperimentId {
     /// Theorem 2 / Figure 1: multiway cut vs optimal aggressive coalescing.
@@ -59,11 +60,14 @@ pub enum ExperimentId {
     /// Data-structure scaling: flat graphs, bitset liveness, incremental
     /// spilling at production-ish sizes.
     E15,
+    /// Whole-module parallel allocation over the flat IR: a 1000-function
+    /// generated module spilled to tight `k`, fanned over `--jobs`.
+    E16,
 }
 
 impl ExperimentId {
     /// Every experiment, in order.
-    pub const ALL: [ExperimentId; 15] = [
+    pub const ALL: [ExperimentId; 16] = [
         ExperimentId::E1,
         ExperimentId::E2,
         ExperimentId::E3,
@@ -79,6 +83,7 @@ impl ExperimentId {
         ExperimentId::E13,
         ExperimentId::E14,
         ExperimentId::E15,
+        ExperimentId::E16,
     ];
 
     /// The wall-clock budget (milliseconds) the experiment's hot path must
@@ -92,6 +97,7 @@ impl ExperimentId {
             ExperimentId::E4 => Some(2_000),
             ExperimentId::E5 => Some(5_000),
             ExperimentId::E15 => Some(5_000),
+            ExperimentId::E16 => Some(10_000),
             _ => None,
         }
     }
@@ -139,6 +145,9 @@ impl ExperimentId {
             ExperimentId::E15 => {
                 "data-structure scaling: bulk graphs, bitset liveness, incremental spilling"
             }
+            ExperimentId::E16 => {
+                "whole-module parallel allocation: 1000-function module over the flat IR"
+            }
         }
     }
 
@@ -160,6 +169,7 @@ impl ExperimentId {
             ExperimentId::E13 => "e13",
             ExperimentId::E14 => "e14",
             ExperimentId::E15 => "e15",
+            ExperimentId::E16 => "e16",
         }
     }
 }
@@ -206,9 +216,11 @@ pub fn run_experiment(id: ExperimentId, base_seed: u64) -> ExperimentReport {
 
 /// Runs one experiment with the given base seed, fanning its per-seed /
 /// per-size rows over up to `jobs` worker threads where the experiment
-/// supports it (E1, E4, E5, E7, E13, E14, E15 — the ones whose rows are
-/// independent and heavy enough to matter).  Row order, and therefore the
-/// serialized report, is identical for every `jobs` value.
+/// supports it (E1, E4, E5, E7, E13, E14, E15, E16 — the ones whose rows
+/// are independent and heavy enough to matter).  Row order, and therefore
+/// the serialized report's deterministic fields, is identical for every
+/// `jobs` value (E16's two measured throughput counters are the only
+/// fields that vary).
 pub fn run_experiment_with_jobs(id: ExperimentId, base_seed: u64, jobs: usize) -> ExperimentReport {
     run_experiment_filtered(id, base_seed, jobs, &[])
 }
@@ -239,6 +251,7 @@ pub fn run_experiment_filtered(
         ExperimentId::E13 => regalloc::e13_report_filtered(base_seed, jobs, profiles),
         ExperimentId::E14 => regalloc::e14_report_filtered(base_seed, jobs, profiles),
         ExperimentId::E15 => scaling::e15_report_with_jobs(base_seed, jobs),
+        ExperimentId::E16 => module::e16_report_with_jobs(base_seed, jobs),
     };
     // Experiments with a wall-clock regression guard carry their declared
     // budget in the summary so `bench-diff` can cross-check it against the
@@ -281,6 +294,16 @@ pub fn run_reports_filtered(
 mod tests {
     use super::*;
 
+    /// Drops the measured-throughput summary lines (E16's
+    /// `functions_per_sec` / `elapsed_ms`) so byte-compares only see the
+    /// deterministic part of a report.
+    fn mask_timing(s: &str) -> String {
+        s.lines()
+            .filter(|l| !l.contains("_per_sec") && !l.contains("elapsed_ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
     #[test]
     fn ids_round_trip_through_strings() {
         for id in ExperimentId::ALL {
@@ -290,7 +313,7 @@ mod tests {
                 id
             );
         }
-        assert!("e16".parse::<ExperimentId>().is_err());
+        assert!("e17".parse::<ExperimentId>().is_err());
         assert!("".parse::<ExperimentId>().is_err());
     }
 
@@ -299,8 +322,8 @@ mod tests {
         // Since the pruned `ExactSolver` landed, even E4's exact
         // incremental searches are fast enough to run here in debug.
         for id in ExperimentId::ALL {
-            let a = run_experiment(id, 0).to_json().to_pretty_string();
-            let b = run_experiment(id, 0).to_json().to_pretty_string();
+            let a = mask_timing(&run_experiment(id, 0).to_json().to_pretty_string());
+            let b = mask_timing(&run_experiment(id, 0).to_json().to_pretty_string());
             assert_eq!(a, b, "{id} must serialize identically across runs");
             assert!(!a.is_empty());
         }
@@ -315,13 +338,18 @@ mod tests {
             ExperimentId::E13,
             ExperimentId::E14,
             ExperimentId::E15,
+            ExperimentId::E16,
         ] {
-            let serial = run_experiment_with_jobs(id, 3, 1)
-                .to_json()
-                .to_pretty_string();
-            let parallel = run_experiment_with_jobs(id, 3, 4)
-                .to_json()
-                .to_pretty_string();
+            let serial = mask_timing(
+                &run_experiment_with_jobs(id, 3, 1)
+                    .to_json()
+                    .to_pretty_string(),
+            );
+            let parallel = mask_timing(
+                &run_experiment_with_jobs(id, 3, 4)
+                    .to_json()
+                    .to_pretty_string(),
+            );
             assert_eq!(serial, parallel, "{id} rows must not depend on --jobs");
         }
     }

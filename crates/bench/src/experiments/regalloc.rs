@@ -84,6 +84,9 @@ pub struct E13Row {
     pub vars: usize,
     /// φ-functions of the program.
     pub phis: usize,
+    /// Arena footprint of the program in bytes
+    /// ([`Function::ir_bytes`]).
+    pub ir_bytes: usize,
     /// Natural loops detected in the CFG.
     pub loops: usize,
     /// Maximum loop-nesting depth.
@@ -135,6 +138,7 @@ pub fn e13_rows(base_seed: u64, profile: ShapeProfile, level: PressureLevel) -> 
         blocks: f.num_blocks(),
         vars: f.num_vars(),
         phis: f.num_phis(),
+        ir_bytes: f.ir_bytes(),
         loops: info.num_loops(),
         max_loop_depth: info.depth.iter().copied().max().unwrap_or(0),
         maxlive,
@@ -182,6 +186,7 @@ fn e13_row_json(row: &E13Row) -> Json {
         ("blocks", Json::from(row.blocks)),
         ("vars", Json::from(row.vars)),
         ("phis", Json::from(row.phis)),
+        ("ir_bytes", Json::from(row.ir_bytes)),
         ("loops", Json::from(row.loops)),
         ("max_loop_depth", Json::from(row.max_loop_depth as u64)),
         ("maxlive", Json::from(row.maxlive)),

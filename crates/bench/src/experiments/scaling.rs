@@ -144,6 +144,9 @@ pub struct E15CfgRow {
     pub vars: usize,
     /// φ-functions of the program.
     pub phis: usize,
+    /// Arena footprint of the program in bytes
+    /// ([`Function::ir_bytes`]).
+    pub ir_bytes: usize,
     /// The program is strict SSA.
     pub strict_ssa: bool,
     /// Precise `Maxlive` of the SSA form.
@@ -190,6 +193,7 @@ pub fn e15_cfg_row(base_seed: u64, profile: ShapeProfile) -> E15CfgRow {
         blocks: f.num_blocks(),
         vars: f.num_vars(),
         phis: f.num_phis(),
+        ir_bytes: f.ir_bytes(),
         strict_ssa: ssa::is_strict(&f),
         maxlive,
         interference_edges: ig.graph.num_edges(),
@@ -236,6 +240,7 @@ fn cfg_row_json(r: &E15CfgRow) -> Json {
         ("blocks", Json::from(r.blocks)),
         ("vars", Json::from(r.vars)),
         ("phis", Json::from(r.phis)),
+        ("ir_bytes", Json::from(r.ir_bytes)),
         ("strict_ssa", Json::from(r.strict_ssa)),
         ("maxlive", Json::from(r.maxlive)),
         ("interference_edges", Json::from(r.interference_edges)),

@@ -262,12 +262,13 @@ pub fn generate(params: &CfgParams, rng: &mut ChaCha8Rng) -> Function {
         b: FunctionBuilder::new("cfg"),
         params: *params,
         rng,
-        names: 0,
     };
     let entry = gen.b.entry_block();
     let mut live: Vec<Var> = Vec::new();
-    for i in 0..params.pressure.max(2) {
-        live.push(gen.b.def(entry, format!("init{i}")));
+    for _ in 0..params.pressure.max(2) {
+        // Workload variables are unnamed: generation allocates no name
+        // strings, and Display falls back to dense `%i` indices.
+        live.push(gen.b.def(entry, ""));
     }
     let mut current = entry;
     for _ in 0..params.regions.max(1) {
@@ -306,15 +307,9 @@ struct CfgGen<'r> {
     b: FunctionBuilder,
     params: CfgParams,
     rng: &'r mut ChaCha8Rng,
-    names: usize,
 }
 
 impl CfgGen<'_> {
-    fn name(&mut self, tag: &str) -> String {
-        self.names += 1;
-        format!("{tag}{}", self.names)
-    }
-
     fn pick_uses(&mut self, live: &[Var]) -> Vec<Var> {
         if live.is_empty() {
             return Vec::new();
@@ -349,8 +344,7 @@ impl CfgGen<'_> {
                 self.emit_call(blk, live);
             }
             let uses = self.pick_uses(live);
-            let name = self.name("v");
-            let v = self.b.op(blk, name, &uses);
+            let v = self.b.op(blk, "", &uses);
             self.push_live(live, v);
         }
     }
@@ -361,11 +355,9 @@ impl CfgGen<'_> {
     /// The copies are coalescing candidates the allocators must deal with.
     fn emit_call(&mut self, blk: BlockId, live: &mut Vec<Var>) {
         let args = self.pick_uses(live);
-        let name = self.name("call");
-        let ret = self.b.op(blk, name, &args);
+        let ret = self.b.op(blk, "", &args);
         for slot in live.iter_mut() {
-            let name = self.name("save");
-            *slot = self.b.copy(blk, name, *slot);
+            *slot = self.b.copy(blk, "", *slot);
         }
         self.push_live(live, ret);
     }
@@ -424,16 +416,14 @@ impl CfgGen<'_> {
         let mut vals = Vec::new();
         for _ in 0..self.params.phis_per_join.max(1) {
             let uses = self.pick_uses(&arm_live);
-            let name = self.name("a");
-            vals.push(self.b.op(arm_end, name, &uses));
+            vals.push(self.b.op(arm_end, "", &uses));
         }
         (arm_end, vals)
     }
 
     fn emit_if_else(&mut self, current: BlockId, live: &mut Vec<Var>, depth: usize) -> BlockId {
         self.emit_ops(current, live);
-        let cond_name = self.name("c");
-        let cond = self.b.def(current, cond_name);
+        let cond = self.b.def(current, "");
         let then_block = self.b.new_block();
         let else_block = self.b.new_block();
         let join = self.b.new_block();
@@ -443,10 +433,9 @@ impl CfgGen<'_> {
         self.b.jump(then_end, join);
         self.b.jump(else_end, join);
         for i in 0..self.params.phis_per_join.max(1) {
-            let name = self.name("phi");
             let p = self.b.phi(
                 join,
-                name,
+                "",
                 &[(then_end, then_vals[i]), (else_end, else_vals[i])],
             );
             self.push_live(live, p);
@@ -465,8 +454,7 @@ impl CfgGen<'_> {
         let mut arm_entries = Vec::new();
         let mut dispatch = current;
         for i in 0..arms - 1 {
-            let cond_name = self.name("sw");
-            let cond = self.b.def(dispatch, cond_name);
+            let cond = self.b.def(dispatch, "");
             let arm = self.b.new_block();
             arm_entries.push(arm);
             if i == arms - 2 {
@@ -490,8 +478,7 @@ impl CfgGen<'_> {
                 .iter()
                 .map(|(end, vals)| (*end, vals[i]))
                 .collect();
-            let name = self.name("sphi");
-            let p = self.b.phi(join, name, &args);
+            let p = self.b.phi(join, "", &args);
             self.push_live(live, p);
         }
         join
@@ -516,16 +503,13 @@ impl CfgGen<'_> {
         let mut carried = Vec::new();
         for _ in 0..nphis {
             let init = if live.is_empty() || self.rng.gen_range(0..2) == 0 {
-                let name = self.name("li");
-                self.b.def(current, name)
+                self.b.def(current, "")
             } else {
                 live[self.rng.gen_range(0..live.len())]
             };
-            let carry_name = self.name("carry");
-            let c = self.b.fresh_var(carry_name);
+            let c = self.b.fresh_var("");
             carried.push(c);
-            let phi_name = self.name("lphi");
-            let p = self.b.phi(header, phi_name, &[(current, init), (latch, c)]);
+            let p = self.b.phi(header, "", &[(current, init), (latch, c)]);
             phis.push(p);
         }
 
@@ -536,8 +520,7 @@ impl CfgGen<'_> {
             self.push_live(&mut loop_live, p);
         }
         self.emit_ops(header, &mut loop_live);
-        let cond_name = self.name("lc");
-        let cond = self.b.def(header, cond_name);
+        let cond = self.b.def(header, "");
         let body = self.b.new_block();
         self.b.branch(header, cond, body, exit);
 
@@ -569,28 +552,21 @@ impl CfgGen<'_> {
     /// A ⇄ B cycle, so the cycle has two entries and no dominating header.
     /// φs at both nodes keep the output strict SSA.
     fn emit_irreducible(&mut self, current: BlockId, live: &mut Vec<Var>) -> BlockId {
-        let seed_name = self.name("ir");
-        let x0 = self.b.def(current, seed_name);
-        let cond_name = self.name("irc");
-        let cond = self.b.def(current, cond_name);
+        let x0 = self.b.def(current, "");
+        let cond = self.b.def(current, "");
         let a = self.b.new_block();
         let bb = self.b.new_block();
         let exit = self.b.new_block();
         self.b.branch(current, cond, a, bb);
 
         // B's contribution to A's φ is defined later (in B) via copy_to.
-        let vb_name = self.name("irb");
-        let vb = self.b.fresh_var(vb_name);
-        let pa_name = self.name("irpa");
-        let pa = self.b.phi(a, pa_name, &[(current, x0), (bb, vb)]);
-        let va_name = self.name("irva");
-        let va = self.b.op(a, va_name, &[pa]);
-        let ca_name = self.name("irca");
-        let ca = self.b.def(a, ca_name);
+        let vb = self.b.fresh_var("");
+        let pa = self.b.phi(a, "", &[(current, x0), (bb, vb)]);
+        let va = self.b.op(a, "", &[pa]);
+        let ca = self.b.def(a, "");
         self.b.branch(a, ca, bb, exit);
 
-        let pb_name = self.name("irpb");
-        let pb = self.b.phi(bb, pb_name, &[(current, x0), (a, va)]);
+        let pb = self.b.phi(bb, "", &[(current, x0), (a, va)]);
         self.b.copy_to(bb, vb, pb);
         self.b.jump(bb, a);
 
@@ -650,7 +626,7 @@ mod tests {
             }
             // `annotate_loop_depths` ran: block depths match LoopInfo.
             for b in f.block_ids() {
-                assert_eq!(f.block(b).loop_depth, info.depth_of(b));
+                assert_eq!(f.loop_depth(b), info.depth_of(b));
             }
         }
         assert!(found_nested, "no seed produced a depth-2 loop nest");
@@ -720,7 +696,7 @@ mod tests {
         // Some copy must live at loop depth >= 1 (the latch).
         let mut found = false;
         for b in f.block_ids() {
-            if f.block(b).loop_depth >= 1 && f.block(b).instrs.iter().any(|i| i.is_copy()) {
+            if f.loop_depth(b) >= 1 && f.block_instrs(b).any(|i| i.is_copy()) {
                 found = true;
             }
         }

@@ -13,6 +13,10 @@
 //! * [`cfg`] — SPEC-like structured CFGs: nested natural loops with
 //!   loop-carried φs, if/else and switch regions, call-clobber points and
 //!   shape profiles, reducible by construction (with an irreducible knob);
+//! * [`module`] — whole modules: 1000+-function translation units whose
+//!   per-function shape/pressure/size mix is drawn from one seeded stream,
+//!   with independently seeded function bodies safe to generate in
+//!   parallel;
 //! * [`permutation`] — the Figure 3 gadgets: a permutation of `n` values to
 //!   be implemented by parallel moves, optionally embedded in a high-degree
 //!   context where the local Briggs/George rules fail;
@@ -29,6 +33,7 @@ pub mod cfg;
 pub mod challenge;
 pub mod families;
 pub mod graphs;
+pub mod module;
 pub mod permutation;
 pub mod programs;
 

@@ -39,20 +39,22 @@ pub fn random_ssa_program(params: &ProgramParams, rng: &mut ChaCha8Rng) -> Funct
     let mut b = FunctionBuilder::new("generated");
     let entry = b.entry_block();
     let mut live: Vec<Var> = Vec::new();
-    for i in 0..params.pressure.max(1) {
-        live.push(b.def(entry, format!("init{i}")));
+    // Workload variables are unnamed (no per-var name allocation);
+    // Display falls back to dense `%i` indices.
+    for _ in 0..params.pressure.max(1) {
+        live.push(b.def(entry, ""));
     }
     let mut current = entry;
 
-    for d in 0..params.diamonds {
+    for _ in 0..params.diamonds {
         // Straight-line ops in the current block.
-        for i in 0..params.ops_per_block {
+        for _ in 0..params.ops_per_block {
             let uses = pick_uses(&live, rng);
-            let v = b.op(current, format!("s{d}_{i}"), &uses);
+            let v = b.op(current, "", &uses);
             push_live(&mut live, v, params.pressure, rng);
         }
         // Branch on a fresh condition.
-        let cond = b.def(current, format!("c{d}"));
+        let cond = b.def(current, "");
         let then_block = b.new_block();
         let else_block = b.new_block();
         let join = b.new_block();
@@ -61,17 +63,17 @@ pub fn random_ssa_program(params: &ProgramParams, rng: &mut ChaCha8Rng) -> Funct
         // Each branch defines candidate values for the φs plus some noise.
         let mut then_vals = Vec::new();
         let mut else_vals = Vec::new();
-        for i in 0..params.phis_per_join.max(1) {
+        for _ in 0..params.phis_per_join.max(1) {
             let uses_t = pick_uses(&live, rng);
-            then_vals.push(b.op(then_block, format!("t{d}_{i}"), &uses_t));
+            then_vals.push(b.op(then_block, "", &uses_t));
             let uses_e = pick_uses(&live, rng);
-            else_vals.push(b.op(else_block, format!("e{d}_{i}"), &uses_e));
+            else_vals.push(b.op(else_block, "", &uses_e));
         }
-        for i in 0..params.ops_per_block / 2 {
+        for _ in 0..params.ops_per_block / 2 {
             let uses = pick_uses(&live, rng);
-            let _ = b.op(then_block, format!("tn{d}_{i}"), &uses);
+            let _ = b.op(then_block, "", &uses);
             let uses = pick_uses(&live, rng);
-            let _ = b.op(else_block, format!("en{d}_{i}"), &uses);
+            let _ = b.op(else_block, "", &uses);
         }
         b.jump(then_block, join);
         b.jump(else_block, join);
@@ -79,7 +81,7 @@ pub fn random_ssa_program(params: &ProgramParams, rng: &mut ChaCha8Rng) -> Funct
         for i in 0..params.phis_per_join {
             let p = b.phi(
                 join,
-                format!("phi{d}_{i}"),
+                "",
                 &[(then_block, then_vals[i]), (else_block, else_vals[i])],
             );
             push_live(&mut live, p, params.pressure, rng);

@@ -5,14 +5,39 @@
 //! register-to-register moves whose removal is the coalescing problem), or
 //! is a φ-function ([`Instr::Phi`]).  Control flow lives in each block's
 //! [`Terminator`].
+//!
+//! # Flat arena layout
+//!
+//! A [`Function`] stores its instructions in a single flat arena rather
+//! than per-block `Vec`s of owned enums:
+//!
+//! * every instruction is one 16-byte record (`kind`, `dst`, and a
+//!   `(start, len)` range) in one contiguous array, addressed by a u32
+//!   [`InstrId`];
+//! * operands live in two shared pools — a [`Var`] pool for `op` uses and
+//!   copy sources, a [`PhiArg`] pool for φ-arguments — so reading an
+//!   instruction's uses is a slice borrow, not a `Vec` clone;
+//! * each block is a `(start, len)` range into one shared instruction
+//!   *order* array, so iterating a block walks a contiguous `&[InstrId]`;
+//! * variable names are optional debug info interned into one shared
+//!   string buffer; creating a variable allocates nothing per variable
+//!   and display falls back to the dense `%index` form.
+//!
+//! Reads go through the borrowed [`InstrView`]; the owned [`Instr`] enum
+//! remains the construction and rewrite currency (`push_instr`,
+//! `insert_instr`, `replace_instr`).  Editing a block relocates its order
+//! range to the end of the order array when it grows, leaving a dead
+//! segment behind; [`Function::ir_bytes`] reports the arena footprint
+//! including any such garbage, which is zero on freshly built functions.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// A variable (temporary) of a [`Function`].
 ///
-/// Variables are dense indices; their names are stored in the function.
+/// Variables are dense indices; optional debug names are interned in the
+/// function's name table.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Var(u32);
 
 impl Var {
@@ -41,6 +66,7 @@ impl fmt::Display for Var {
 
 /// A basic block of a [`Function`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct BlockId(u32);
 
 impl BlockId {
@@ -67,7 +93,43 @@ impl fmt::Display for BlockId {
     }
 }
 
-/// A non-terminator instruction.
+/// Handle of one instruction record in a function's flat arena.
+///
+/// Instruction ids are stable across block edits (an edit appends new
+/// records and repoints the block's order range); they are only meaningful
+/// for the function that created them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct InstrId(u32);
+
+impl InstrId {
+    /// Dense index of this instruction record.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// One φ-argument: the value flowing in from one predecessor edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhiArg {
+    /// The predecessor block the value arrives from.
+    pub pred: BlockId,
+    /// The value used at the end of `pred`.
+    pub value: Var,
+}
+
+/// A non-terminator instruction (owned form).
+///
+/// This is the construction and rewrite currency: builders and
+/// transformation passes produce `Instr` values, which the function interns
+/// into its flat arena ([`Function::push_instr`] and friends).  Reads use
+/// the borrowed [`InstrView`] instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Instr {
     /// `dst = op(uses)` — a generic computation; `dst` is `None` for
@@ -127,6 +189,84 @@ impl Instr {
     /// Returns `true` for [`Instr::Phi`].
     pub fn is_phi(&self) -> bool {
         matches!(self, Instr::Phi { .. })
+    }
+}
+
+/// A borrowed view of one instruction in the flat arena.
+///
+/// Uses and φ-arguments are slices into the function's shared operand
+/// pools — no allocation per read.  [`InstrView::to_instr`] converts back
+/// to the owned [`Instr`] form for rewriting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrView<'a> {
+    /// `dst = op(uses)`; `dst` is `None` for effect-only instructions.
+    Op {
+        /// Defined variable, if any.
+        dst: Option<Var>,
+        /// Used variables (a pool slice).
+        uses: &'a [Var],
+    },
+    /// `dst = src`.
+    Copy {
+        /// Destination of the move.
+        dst: Var,
+        /// Source of the move.
+        src: Var,
+    },
+    /// `dst = φ(args)`.
+    Phi {
+        /// Defined variable.
+        dst: Var,
+        /// One argument per predecessor (a pool slice).
+        args: &'a [PhiArg],
+    },
+}
+
+impl<'a> InstrView<'a> {
+    /// The variable defined by this instruction, if any.
+    pub fn def(&self) -> Option<Var> {
+        match self {
+            InstrView::Op { dst, .. } => *dst,
+            InstrView::Copy { dst, .. } => Some(*dst),
+            InstrView::Phi { dst, .. } => Some(*dst),
+        }
+    }
+
+    /// The variables used at this instruction's own program point, as a
+    /// borrowed slice (φ-functions report none — their arguments are used
+    /// at the predecessor ends).  For `Op` this is a pool slice; for
+    /// `Copy` it borrows the single source held inline in the view.
+    pub fn local_uses(&self) -> &[Var] {
+        match self {
+            InstrView::Op { uses, .. } => uses,
+            InstrView::Copy { src, .. } => std::slice::from_ref(src),
+            InstrView::Phi { .. } => &[],
+        }
+    }
+
+    /// Returns `true` for [`InstrView::Copy`].
+    pub fn is_copy(&self) -> bool {
+        matches!(self, InstrView::Copy { .. })
+    }
+
+    /// Returns `true` for [`InstrView::Phi`].
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstrView::Phi { .. })
+    }
+
+    /// Converts the view back to the owned [`Instr`] form.
+    pub fn to_instr(&self) -> Instr {
+        match *self {
+            InstrView::Op { dst, uses } => Instr::Op {
+                dst,
+                uses: uses.to_vec(),
+            },
+            InstrView::Copy { dst, src } => Instr::Copy { dst, src },
+            InstrView::Phi { dst, args } => Instr::Phi {
+                dst,
+                args: args.iter().map(|a| (a.pred, a.value)).collect(),
+            },
+        }
     }
 }
 
@@ -199,50 +339,26 @@ impl Terminator {
     }
 }
 
-/// A basic block: a straight-line sequence of instructions ending in a
-/// terminator, annotated with a loop-nesting depth used to weight
-/// affinities.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Block {
-    /// Instructions of the block, φ-functions first.
-    pub instrs: Vec<Instr>,
-    /// Terminator of the block.
-    pub terminator: Terminator,
-    /// Loop-nesting depth (0 = not in a loop); a copy in this block gets
-    /// affinity weight `10^loop_depth`.
-    pub loop_depth: u32,
+/// Discriminant of one arena instruction record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstrKind {
+    Op,
+    Copy,
+    Phi,
 }
 
-impl Block {
-    fn new() -> Self {
-        Block {
-            instrs: Vec::new(),
-            terminator: Terminator::Return { uses: Vec::new() },
-            loop_depth: 0,
-        }
-    }
+/// Sentinel for "no destination" in the compact record.
+const NO_VAR: u32 = u32::MAX;
 
-    /// Iterates over the φ-instructions at the head of the block.
-    pub fn phis(&self) -> impl Iterator<Item = &Instr> {
-        self.instrs.iter().take_while(|i| i.is_phi())
-    }
-
-    /// Iterates over the non-φ instructions of the block.
-    pub fn body(&self) -> impl Iterator<Item = &Instr> {
-        self.instrs.iter().skip_while(|i| i.is_phi())
-    }
-}
-
-/// A function: an entry block, a set of basic blocks and a variable table.
-#[derive(Debug, Clone)]
-pub struct Function {
-    /// Function name (for printing only).
-    pub name: String,
-    /// Basic blocks, indexed by [`BlockId`].
-    pub blocks: Vec<Block>,
-    /// The entry block.
-    pub entry: BlockId,
-    var_names: Vec<String>,
+/// One 16-byte instruction record: `start`/`len` index the value pool for
+/// `Op` (uses) and `Copy` (the single source), and the φ-arg pool for
+/// `Phi`.
+#[derive(Debug, Clone, Copy)]
+struct InstrData {
+    kind: InstrKind,
+    dst: u32,
+    start: u32,
+    len: u32,
 }
 
 /// Errors reported by [`Function::validate`].
@@ -292,52 +408,163 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+/// A function: an entry block, basic blocks as ranges over a flat
+/// instruction arena, and a variable table with optional interned names.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name (for printing only).
+    pub name: String,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Flat instruction arena; records are never removed, only orphaned.
+    instrs: Vec<InstrData>,
+    /// Shared pool of op uses and copy sources.
+    val_pool: Vec<Var>,
+    /// Shared pool of φ-arguments.
+    phi_pool: Vec<PhiArg>,
+    /// Instruction order array; each block owns one contiguous range.
+    order: Vec<InstrId>,
+    /// Per-block `(start, len)` range into `order`.
+    block_ranges: Vec<(u32, u32)>,
+    /// Per-block terminator.
+    terminators: Vec<Terminator>,
+    /// Per-block loop-nesting depth (0 = not in a loop); a copy in a block
+    /// gets affinity weight `10^loop_depth`.
+    loop_depths: Vec<u32>,
+    /// Per-variable `(start, len)` span into `name_buf`; `len == 0` means
+    /// the variable is unnamed.
+    name_spans: Vec<(u32, u32)>,
+    /// Shared buffer all debug names are interned into.
+    name_buf: String,
+}
+
 impl Function {
+    fn empty(name: String) -> Self {
+        Function {
+            name,
+            entry: BlockId::new(0),
+            instrs: Vec::new(),
+            val_pool: Vec::new(),
+            phi_pool: Vec::new(),
+            order: Vec::new(),
+            block_ranges: Vec::new(),
+            terminators: Vec::new(),
+            loop_depths: Vec::new(),
+            name_spans: Vec::new(),
+            name_buf: String::new(),
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Shape queries.
+    // -------------------------------------------------------------------
+
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.block_ranges.len()
     }
 
     /// Number of variables ever created.
     pub fn num_vars(&self) -> usize {
-        self.var_names.len()
+        self.name_spans.len()
     }
 
-    /// The (display) name of a variable.
-    pub fn var_name(&self, v: Var) -> &str {
-        &self.var_names[v.index()]
+    /// Number of instructions in block `b`.
+    pub fn num_instrs(&self, b: BlockId) -> usize {
+        self.block_ranges[b.index()].1 as usize
     }
 
-    /// Creates a fresh variable with the given display name.
-    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
-        let v = Var::new(self.var_names.len());
-        self.var_names.push(name.into());
+    /// Total number of live (reachable-from-a-block) instructions.
+    pub fn num_instrs_total(&self) -> usize {
+        self.block_ranges.iter().map(|&(_, l)| l as usize).sum()
+    }
+
+    /// The debug name of a variable, if it has one.
+    pub fn var_name(&self, v: Var) -> Option<&str> {
+        let (start, len) = self.name_spans[v.index()];
+        if len == 0 {
+            None
+        } else {
+            Some(&self.name_buf[start as usize..(start + len) as usize])
+        }
+    }
+
+    /// Displays a variable by its debug name, falling back to the dense
+    /// `%index` form when it is unnamed.
+    pub fn var_display(&self, v: Var) -> impl fmt::Display + '_ {
+        VarDisplay { f: self, v }
+    }
+
+    /// Creates a fresh variable.  The name is interned debug info; an empty
+    /// name means "unnamed" and costs no storage.
+    pub fn new_var(&mut self, name: impl AsRef<str>) -> Var {
+        let v = Var::new(self.name_spans.len());
+        let name = name.as_ref();
+        if name.is_empty() {
+            self.name_spans.push((0, 0));
+        } else {
+            let start = self.name_buf.len() as u32;
+            self.name_buf.push_str(name);
+            self.name_spans.push((start, name.len() as u32));
+        }
         v
     }
 
-    /// Block accessor.
-    pub fn block(&self, b: BlockId) -> &Block {
-        &self.blocks[b.index()]
+    /// Creates a fresh variable whose debug name is `base`'s name with
+    /// `suffix` appended — or an unnamed variable when `base` is unnamed,
+    /// so rewrites of release-path (unnamed) code allocate no names.
+    pub fn derive_var(&mut self, base: Var, suffix: &str) -> Var {
+        let v = Var::new(self.name_spans.len());
+        let (start, len) = self.name_spans[base.index()];
+        if len == 0 {
+            self.name_spans.push((0, 0));
+        } else {
+            let new_start = self.name_buf.len() as u32;
+            let base_name = self.name_buf[start as usize..(start + len) as usize].to_owned();
+            self.name_buf.push_str(&base_name);
+            self.name_buf.push_str(suffix);
+            self.name_spans.push((new_start, len + suffix.len() as u32));
+        }
+        v
     }
 
-    /// Mutable block accessor.
-    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
-        &mut self.blocks[b.index()]
-    }
+    // -------------------------------------------------------------------
+    // Block-level accessors.
+    // -------------------------------------------------------------------
 
     /// Iterates over block identifiers in index order.
     pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
-        (0..self.blocks.len()).map(BlockId::new)
+        (0..self.block_ranges.len()).map(BlockId::new)
+    }
+
+    /// The terminator of a block.
+    pub fn terminator(&self, b: BlockId) -> &Terminator {
+        &self.terminators[b.index()]
+    }
+
+    /// Mutable access to the terminator of a block.
+    pub fn terminator_mut(&mut self, b: BlockId) -> &mut Terminator {
+        &mut self.terminators[b.index()]
+    }
+
+    /// Loop-nesting depth of a block.
+    pub fn loop_depth(&self, b: BlockId) -> u32 {
+        self.loop_depths[b.index()]
+    }
+
+    /// Sets the loop-nesting depth of a block.
+    pub fn set_loop_depth(&mut self, b: BlockId, depth: u32) {
+        self.loop_depths[b.index()] = depth;
     }
 
     /// Successors of a block.
     pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
-        self.block(b).terminator.successors()
+        self.terminator(b).successors()
     }
 
     /// Predecessor lists for every block, indexed by block.
     pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
-        let mut preds = vec![Vec::new(); self.blocks.len()];
+        let mut preds = vec![Vec::new(); self.num_blocks()];
         for b in self.block_ids() {
             for s in self.successors(b) {
                 preds[s.index()].push(b);
@@ -348,7 +575,7 @@ impl Function {
 
     /// Reverse post-order of the blocks reachable from the entry.
     pub fn reverse_postorder(&self) -> Vec<BlockId> {
-        let mut visited = vec![false; self.blocks.len()];
+        let mut visited = vec![false; self.num_blocks()];
         let mut postorder = Vec::new();
         // Iterative DFS with an explicit stack of (block, next-successor-index).
         let mut stack = vec![(self.entry, 0usize)];
@@ -370,12 +597,72 @@ impl Function {
         postorder
     }
 
-    /// Iterates over all instructions as `(block, index-in-block, instr)`.
-    pub fn instructions(&self) -> impl Iterator<Item = (BlockId, usize, &Instr)> {
+    // -------------------------------------------------------------------
+    // Instruction reads.
+    // -------------------------------------------------------------------
+
+    /// Decodes one arena record into a borrowed view.
+    fn view(&self, id: InstrId) -> InstrView<'_> {
+        let d = &self.instrs[id.index()];
+        let (s, l) = (d.start as usize, d.len as usize);
+        match d.kind {
+            InstrKind::Op => InstrView::Op {
+                dst: if d.dst == NO_VAR {
+                    None
+                } else {
+                    Some(Var(d.dst))
+                },
+                uses: &self.val_pool[s..s + l],
+            },
+            InstrKind::Copy => InstrView::Copy {
+                dst: Var(d.dst),
+                src: self.val_pool[s],
+            },
+            InstrKind::Phi => InstrView::Phi {
+                dst: Var(d.dst),
+                args: &self.phi_pool[s..s + l],
+            },
+        }
+    }
+
+    /// The handles of block `b`'s instructions, in block order.
+    pub fn instr_ids(&self, b: BlockId) -> &[InstrId] {
+        let (s, l) = self.block_ranges[b.index()];
+        &self.order[s as usize..(s + l) as usize]
+    }
+
+    /// A view of the instruction at handle `id`.
+    pub fn instr_by_id(&self, id: InstrId) -> InstrView<'_> {
+        self.view(id)
+    }
+
+    /// A view of instruction `i` of block `b`.
+    pub fn instr(&self, b: BlockId, i: usize) -> InstrView<'_> {
+        self.view(self.instr_ids(b)[i])
+    }
+
+    /// Iterates over the instructions of block `b` as borrowed views.
+    pub fn block_instrs(
+        &self,
+        b: BlockId,
+    ) -> impl DoubleEndedIterator<Item = InstrView<'_>> + ExactSizeIterator + '_ {
+        self.instr_ids(b).iter().map(move |&id| self.view(id))
+    }
+
+    /// Iterates over the φ-instructions at the head of block `b`.
+    pub fn phis(&self, b: BlockId) -> impl Iterator<Item = InstrView<'_>> + '_ {
+        self.block_instrs(b).take_while(|i| i.is_phi())
+    }
+
+    /// Number of φ-instructions at the head of block `b`.
+    pub fn num_phis_in(&self, b: BlockId) -> usize {
+        self.phis(b).count()
+    }
+
+    /// Iterates over all instructions as `(block, index-in-block, view)`.
+    pub fn instructions(&self) -> impl Iterator<Item = (BlockId, usize, InstrView<'_>)> + '_ {
         self.block_ids().flat_map(move |b| {
-            self.block(b)
-                .instrs
-                .iter()
+            self.block_instrs(b)
                 .enumerate()
                 .map(move |(i, instr)| (b, i, instr))
         })
@@ -391,6 +678,188 @@ impl Function {
         self.instructions().filter(|(_, _, i)| i.is_phi()).count()
     }
 
+    /// Materialises block `b`'s instructions as owned [`Instr`] values
+    /// (for read-modify-write rewrites; see [`Function::set_block_instrs`]).
+    pub fn block_instrs_owned(&self, b: BlockId) -> Vec<Instr> {
+        self.block_instrs(b).map(|v| v.to_instr()).collect()
+    }
+
+    /// Arena footprint of the function in bytes, computed from the flat
+    /// layout (16 bytes per instruction record, 4 per pooled value
+    /// operand, 8 per pooled φ-argument, 4 per order slot, 12 per block
+    /// range/depth, 16 + 4·uses per terminator).  Debug names are
+    /// excluded — they are optional side info.  Edits leave orphaned
+    /// records behind, which this count includes by design: it is the
+    /// memory the layout actually holds.
+    pub fn ir_bytes(&self) -> usize {
+        let terminator_bytes: usize = self
+            .terminators
+            .iter()
+            .map(|t| match t {
+                Terminator::Return { uses } => 16 + 4 * uses.len(),
+                _ => 16,
+            })
+            .sum();
+        self.instrs.len() * 16
+            + self.val_pool.len() * 4
+            + self.phi_pool.len() * 8
+            + self.order.len() * 4
+            + self.block_ranges.len() * 12
+            + terminator_bytes
+    }
+
+    // -------------------------------------------------------------------
+    // Mutation.
+    // -------------------------------------------------------------------
+
+    /// Appends a new block with the given terminator and loop depth.
+    pub fn add_block(&mut self, terminator: Terminator, loop_depth: u32) -> BlockId {
+        let b = BlockId::new(self.block_ranges.len());
+        self.block_ranges.push((self.order.len() as u32, 0));
+        self.terminators.push(terminator);
+        self.loop_depths.push(loop_depth);
+        b
+    }
+
+    /// Interns one owned instruction into the arena, returning its handle.
+    fn alloc_instr(&mut self, instr: &Instr) -> InstrId {
+        let id = InstrId(u32::try_from(self.instrs.len()).expect("instruction arena overflow"));
+        let data = match instr {
+            Instr::Op { dst, uses } => {
+                let start = self.val_pool.len() as u32;
+                self.val_pool.extend_from_slice(uses);
+                InstrData {
+                    kind: InstrKind::Op,
+                    dst: dst.map_or(NO_VAR, |d| d.0),
+                    start,
+                    len: uses.len() as u32,
+                }
+            }
+            Instr::Copy { dst, src } => {
+                let start = self.val_pool.len() as u32;
+                self.val_pool.push(*src);
+                InstrData {
+                    kind: InstrKind::Copy,
+                    dst: dst.0,
+                    start,
+                    len: 1,
+                }
+            }
+            Instr::Phi { dst, args } => {
+                let start = self.phi_pool.len() as u32;
+                self.phi_pool
+                    .extend(args.iter().map(|&(pred, value)| PhiArg { pred, value }));
+                InstrData {
+                    kind: InstrKind::Phi,
+                    dst: dst.0,
+                    start,
+                    len: args.len() as u32,
+                }
+            }
+        };
+        self.instrs.push(data);
+        id
+    }
+
+    /// Interns an op without going through an owned `Instr` (no temporary
+    /// `Vec` for the uses).
+    fn alloc_op(&mut self, dst: Option<Var>, uses: &[Var]) -> InstrId {
+        let id = InstrId(u32::try_from(self.instrs.len()).expect("instruction arena overflow"));
+        let start = self.val_pool.len() as u32;
+        self.val_pool.extend_from_slice(uses);
+        self.instrs.push(InstrData {
+            kind: InstrKind::Op,
+            dst: dst.map_or(NO_VAR, |d| d.0),
+            start,
+            len: uses.len() as u32,
+        });
+        id
+    }
+
+    /// Appends `id` to block `b`'s order range, relocating the range to the
+    /// end of the order array when it cannot grow in place.
+    fn push_id(&mut self, b: BlockId, id: InstrId) {
+        let (s, l) = self.block_ranges[b.index()];
+        if (s + l) as usize == self.order.len() {
+            self.order.push(id);
+            self.block_ranges[b.index()].1 += 1;
+        } else {
+            let new_start = self.order.len() as u32;
+            self.order.extend_from_within(s as usize..(s + l) as usize);
+            self.order.push(id);
+            self.block_ranges[b.index()] = (new_start, l + 1);
+        }
+    }
+
+    /// Appends an instruction at the end of block `b` (no φ-hoisting).
+    pub fn push_instr(&mut self, b: BlockId, instr: Instr) {
+        let id = self.alloc_instr(&instr);
+        self.push_id(b, id);
+    }
+
+    /// Appends `dst = op(uses)` at the end of block `b` without building an
+    /// owned [`Instr`] first.
+    pub fn emit_op(&mut self, b: BlockId, dst: Option<Var>, uses: &[Var]) {
+        let id = self.alloc_op(dst, uses);
+        self.push_id(b, id);
+    }
+
+    /// Inserts an instruction at position `pos` of block `b`.
+    pub fn insert_instr(&mut self, b: BlockId, pos: usize, instr: Instr) {
+        let id = self.alloc_instr(&instr);
+        let (s, l) = self.block_ranges[b.index()];
+        debug_assert!(pos <= l as usize, "insert position out of range");
+        let new_start = self.order.len() as u32;
+        self.order.extend_from_within(s as usize..s as usize + pos);
+        self.order.push(id);
+        self.order
+            .extend_from_within(s as usize + pos..(s + l) as usize);
+        self.block_ranges[b.index()] = (new_start, l + 1);
+    }
+
+    /// Replaces the instruction at position `pos` of block `b`.
+    pub fn replace_instr(&mut self, b: BlockId, pos: usize, instr: Instr) {
+        let id = self.alloc_instr(&instr);
+        let (s, _) = self.block_ranges[b.index()];
+        self.order[s as usize + pos] = id;
+    }
+
+    /// Removes every φ-instruction from block `b` in place (the order
+    /// range shrinks; no relocation).  Returns the number removed.
+    pub fn remove_phis(&mut self, b: BlockId) -> usize {
+        let (s, l) = self.block_ranges[b.index()];
+        let (s, e) = (s as usize, (s + l) as usize);
+        let mut kept = s;
+        for i in s..e {
+            let id = self.order[i];
+            if !matches!(self.instrs[id.index()].kind, InstrKind::Phi) {
+                self.order[kept] = id;
+                kept += 1;
+            }
+        }
+        let removed = e - kept;
+        self.block_ranges[b.index()].1 = (kept - s) as u32;
+        removed
+    }
+
+    /// Replaces block `b`'s whole instruction sequence (the counterpart of
+    /// [`Function::block_instrs_owned`] for read-modify-write rewrites).
+    pub fn set_block_instrs(&mut self, b: BlockId, instrs: &[Instr]) {
+        let ids: Vec<InstrId> = instrs.iter().map(|i| self.alloc_instr(i)).collect();
+        let (s, l) = self.block_ranges[b.index()];
+        if ids.len() == l as usize {
+            self.order[s as usize..(s + l) as usize].copy_from_slice(&ids);
+        } else {
+            let new_start = self.order.len() as u32;
+            self.order.extend_from_slice(&ids);
+            self.block_ranges[b.index()] = (new_start, ids.len() as u32);
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Validation and display.
+    // -------------------------------------------------------------------
+
     /// Structural validation: φs at block starts with arguments matching the
     /// actual predecessors, and all block/variable references in range.
     pub fn validate(&self) -> Result<(), ValidationError> {
@@ -398,17 +867,16 @@ impl Function {
         // successor, so it must only run on a graph whose edges are in
         // range.
         for b in self.block_ids() {
-            for s in self.block(b).terminator.successors() {
-                if s.index() >= self.blocks.len() {
+            for s in self.terminator(b).successors() {
+                if s.index() >= self.num_blocks() {
                     return Err(ValidationError::BadBlockReference { block: b });
                 }
             }
         }
         let preds = self.predecessors();
         for b in self.block_ids() {
-            let block = self.block(b);
             let mut seen_non_phi = false;
-            for instr in &block.instrs {
+            for instr in self.block_instrs(b) {
                 if instr.is_phi() {
                     if seen_non_phi {
                         return Err(ValidationError::PhiNotAtBlockStart { block: b });
@@ -416,25 +884,27 @@ impl Function {
                 } else {
                     seen_non_phi = true;
                 }
-                for v in instr.local_uses().into_iter().chain(instr.def()) {
+                for v in instr.local_uses().iter().copied().chain(instr.def()) {
                     if v.index() >= self.num_vars() {
                         return Err(ValidationError::BadVariable { block: b });
                     }
                 }
-                if let Instr::Phi { args, .. } = instr {
-                    let arg_preds: BTreeSet<BlockId> = args.iter().map(|(p, _)| *p).collect();
-                    let actual: BTreeSet<BlockId> = preds[b.index()].iter().copied().collect();
+                if let InstrView::Phi { args, .. } = instr {
+                    let arg_preds: std::collections::BTreeSet<BlockId> =
+                        args.iter().map(|a| a.pred).collect();
+                    let actual: std::collections::BTreeSet<BlockId> =
+                        preds[b.index()].iter().copied().collect();
                     if arg_preds != actual || args.len() != preds[b.index()].len() {
                         return Err(ValidationError::PhiArgsMismatch { block: b });
                     }
-                    for (_, v) in args {
-                        if v.index() >= self.num_vars() {
+                    for a in args {
+                        if a.value.index() >= self.num_vars() {
                             return Err(ValidationError::BadVariable { block: b });
                         }
                     }
                 }
             }
-            for v in block.terminator.uses() {
+            for v in self.terminator(b).uses() {
                 if v.index() >= self.num_vars() {
                     return Err(ValidationError::BadVariable { block: b });
                 }
@@ -444,50 +914,63 @@ impl Function {
     }
 }
 
+struct VarDisplay<'a> {
+    f: &'a Function,
+    v: Var,
+}
+
+impl fmt::Display for VarDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.f.var_name(self.v) {
+            Some(name) => f.write_str(name),
+            None => write!(f, "%{}", self.v.0),
+        }
+    }
+}
+
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "function {} (entry {}):", self.name, self.entry)?;
         for b in self.block_ids() {
-            let block = self.block(b);
-            writeln!(f, "{b}:  (loop depth {})", block.loop_depth)?;
-            for instr in &block.instrs {
+            writeln!(f, "{b}:  (loop depth {})", self.loop_depth(b))?;
+            for instr in self.block_instrs(b) {
                 match instr {
-                    Instr::Op { dst: Some(d), uses } => {
-                        write!(f, "  {} = op(", self.var_name(*d))?;
-                        for (i, u) in uses.iter().enumerate() {
+                    InstrView::Op { dst: Some(d), uses } => {
+                        write!(f, "  {} = op(", self.var_display(d))?;
+                        for (i, &u) in uses.iter().enumerate() {
                             if i > 0 {
                                 write!(f, ", ")?;
                             }
-                            write!(f, "{}", self.var_name(*u))?;
+                            write!(f, "{}", self.var_display(u))?;
                         }
                         writeln!(f, ")")?;
                     }
-                    Instr::Op { dst: None, uses } => {
+                    InstrView::Op { dst: None, uses } => {
                         write!(f, "  effect(")?;
-                        for (i, u) in uses.iter().enumerate() {
+                        for (i, &u) in uses.iter().enumerate() {
                             if i > 0 {
                                 write!(f, ", ")?;
                             }
-                            write!(f, "{}", self.var_name(*u))?;
+                            write!(f, "{}", self.var_display(u))?;
                         }
                         writeln!(f, ")")?;
                     }
-                    Instr::Copy { dst, src } => {
-                        writeln!(f, "  {} = {}", self.var_name(*dst), self.var_name(*src))?;
+                    InstrView::Copy { dst, src } => {
+                        writeln!(f, "  {} = {}", self.var_display(dst), self.var_display(src))?;
                     }
-                    Instr::Phi { dst, args } => {
-                        write!(f, "  {} = phi(", self.var_name(*dst))?;
-                        for (i, (p, v)) in args.iter().enumerate() {
+                    InstrView::Phi { dst, args } => {
+                        write!(f, "  {} = phi(", self.var_display(dst))?;
+                        for (i, a) in args.iter().enumerate() {
                             if i > 0 {
                                 write!(f, ", ")?;
                             }
-                            write!(f, "{p}: {}", self.var_name(*v))?;
+                            write!(f, "{}: {}", a.pred, self.var_display(a.value))?;
                         }
                         writeln!(f, ")")?;
                     }
                 }
             }
-            match &block.terminator {
+            match self.terminator(b) {
                 Terminator::Jump(t) => writeln!(f, "  jump {t}")?,
                 Terminator::Branch {
                     cond,
@@ -496,12 +979,12 @@ impl fmt::Display for Function {
                 } => writeln!(
                     f,
                     "  branch {} ? {then_block} : {else_block}",
-                    self.var_name(*cond)
+                    self.var_display(*cond)
                 )?,
                 Terminator::Return { uses } => {
                     write!(f, "  return")?;
-                    for u in uses {
-                        write!(f, " {}", self.var_name(*u))?;
+                    for &u in uses {
+                        write!(f, " {}", self.var_display(u))?;
                     }
                     writeln!(f)?;
                 }
@@ -514,7 +997,9 @@ impl fmt::Display for Function {
 /// An incremental builder for [`Function`] values.
 ///
 /// The builder starts with a single entry block; blocks default to an empty
-/// `return` terminator until a jump/branch/return is attached.
+/// `return` terminator until a jump/branch/return is attached.  Variable
+/// names are optional debug info (pass `""` for an unnamed variable):
+/// construction does zero per-variable allocations on the name path.
 #[derive(Debug)]
 pub struct FunctionBuilder {
     function: Function,
@@ -524,14 +1009,9 @@ impl FunctionBuilder {
     /// Creates a builder for a function with the given name and one entry
     /// block.
     pub fn new(name: impl Into<String>) -> Self {
-        FunctionBuilder {
-            function: Function {
-                name: name.into(),
-                blocks: vec![Block::new()],
-                entry: BlockId::new(0),
-                var_names: Vec::new(),
-            },
-        }
+        let mut function = Function::empty(name.into());
+        function.add_block(Terminator::Return { uses: Vec::new() }, 0);
+        FunctionBuilder { function }
     }
 
     /// The entry block created by [`FunctionBuilder::new`].
@@ -541,73 +1021,57 @@ impl FunctionBuilder {
 
     /// Creates a new, empty block.
     pub fn new_block(&mut self) -> BlockId {
-        let b = BlockId::new(self.function.blocks.len());
-        self.function.blocks.push(Block::new());
-        b
+        self.function
+            .add_block(Terminator::Return { uses: Vec::new() }, 0)
     }
 
     /// Sets the loop-nesting depth of a block.
     pub fn set_loop_depth(&mut self, b: BlockId, depth: u32) {
-        self.function.block_mut(b).loop_depth = depth;
+        self.function.set_loop_depth(b, depth);
     }
 
     /// Creates a fresh variable without emitting an instruction.
-    pub fn fresh_var(&mut self, name: impl Into<String>) -> Var {
+    pub fn fresh_var(&mut self, name: impl AsRef<str>) -> Var {
         self.function.new_var(name)
     }
 
     /// Emits `v = op()` in `b` (a definition with no uses) and returns `v`.
-    pub fn def(&mut self, b: BlockId, name: impl Into<String>) -> Var {
+    pub fn def(&mut self, b: BlockId, name: impl AsRef<str>) -> Var {
         let v = self.function.new_var(name);
-        self.function.block_mut(b).instrs.push(Instr::Op {
-            dst: Some(v),
-            uses: Vec::new(),
-        });
+        self.function.emit_op(b, Some(v), &[]);
         v
     }
 
     /// Emits `v = op(uses)` in `b` and returns `v`.
-    pub fn op(&mut self, b: BlockId, name: impl Into<String>, uses: &[Var]) -> Var {
+    pub fn op(&mut self, b: BlockId, name: impl AsRef<str>, uses: &[Var]) -> Var {
         let v = self.function.new_var(name);
-        self.function.block_mut(b).instrs.push(Instr::Op {
-            dst: Some(v),
-            uses: uses.to_vec(),
-        });
+        self.function.emit_op(b, Some(v), uses);
         v
     }
 
     /// Emits an effect-only instruction using `uses` (e.g. a store).
     pub fn effect(&mut self, b: BlockId, uses: &[Var]) {
-        self.function.block_mut(b).instrs.push(Instr::Op {
-            dst: None,
-            uses: uses.to_vec(),
-        });
+        self.function.emit_op(b, None, uses);
     }
 
     /// Emits a copy `dst = src` where `dst` is a fresh variable; returns `dst`.
-    pub fn copy(&mut self, b: BlockId, name: impl Into<String>, src: Var) -> Var {
+    pub fn copy(&mut self, b: BlockId, name: impl AsRef<str>, src: Var) -> Var {
         let dst = self.function.new_var(name);
-        self.function
-            .block_mut(b)
-            .instrs
-            .push(Instr::Copy { dst, src });
+        self.function.push_instr(b, Instr::Copy { dst, src });
         dst
     }
 
     /// Emits a copy between two existing variables.
     pub fn copy_to(&mut self, b: BlockId, dst: Var, src: Var) {
-        self.function
-            .block_mut(b)
-            .instrs
-            .push(Instr::Copy { dst, src });
+        self.function.push_instr(b, Instr::Copy { dst, src });
     }
 
     /// Emits `v = φ(args)` at the start of `b`'s φ-group and returns `v`.
-    pub fn phi(&mut self, b: BlockId, name: impl Into<String>, args: &[(BlockId, Var)]) -> Var {
+    pub fn phi(&mut self, b: BlockId, name: impl AsRef<str>, args: &[(BlockId, Var)]) -> Var {
         let v = self.function.new_var(name);
-        let block = self.function.block_mut(b);
-        let pos = block.instrs.iter().take_while(|i| i.is_phi()).count();
-        block.instrs.insert(
+        let pos = self.function.num_phis_in(b);
+        self.function.insert_instr(
+            b,
             pos,
             Instr::Phi {
                 dst: v,
@@ -619,12 +1083,12 @@ impl FunctionBuilder {
 
     /// Terminates `b` with an unconditional jump.
     pub fn jump(&mut self, b: BlockId, target: BlockId) {
-        self.function.block_mut(b).terminator = Terminator::Jump(target);
+        *self.function.terminator_mut(b) = Terminator::Jump(target);
     }
 
     /// Terminates `b` with a conditional branch on `cond`.
     pub fn branch(&mut self, b: BlockId, cond: Var, then_block: BlockId, else_block: BlockId) {
-        self.function.block_mut(b).terminator = Terminator::Branch {
+        *self.function.terminator_mut(b) = Terminator::Branch {
             cond,
             then_block,
             else_block,
@@ -633,7 +1097,7 @@ impl FunctionBuilder {
 
     /// Terminates `b` with a return using `uses`.
     pub fn ret(&mut self, b: BlockId, uses: &[Var]) {
-        self.function.block_mut(b).terminator = Terminator::Return {
+        *self.function.terminator_mut(b) = Terminator::Return {
             uses: uses.to_vec(),
         };
     }
@@ -656,7 +1120,7 @@ impl FunctionBuilder {
     }
 
     /// Access to the function under construction (for advanced surgery such
-    /// as critical-edge splitting in tests).
+    /// as raw instruction appends in tests).
     pub fn function_mut(&mut self) -> &mut Function {
         &mut self.function
     }
@@ -727,6 +1191,20 @@ mod tests {
     }
 
     #[test]
+    fn views_round_trip_through_owned_instrs() {
+        let f = diamond();
+        for (b, i, view) in f.instructions() {
+            let owned = view.to_instr();
+            assert_eq!(owned.def(), view.def());
+            assert_eq!(owned.local_uses(), view.local_uses().to_vec());
+            assert_eq!(owned.is_phi(), view.is_phi());
+            assert_eq!(owned.is_copy(), view.is_copy());
+            let again = f.instr(b, i);
+            assert_eq!(again, view);
+        }
+    }
+
+    #[test]
     fn phi_args_must_match_predecessors() {
         let mut b = FunctionBuilder::new("bad");
         let entry = b.entry_block();
@@ -752,10 +1230,13 @@ mod tests {
         let x = b.def(next, "x");
         // Manually append a phi after the op to bypass the builder's
         // phi-hoisting.
-        b.function_mut().block_mut(next).instrs.push(Instr::Phi {
-            dst: Var::new(5),
-            args: vec![(entry, x)],
-        });
+        b.function_mut().push_instr(
+            next,
+            Instr::Phi {
+                dst: Var::new(5),
+                args: vec![(entry, x)],
+            },
+        );
         assert!(b.try_finish().is_err());
     }
 
@@ -766,6 +1247,33 @@ mod tests {
         assert!(printed.contains("phi("));
         assert!(printed.contains("branch"));
         assert!(printed.contains("return"));
+        assert!(printed.contains("w = phi("));
+    }
+
+    #[test]
+    fn unnamed_variables_display_as_indices() {
+        let mut b = FunctionBuilder::new("anon");
+        let entry = b.entry_block();
+        let x = b.def(entry, "");
+        let y = b.op(entry, "", &[x]);
+        b.ret(entry, &[y]);
+        let f = b.finish();
+        assert_eq!(f.var_name(x), None);
+        assert!(f.to_string().contains("%1 = op(%0)"));
+    }
+
+    #[test]
+    fn derive_var_keeps_unnamed_unnamed() {
+        let mut b = FunctionBuilder::new("derive");
+        let entry = b.entry_block();
+        let named = b.def(entry, "x");
+        let anon = b.def(entry, "");
+        b.ret(entry, &[]);
+        let mut f = b.finish();
+        let d1 = f.derive_var(named, "_reload");
+        let d2 = f.derive_var(anon, "_reload");
+        assert_eq!(f.var_name(d1), Some("x_reload"));
+        assert_eq!(f.var_name(d2), None);
     }
 
     #[test]
@@ -800,8 +1308,8 @@ mod tests {
         b.jump(entry, body);
         b.jump(body, body);
         let f = b.finish();
-        assert_eq!(f.block(entry).loop_depth, 0);
-        assert_eq!(f.block(body).loop_depth, 2);
+        assert_eq!(f.loop_depth(entry), 0);
+        assert_eq!(f.loop_depth(body), 2);
     }
 
     #[test]
@@ -813,5 +1321,63 @@ mod tests {
             b.try_finish(),
             Err(ValidationError::BadBlockReference { .. })
         ));
+    }
+
+    #[test]
+    fn insert_replace_and_remove_phis_edit_in_place() {
+        let mut f = diamond();
+        let j = BlockId::new(3);
+        assert_eq!(f.num_instrs(j), 1);
+        // Replace the φ by an equivalent one, insert a copy after it, then
+        // strip the φs again.
+        let phi = f.instr(j, 0).to_instr();
+        f.replace_instr(j, 0, phi.clone());
+        assert_eq!(f.instr(j, 0).to_instr(), phi);
+        let w = phi.def().unwrap();
+        f.insert_instr(
+            j,
+            1,
+            Instr::Copy {
+                dst: Var::new(0),
+                src: w,
+            },
+        );
+        assert_eq!(f.num_instrs(j), 2);
+        assert!(f.instr(j, 1).is_copy());
+        assert_eq!(f.remove_phis(j), 1);
+        assert_eq!(f.num_instrs(j), 1);
+        assert!(f.instr(j, 0).is_copy());
+    }
+
+    #[test]
+    fn set_block_instrs_round_trips() {
+        let mut f = diamond();
+        let entry = BlockId::new(0);
+        let owned = f.block_instrs_owned(entry);
+        assert_eq!(owned.len(), 2);
+        let mut edited = owned.clone();
+        edited.push(Instr::Op {
+            dst: None,
+            uses: vec![Var::new(0)],
+        });
+        f.set_block_instrs(entry, &edited);
+        assert_eq!(f.num_instrs(entry), 3);
+        assert_eq!(f.block_instrs_owned(entry), edited);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn ir_bytes_reflects_the_flat_layout() {
+        let f = diamond();
+        // 6 instruction records, a small operand pool, 6 order slots,
+        // 4 blocks: the exact formula is documented on `ir_bytes`.
+        let expected = f.instrs.len() * 16
+            + f.val_pool.len() * 4
+            + f.phi_pool.len() * 8
+            + f.order.len() * 4
+            + 4 * 12
+            + (16 + 16 + 16 + 16 + 4);
+        assert_eq!(f.ir_bytes(), expected);
+        assert!(f.ir_bytes() > 0);
     }
 }

@@ -16,7 +16,7 @@
 //! otherwise have to insert on the incoming edge.  Affinity weights model
 //! dynamic execution counts as `10^loop_depth`.
 
-use crate::function::{Function, Instr, Var};
+use crate::function::{Function, InstrView, Var};
 use crate::liveness::Liveness;
 use coalesce_graph::{Graph, VertexId};
 
@@ -87,12 +87,11 @@ impl InterferenceGraph {
         let mut affinities = Vec::new();
 
         for b in f.block_ids() {
-            let block = f.block(b);
-            let weight = 10u64.saturating_pow(block.loop_depth);
+            let weight = 10u64.saturating_pow(f.loop_depth(b));
 
             // Parallel φ definitions at the block entry are simultaneously
             // live; make them pairwise interfere.
-            let phi_defs: Vec<Var> = block.phis().filter_map(Instr::def).collect();
+            let phi_defs: Vec<Var> = f.phis(b).filter_map(|p| p.def()).collect();
             for (i, &p) in phi_defs.iter().enumerate() {
                 for &q in &phi_defs[i + 1..] {
                     add_edge(&mut graph, p, q);
@@ -110,20 +109,19 @@ impl InterferenceGraph {
             // when the cursor stands at point `i + 1` it is exactly the set
             // live *after* instruction `i`, so the definition edges fall
             // out of one reverse walk with a single reused cursor set.
-            let instrs = &block.instrs;
             liveness.for_each_point_rev(f, b, |point, live_after| {
                 if point == 0 {
                     return;
                 }
-                let instr = &instrs[point - 1];
+                let instr = f.instr(b, point - 1);
                 if let Some(d) = instr.def() {
                     for v in live_after.iter() {
                         if v == d {
                             continue;
                         }
                         if options.kind == InterferenceKind::Chaitin {
-                            if let Instr::Copy { src, .. } = instr {
-                                if v == *src {
+                            if let InstrView::Copy { src, .. } = instr {
+                                if v == src {
                                     continue;
                                 }
                             }
@@ -133,22 +131,22 @@ impl InterferenceGraph {
                 }
             });
 
-            for instr in instrs {
+            for instr in f.block_instrs(b) {
                 match instr {
-                    Instr::Copy { dst, src } if options.copy_affinities && dst != src => {
+                    InstrView::Copy { dst, src } if options.copy_affinities && dst != src => {
                         affinities.push(Affinity {
-                            a: *dst,
-                            b: *src,
+                            a: dst,
+                            b: src,
                             weight,
                         });
                     }
-                    Instr::Phi { dst, args } if options.phi_affinities => {
-                        for (p, v) in args {
-                            if v != dst {
-                                let w = 10u64.saturating_pow(f.block(*p).loop_depth);
+                    InstrView::Phi { dst, args } if options.phi_affinities => {
+                        for a in args {
+                            if a.value != dst {
+                                let w = 10u64.saturating_pow(f.loop_depth(a.pred));
                                 affinities.push(Affinity {
-                                    a: *dst,
-                                    b: *v,
+                                    a: dst,
+                                    b: a.value,
                                     weight: w,
                                 });
                             }

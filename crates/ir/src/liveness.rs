@@ -18,11 +18,16 @@
 //! return borrowed set views, and the per-point queries
 //! ([`Liveness::for_each_point_rev`]) stream one reusable cursor set
 //! backwards through a block instead of materialising a cloned set per
-//! program point.  The spiller patches the solution in place after each
-//! rewrite ([`Liveness::apply_spill_rewrite`]) rather than re-running the
+//! program point.  The transfer functions read the flat IR directly:
+//! walking a block is an iteration over its contiguous order slice, and an
+//! instruction's uses are borrowed pool slices
+//! ([`InstrView::local_uses`](crate::function::InstrView::local_uses)) —
+//! no per-instruction `Vec` clone anywhere in the fixpoint.  The spiller
+//! patches the solution in place after each rewrite
+//! ([`Liveness::apply_spill_rewrite`]) rather than re-running the
 //! fixpoint.
 
-use crate::function::{BlockId, Function, Instr, Var};
+use crate::function::{BlockId, Function, InstrView, Var};
 use std::collections::VecDeque;
 
 const WORD_BITS: usize = 64;
@@ -216,13 +221,12 @@ impl Liveness {
             out.clear();
             for s in f.successors(b) {
                 flow.copy_from(&self.live_in[s.index()]);
-                let sblock = f.block(s);
-                for phi in sblock.phis() {
-                    if let Instr::Phi { dst, args } = phi {
-                        flow.remove(*dst);
-                        for &(p, v) in args {
-                            if p == b {
-                                flow.insert(v);
+                for phi in f.phis(s) {
+                    if let InstrView::Phi { dst, args } = phi {
+                        flow.remove(dst);
+                        for a in args {
+                            if a.pred == b {
+                                flow.insert(a.value);
                             }
                         }
                     }
@@ -231,15 +235,14 @@ impl Liveness {
             }
             // live-in(b) computed by walking the block backwards.
             flow.copy_from(&out);
-            let block = f.block(b);
-            for v in block.terminator.uses() {
+            for v in f.terminator(b).uses() {
                 flow.insert(v);
             }
-            for instr in block.instrs.iter().rev() {
+            for instr in f.block_instrs(b).rev() {
                 if let Some(d) = instr.def() {
                     flow.remove(d);
                 }
-                for u in instr.local_uses() {
+                for &u in instr.local_uses() {
                     flow.insert(u);
                 }
             }
@@ -285,17 +288,16 @@ impl Liveness {
         b: BlockId,
         mut visit: impl FnMut(usize, &VarSet),
     ) {
-        let block = f.block(b);
         let mut live = self.live_out[b.index()].clone();
-        for v in block.terminator.uses() {
+        for v in f.terminator(b).uses() {
             live.insert(v);
         }
-        visit(block.instrs.len(), &live);
-        for (i, instr) in block.instrs.iter().enumerate().rev() {
+        visit(f.num_instrs(b), &live);
+        for (i, instr) in f.block_instrs(b).enumerate().rev() {
             if let Some(d) = instr.def() {
                 live.remove(d);
             }
-            for u in instr.local_uses() {
+            for &u in instr.local_uses() {
                 live.insert(u);
             }
             visit(i, &live);
@@ -310,8 +312,7 @@ impl Liveness {
     /// Allocates one [`VarSet`] per point — hot paths stream through
     /// [`Liveness::for_each_point_rev`] instead.
     pub fn live_points(&self, f: &Function, b: BlockId) -> Vec<VarSet> {
-        let block = f.block(b);
-        let mut points = vec![VarSet::default(); block.instrs.len() + 1];
+        let mut points = vec![VarSet::default(); f.num_instrs(b) + 1];
         self.for_each_point_rev(f, b, |i, live| points[i] = live.clone());
         points
     }
@@ -336,8 +337,6 @@ impl Liveness {
     pub fn maxlive_precise(&self, f: &Function) -> usize {
         let mut max = 0;
         for b in f.block_ids() {
-            let block = f.block(b);
-            let instrs = &block.instrs;
             // Walk the points backwards; when the cursor stands at point
             // `i + 1` the pressure of instruction `i`'s definition point is
             // known (a defined value occupies a register at its definition
@@ -347,7 +346,7 @@ impl Liveness {
             self.for_each_point_rev(f, b, |i, live| {
                 max = max.max(live.len());
                 if i > 0 {
-                    let instr = &instrs[i - 1];
+                    let instr = f.instr(b, i - 1);
                     if !instr.is_phi() {
                         if let Some(d) = instr.def() {
                             max = max.max(live.len() + usize::from(!live.contains(d)));
@@ -357,7 +356,7 @@ impl Liveness {
             });
             // Also count φ results together with live-in (they are all live
             // simultaneously at the block entry in the SSA semantics).
-            let phi_defs = block.phis().filter_map(Instr::def).count();
+            let phi_defs = f.phis(b).filter_map(|p| p.def()).count();
             if phi_defs > 0 {
                 max = max.max(self.live_in[b.index()].len() + phi_defs);
             }
@@ -405,7 +404,7 @@ impl Liveness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::function::FunctionBuilder;
+    use crate::function::{FunctionBuilder, Instr};
 
     fn members(set: &VarSet) -> Vec<Var> {
         set.iter().collect()
@@ -520,10 +519,13 @@ mod tests {
         let i1 = b.fresh_var("i1");
         let iphi = b.phi(header, "iphi", &[(entry, i0), (body, i1)]);
         b.branch(header, c, body, exit);
-        b.function_mut().block_mut(body).instrs.push(Instr::Op {
-            dst: Some(i1),
-            uses: vec![iphi],
-        });
+        b.function_mut().push_instr(
+            body,
+            Instr::Op {
+                dst: Some(i1),
+                uses: vec![iphi],
+            },
+        );
         b.jump(body, header);
         b.ret(exit, &[iphi]);
         let f = b.finish();

@@ -191,7 +191,7 @@ pub fn is_reducible(f: &Function) -> bool {
 pub fn annotate_loop_depths(f: &mut Function) -> usize {
     let info = LoopInfo::compute(f);
     for b in f.block_ids() {
-        f.block_mut(b).loop_depth = info.depth_of(b);
+        f.set_loop_depth(b, info.depth_of(b));
     }
     info.num_loops()
 }
@@ -287,12 +287,12 @@ mod tests {
         let mut f = simple_loop();
         // Pretend a front end set bogus depths.
         for b in f.block_ids() {
-            f.block_mut(b).loop_depth = 7;
+            f.set_loop_depth(b, 7);
         }
         let n = annotate_loop_depths(&mut f);
         assert_eq!(n, 1);
-        assert_eq!(f.block(BlockId::new(0)).loop_depth, 0);
-        assert_eq!(f.block(BlockId::new(2)).loop_depth, 1);
+        assert_eq!(f.loop_depth(BlockId::new(0)), 0);
+        assert_eq!(f.loop_depth(BlockId::new(2)), 1);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!    resulting copy instructions to the predecessor block;
 //! 4. removes the φ-functions.
 
-use crate::function::{BlockId, Function, Instr, Terminator, Var};
+use crate::function::{BlockId, Function, Instr, InstrView, Terminator, Var};
 
 /// Statistics returned by [`destruct_ssa`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,22 +55,22 @@ pub fn split_critical_edges(f: &mut Function) -> usize {
         }
         let Some((from, to)) = found else { break };
         // Insert a forwarding block on the edge from -> to.
-        let mid_index = f.blocks.len();
-        let mid = BlockId::new(mid_index);
-        f.blocks.push(crate::function::Block {
-            instrs: Vec::new(),
-            terminator: Terminator::Jump(to),
-            loop_depth: f.block(from).loop_depth.min(f.block(to).loop_depth),
-        });
-        f.block_mut(from).terminator.replace_successor(to, mid);
+        let depth = f.loop_depth(from).min(f.loop_depth(to));
+        let mid = f.add_block(Terminator::Jump(to), depth);
+        f.terminator_mut(from).replace_successor(to, mid);
         // Redirect φ arguments in `to` that referred to `from`.
-        for instr in &mut f.block_mut(to).instrs {
-            if let Instr::Phi { args, .. } = instr {
-                for (p, _) in args.iter_mut() {
-                    if *p == from {
-                        *p = mid;
-                    }
-                }
+        for i in 0..f.num_instrs(to) {
+            let redirected = match f.instr(to, i) {
+                InstrView::Phi { dst, args } if args.iter().any(|a| a.pred == from) => Some((
+                    dst,
+                    args.iter()
+                        .map(|a| (if a.pred == from { mid } else { a.pred }, a.value))
+                        .collect::<Vec<_>>(),
+                )),
+                _ => None,
+            };
+            if let Some((dst, args)) = redirected {
+                f.replace_instr(to, i, Instr::Phi { dst, args });
             }
         }
         split += 1;
@@ -135,10 +135,11 @@ pub fn destruct_ssa(f: &mut Function) -> OutOfSsaStats {
     let mut per_pred: Vec<Vec<(Var, Var)>> = vec![Vec::new(); f.num_blocks()];
     for b in f.block_ids() {
         let phis: Vec<(Var, Vec<(BlockId, Var)>)> = f
-            .block(b)
-            .phis()
+            .phis(b)
             .filter_map(|i| match i {
-                Instr::Phi { dst, args } => Some((*dst, args.clone())),
+                InstrView::Phi { dst, args } => {
+                    Some((dst, args.iter().map(|a| (a.pred, a.value)).collect()))
+                }
                 _ => None,
             })
             .collect();
@@ -148,8 +149,8 @@ pub fn destruct_ssa(f: &mut Function) -> OutOfSsaStats {
             }
         }
         stats.phis_removed += phis.len();
-        // Remove the φs from the block.
-        f.block_mut(b).instrs.retain(|i| !i.is_phi());
+        // Remove the φs from the block (in place, no order-array growth).
+        f.remove_phis(b);
     }
 
     let block_ids: Vec<BlockId> = f.block_ids().collect();
@@ -158,18 +159,15 @@ pub fn destruct_ssa(f: &mut Function) -> OutOfSsaStats {
         if copies.is_empty() {
             continue;
         }
-        let mut temp_count = 0usize;
         let (seq, temps) = {
             let func: &mut Function = f;
-            sequentialize_parallel_copy(&copies, || {
-                let t = func.new_var(format!("phitmp{}_{}", b.index(), temp_count));
-                temp_count += 1;
-                t
-            })
+            // Cycle-breaking temporaries are unnamed: they are release-path
+            // artifacts, displayed as dense indices.
+            sequentialize_parallel_copy(&copies, || func.new_var(""))
         };
         stats.temps_introduced += temps;
         for (dst, src) in seq {
-            f.block_mut(b).instrs.push(Instr::Copy { dst, src });
+            f.push_instr(b, Instr::Copy { dst, src });
             stats.copies_inserted += 1;
         }
     }
@@ -233,8 +231,8 @@ mod tests {
         // The copy for the entry->join edge must be in the new block, not in
         // entry (where it would wrongly execute on the other path too).
         let new_block = BlockId::new(f.num_blocks() - 1);
-        assert_eq!(f.block(new_block).instrs.len(), 1);
-        assert!(f.block(new_block).instrs[0].is_copy());
+        assert_eq!(f.num_instrs(new_block), 1);
+        assert!(f.instr(new_block, 0).is_copy());
     }
 
     #[test]
@@ -295,12 +293,12 @@ mod tests {
         // After destruction, the function still validates, has no φs, and
         // the φ result is now defined by copies in both predecessors.
         let mut f = diamond_with_phi();
-        let w_uses_before = f.block(BlockId::new(3)).terminator.uses().len();
+        let w_uses_before = f.terminator(BlockId::new(3)).uses().len();
         destruct_ssa(&mut f);
         assert!(ssa::is_ssa(&f) || f.num_copies() == 2);
         let live = Liveness::compute(&f);
         // w is defined on both sides, so it is live into the join block now.
-        let w = f.block(BlockId::new(3)).terminator.uses()[0];
+        let w = f.terminator(BlockId::new(3)).uses()[0];
         assert!(live.is_live_in(BlockId::new(3), w));
         assert_eq!(w_uses_before, 1);
     }

@@ -32,7 +32,7 @@
 //! * spill costs never change for a variable that was not itself rewritten,
 //!   so they are computed once up front.
 
-use crate::function::{BlockId, Function, Instr, Terminator, Var};
+use crate::function::{BlockId, Function, Instr, InstrView, Terminator, Var};
 use crate::liveness::Liveness;
 use std::collections::BTreeSet;
 
@@ -90,15 +90,14 @@ fn block_spill_stats(
     k: usize,
     birth: &mut Vec<u32>,
 ) -> BlockSpillStats {
-    let block = f.block(b);
-    let n = block.instrs.len();
+    let n = f.num_instrs(b);
     if birth.len() < f.num_vars() {
         birth.resize(f.num_vars(), 0);
     }
     let mut stats = BlockSpillStats::default();
     // The walk starts at point n: live-out plus the terminator's uses.
     let mut live = liveness.live_out(b).clone();
-    for u in block.terminator.uses() {
+    for u in f.terminator(b).uses() {
         live.insert(u);
     }
     for v in live.iter() {
@@ -108,7 +107,7 @@ fn block_spill_stats(
     // Index of the lowest (most recently seen, walking backwards)
     // over-pressured point; `u32::MAX` while none was seen.
     let mut min_over = if live.len() > k { n as u32 } else { u32::MAX };
-    for (i, instr) in block.instrs.iter().enumerate().rev() {
+    for (i, instr) in f.block_instrs(b).enumerate().rev() {
         if let Some(d) = instr.def() {
             // Pressure of the definition point: the set after the
             // instruction plus the defined value if it is dead there (a
@@ -128,7 +127,7 @@ fn block_spill_stats(
                 }
             }
         }
-        for u in instr.local_uses() {
+        for &u in instr.local_uses() {
             if live.insert(u) {
                 birth[u.index()] = i as u32;
             }
@@ -148,7 +147,7 @@ fn block_spill_stats(
     }
     // φ results are all simultaneously live at the block entry together
     // with the live-in set.
-    let phi_defs = block.phis().filter_map(Instr::def).count();
+    let phi_defs = f.phis(b).filter_map(|p| p.def()).count();
     if phi_defs > 0 {
         stats.maxlive = stats.maxlive.max(liveness.live_in(b).len() + phi_defs);
     }
@@ -298,27 +297,26 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
 pub fn spill_costs(f: &Function) -> Vec<u64> {
     let mut cost = vec![0u64; f.num_vars()];
     for b in f.block_ids() {
-        let block = f.block(b);
-        let weight = 10u64.saturating_pow(block.loop_depth);
-        for instr in &block.instrs {
+        let weight = 10u64.saturating_pow(f.loop_depth(b));
+        for instr in f.block_instrs(b) {
             if let Some(d) = instr.def() {
                 cost[d.index()] = cost[d.index()].saturating_add(weight);
             }
             match instr {
-                Instr::Phi { args, .. } => {
-                    for &(p, v) in args {
-                        let w = 10u64.saturating_pow(f.block(p).loop_depth);
-                        cost[v.index()] = cost[v.index()].saturating_add(w);
+                InstrView::Phi { args, .. } => {
+                    for a in args {
+                        let w = 10u64.saturating_pow(f.loop_depth(a.pred));
+                        cost[a.value.index()] = cost[a.value.index()].saturating_add(w);
                     }
                 }
                 _ => {
-                    for u in instr.local_uses() {
+                    for &u in instr.local_uses() {
                         cost[u.index()] = cost[u.index()].saturating_add(weight);
                     }
                 }
             }
         }
-        for u in block.terminator.uses() {
+        for u in f.terminator(b).uses() {
             cost[u.index()] = cost[u.index()].saturating_add(weight);
         }
     }
@@ -342,34 +340,34 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
         // Rewrite φ arguments: reload at the end of the predecessor.
         let mut pending_pred_reloads: Vec<(BlockId, Var)> = Vec::new();
         {
-            let nb = f.block(b).instrs.len();
+            let nb = f.num_instrs(b);
             for i in 0..nb {
-                if let Instr::Phi { dst, args } = f.block(b).instrs[i].clone() {
-                    let mut new_args = args.clone();
-                    let mut changed = false;
-                    for (p, v) in new_args.iter_mut() {
+                // Copy out the argument list only when this φ mentions the
+                // victim; the view borrow ends before the rewrite below.
+                let rewrite_phi = match f.instr(b, i) {
+                    InstrView::Phi { dst, args } if args.iter().any(|a| a.value == victim) => {
+                        Some((
+                            dst,
+                            args.iter().map(|a| (a.pred, a.value)).collect::<Vec<_>>(),
+                        ))
+                    }
+                    _ => None,
+                };
+                if let Some((dst, mut args)) = rewrite_phi {
+                    for (p, v) in args.iter_mut() {
                         if *v == victim {
-                            let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
+                            let reload = f.derive_var(victim, "_reload");
                             pending_pred_reloads.push((*p, reload));
                             *v = reload;
-                            changed = true;
                         }
                     }
-                    if changed {
-                        f.block_mut(b).instrs[i] = Instr::Phi {
-                            dst,
-                            args: new_args,
-                        };
-                        rewrite.modified_blocks.push(b);
-                    }
+                    f.replace_instr(b, i, Instr::Phi { dst, args });
+                    rewrite.modified_blocks.push(b);
                 }
             }
         }
         for (pred, reload) in pending_pred_reloads {
-            f.block_mut(pred).instrs.push(Instr::Op {
-                dst: Some(reload),
-                uses: Vec::new(),
-            });
+            f.emit_op(pred, Some(reload), &[]);
             result.reloads += 1;
             rewrite.modified_blocks.push(pred);
             rewrite.phi_pred_reloads.push((pred, reload));
@@ -377,17 +375,16 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
 
         // Rewrite ordinary uses inside the block.
         let mut i = 0;
-        while i < f.block(b).instrs.len() {
-            let instr = f.block(b).instrs[i].clone();
-            let uses_victim = match &instr {
-                Instr::Op { uses, .. } => uses.contains(&victim),
-                Instr::Copy { src, .. } => *src == victim,
-                Instr::Phi { .. } => false,
+        while i < f.num_instrs(b) {
+            let uses_victim = match f.instr(b, i) {
+                InstrView::Op { uses, .. } => uses.contains(&victim),
+                InstrView::Copy { src, .. } => src == victim,
+                InstrView::Phi { .. } => false,
             };
             if uses_victim {
                 rewrite.modified_blocks.push(b);
-                let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
-                let new_instr = match instr {
+                let reload = f.derive_var(victim, "_reload");
+                let new_instr = match f.instr(b, i).to_instr() {
                     Instr::Op { dst, uses } => Instr::Op {
                         dst,
                         uses: uses
@@ -398,8 +395,9 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
                     Instr::Copy { dst, .. } => Instr::Copy { dst, src: reload },
                     phi @ Instr::Phi { .. } => phi,
                 };
-                f.block_mut(b).instrs[i] = new_instr;
-                f.block_mut(b).instrs.insert(
+                f.replace_instr(b, i, new_instr);
+                f.insert_instr(
+                    b,
                     i,
                     Instr::Op {
                         dst: Some(reload),
@@ -414,12 +412,11 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
         }
 
         // Rewrite terminator uses.
-        let term = f.block(b).terminator.clone();
-        let term_uses_victim = term.uses().contains(&victim);
+        let term_uses_victim = f.terminator(b).uses().contains(&victim);
         if term_uses_victim {
             rewrite.modified_blocks.push(b);
-            let reload = f.new_var(format!("{}_reload", f.var_name(victim)));
-            let new_term = match term {
+            let reload = f.derive_var(victim, "_reload");
+            let new_term = match f.terminator(b).clone() {
                 Terminator::Branch {
                     cond,
                     then_block,
@@ -437,11 +434,8 @@ pub fn spill_everywhere(f: &mut Function, victim: Var, result: &mut SpillResult)
                 },
                 t @ Terminator::Jump(_) => t,
             };
-            f.block_mut(b).terminator = new_term;
-            f.block_mut(b).instrs.push(Instr::Op {
-                dst: Some(reload),
-                uses: Vec::new(),
-            });
+            *f.terminator_mut(b) = new_term;
+            f.emit_op(b, Some(reload), &[]);
             result.reloads += 1;
         }
     }
@@ -525,7 +519,7 @@ mod tests {
             assert!(!instr.local_uses().contains(&x));
         }
         for bid in f.block_ids() {
-            assert!(!f.block(bid).terminator.uses().contains(&x));
+            assert!(!f.terminator(bid).uses().contains(&x));
         }
     }
 

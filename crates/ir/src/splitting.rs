@@ -64,7 +64,7 @@ pub fn split_variables_at_block_boundaries(f: &mut Function, vars: &[Var]) -> Sp
             // (their arguments are uses on the incoming edges).
             let mut redefined_at: Option<usize> = None;
             let mut has_use = false;
-            for (i, instr) in f.block(b).instrs.iter().enumerate() {
+            for (i, instr) in f.block_instrs(b).enumerate() {
                 if instr.is_phi() {
                     // A φ defining x counts as a redefinition at the top.
                     if instr.def() == Some(x) {
@@ -81,8 +81,7 @@ pub fn split_variables_at_block_boundaries(f: &mut Function, vars: &[Var]) -> Sp
                     break;
                 }
             }
-            let terminator_uses =
-                redefined_at.is_none() && f.block(b).terminator.uses().contains(&x);
+            let terminator_uses = redefined_at.is_none() && f.terminator(b).uses().contains(&x);
             if !has_use && !terminator_uses {
                 continue;
             }
@@ -91,22 +90,21 @@ pub fn split_variables_at_block_boundaries(f: &mut Function, vars: &[Var]) -> Sp
             }
 
             // Insert the copy and rename.
-            let name = format!("{}.split.{}", f.var_name(x), b.index());
-            let fresh = f.new_var(name);
-            let block = f.block_mut(b);
-            let phi_end = block.instrs.iter().take_while(|i| i.is_phi()).count();
+            let fresh = f.derive_var(x, &format!(".split.{}", b.index()));
+            let phi_end = f.num_phis_in(b);
             // Rename uses before the redefinition point (indices shift by one
             // after the insertion, so rename first, then insert).
-            let limit = redefined_at.unwrap_or(block.instrs.len());
-            for instr in block.instrs[phi_end..limit.max(phi_end)].iter_mut() {
-                rename_uses(instr, x, fresh);
+            let limit = redefined_at.unwrap_or(f.num_instrs(b));
+            for i in phi_end..limit.max(phi_end) {
+                let mut instr = f.instr(b, i).to_instr();
+                if rename_uses(&mut instr, x, fresh) {
+                    f.replace_instr(b, i, instr);
+                }
             }
             if redefined_at.is_none() {
-                rename_terminator_uses(&mut block.terminator, x, fresh);
+                rename_terminator_uses(f.terminator_mut(b), x, fresh);
             }
-            block
-                .instrs
-                .insert(phi_end, Instr::Copy { dst: fresh, src: x });
+            f.insert_instr(b, phi_end, Instr::Copy { dst: fresh, src: x });
             stats.copies_inserted += 1;
             stats.new_variables += 1;
             stats.split_points += 1;
@@ -119,22 +117,26 @@ pub fn split_variables_at_block_boundaries(f: &mut Function, vars: &[Var]) -> Sp
     stats
 }
 
-fn rename_uses(instr: &mut Instr, from: Var, to: Var) {
+fn rename_uses(instr: &mut Instr, from: Var, to: Var) -> bool {
+    let mut changed = false;
     match instr {
         Instr::Op { uses, .. } => {
             for u in uses.iter_mut() {
                 if *u == from {
                     *u = to;
+                    changed = true;
                 }
             }
         }
         Instr::Copy { src, .. } => {
             if *src == from {
                 *src = to;
+                changed = true;
             }
         }
         Instr::Phi { .. } => {}
     }
+    changed
 }
 
 fn rename_terminator_uses(term: &mut crate::function::Terminator, from: Var, to: Var) {
@@ -205,7 +207,7 @@ mod tests {
         // in particular the two per-branch split copies of x never coexist.
         let split_vars: Vec<Var> = (0..f.num_vars())
             .map(Var::new)
-            .filter(|&v| f.var_name(v).contains(".split."))
+            .filter(|&v| f.var_name(v).is_some_and(|n| n.contains(".split.")))
             .collect();
         assert_eq!(split_vars.len(), 2);
         assert!(!ig.interferes(split_vars[0], split_vars[1]));
@@ -230,21 +232,21 @@ mod tests {
         assert!(f.validate().is_ok());
         // The use of x in `y = op(x)` is renamed, the use in `z = op(x)`
         // (after the redefinition) is not.
-        let body_instrs = &f.block(crate::function::BlockId::new(1)).instrs;
-        let first_op_uses = body_instrs
-            .iter()
-            .find_map(|i| match i {
-                Instr::Op { dst: Some(d), uses } if f.var_name(*d) == "y" => Some(uses.clone()),
-                _ => None,
-            })
-            .unwrap();
-        let last_op_uses = body_instrs
-            .iter()
-            .find_map(|i| match i {
-                Instr::Op { dst: Some(d), uses } if f.var_name(*d) == "z" => Some(uses.clone()),
-                _ => None,
-            })
-            .unwrap();
+        let body_block = crate::function::BlockId::new(1);
+        let op_uses = |name: &str| -> Vec<Var> {
+            f.block_instrs(body_block)
+                .find_map(|i| match i {
+                    crate::function::InstrView::Op { dst: Some(d), uses }
+                        if f.var_name(d) == Some(name) =>
+                    {
+                        Some(uses.to_vec())
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let first_op_uses = op_uses("y");
+        let last_op_uses = op_uses("z");
         assert_ne!(
             first_op_uses[0], x,
             "use before redefinition must be renamed"
@@ -280,7 +282,7 @@ mod tests {
         assert_eq!(stats.copies_inserted, 1);
         assert!(f.validate().is_ok());
         // The return now uses the split name, which is copy-defined from x.
-        match &f.block(crate::function::BlockId::new(1)).terminator {
+        match f.terminator(crate::function::BlockId::new(1)) {
             crate::function::Terminator::Return { uses } => {
                 assert_eq!(uses.len(), 1);
                 assert_ne!(uses[0], x);

@@ -9,7 +9,7 @@
 //! definitions, and definitions dominating uses.
 
 use crate::dom::DominatorTree;
-use crate::function::{BlockId, Function, Instr, Terminator, Var};
+use crate::function::{BlockId, Function, Instr, InstrView, Terminator, Var};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Returns `true` if every variable of `f` has at most one definition.
@@ -61,19 +61,18 @@ pub fn is_strict(f: &Function) -> bool {
         if !dom.is_reachable(b) {
             continue;
         }
-        let block = f.block(b);
-        for (i, instr) in block.instrs.iter().enumerate() {
+        for (i, instr) in f.block_instrs(b).enumerate() {
             match instr {
-                Instr::Phi { args, .. } => {
-                    for (pred, v) in args {
-                        // Used at the end of `pred`.
-                        if !use_dominated(*v, *pred, usize::MAX - 1) {
+                InstrView::Phi { args, .. } => {
+                    for a in args {
+                        // Used at the end of the predecessor.
+                        if !use_dominated(a.value, a.pred, usize::MAX - 1) {
                             return false;
                         }
                     }
                 }
                 _ => {
-                    for v in instr.local_uses() {
+                    for &v in instr.local_uses() {
                         if !use_dominated(v, b, i) {
                             return false;
                         }
@@ -81,7 +80,7 @@ pub fn is_strict(f: &Function) -> bool {
                 }
             }
         }
-        for v in block.terminator.uses() {
+        for v in f.terminator(b).uses() {
             if !use_dominated(v, b, usize::MAX - 1) {
                 return false;
             }
@@ -140,9 +139,8 @@ pub fn construct_ssa(f: &Function) -> Function {
                     let var = Var::new(v);
                     let args: Vec<(BlockId, Var)> =
                         preds[y.index()].iter().map(|&p| (p, var)).collect();
-                    let block = out.block_mut(y);
-                    let pos = block.instrs.iter().take_while(|i| i.is_phi()).count();
-                    block.instrs.insert(pos, Instr::Phi { dst: var, args });
+                    let pos = out.num_phis_in(y);
+                    out.insert_instr(y, pos, Instr::Phi { dst: var, args });
                     phi_for.insert((y, v), pos);
                     if !blocks.contains(&y) {
                         work.push(y);
@@ -182,9 +180,9 @@ pub fn construct_ssa(f: &Function) -> Function {
                 stack.push((b, Phase::Exit));
                 let mut pushes: Vec<(usize, usize)> = Vec::new();
                 // Rename definitions and uses inside the block.
-                let nb = renamed.block_mut(b).instrs.len();
+                let nb = renamed.num_instrs(b);
                 for i in 0..nb {
-                    let instr = renamed.block(b).instrs[i].clone();
+                    let instr = renamed.instr(b, i).to_instr();
                     let new_instr = match instr {
                         Instr::Phi { dst, args } => {
                             // Only the def is renamed here; args are renamed
@@ -192,9 +190,13 @@ pub fn construct_ssa(f: &Function) -> Function {
                             let o = orig_of(dst, num_orig);
                             let new_dst = match o {
                                 Some(ov) if needs_rename[ov] => {
-                                    let name =
-                                        format!("{}_{}", f.var_name(Var::new(ov)), b.index());
-                                    let nv = renamed.new_var(name);
+                                    let nv = match f.var_name(Var::new(ov)) {
+                                        Some(n) => {
+                                            let name = format!("{n}_{}", b.index());
+                                            renamed.new_var(name)
+                                        }
+                                        None => renamed.new_var(""),
+                                    };
                                     stacks[ov].push(nv);
                                     pushes.push((ov, 1));
                                     nv
@@ -243,10 +245,10 @@ pub fn construct_ssa(f: &Function) -> Function {
                             }
                         }
                     };
-                    renamed.block_mut(b).instrs[i] = new_instr;
+                    renamed.replace_instr(b, i, new_instr);
                 }
                 // Rename terminator uses.
-                let term = renamed.block(b).terminator.clone();
+                let term = renamed.terminator(b).clone();
                 let new_term = match term {
                     Terminator::Branch {
                         cond,
@@ -265,30 +267,38 @@ pub fn construct_ssa(f: &Function) -> Function {
                     },
                     t @ Terminator::Jump(_) => t,
                 };
-                renamed.block_mut(b).terminator = new_term;
+                *renamed.terminator_mut(b) = new_term;
 
                 // Fill in φ arguments of the successors coming from `b`.
                 for s in renamed.successors(b) {
-                    let ns = renamed.block(s).instrs.len();
+                    let ns = renamed.num_instrs(s);
                     for i in 0..ns {
-                        if let Instr::Phi { dst, args } = renamed.block(s).instrs[i].clone() {
-                            let new_args: Vec<(BlockId, Var)> = args
-                                .iter()
-                                .map(|&(p, v)| {
-                                    if p == b {
-                                        (p, rename_use(v, &stacks, num_orig, &needs_rename))
-                                    } else {
-                                        (p, v)
-                                    }
-                                })
-                                .collect();
-                            renamed.block_mut(s).instrs[i] = Instr::Phi {
+                        let phi = match renamed.instr(s, i) {
+                            InstrView::Phi { dst, args } => Some((
+                                dst,
+                                args.iter().map(|a| (a.pred, a.value)).collect::<Vec<_>>(),
+                            )),
+                            _ => None,
+                        };
+                        let Some((dst, args)) = phi else { break };
+                        let new_args: Vec<(BlockId, Var)> = args
+                            .iter()
+                            .map(|&(p, v)| {
+                                if p == b {
+                                    (p, rename_use(v, &stacks, num_orig, &needs_rename))
+                                } else {
+                                    (p, v)
+                                }
+                            })
+                            .collect();
+                        renamed.replace_instr(
+                            s,
+                            i,
+                            Instr::Phi {
                                 dst,
                                 args: new_args,
-                            };
-                        } else if !renamed.block(s).instrs[i].is_phi() {
-                            break;
-                        }
+                            },
+                        );
                     }
                 }
 
@@ -332,8 +342,13 @@ fn rename_def(
     b: BlockId,
 ) -> Var {
     if d.index() < num_orig && needs_rename[d.index()] {
-        let name = format!("{}_{}", original.var_name(d), b.index());
-        let nv = renamed.new_var(name);
+        let nv = match original.var_name(d) {
+            Some(n) => {
+                let name = format!("{n}_{}", b.index());
+                renamed.new_var(name)
+            }
+            None => renamed.new_var(""),
+        };
         stacks[d.index()].push(nv);
         pushes.push((d.index(), 1));
         nv
@@ -358,16 +373,22 @@ mod tests {
         let x = b.def(entry, "x"); // x = ...
         b.branch(entry, c, then_, else_);
         // then: x = op(x)
-        b.function_mut().block_mut(then_).instrs.push(Instr::Op {
-            dst: Some(x),
-            uses: vec![x],
-        });
+        b.function_mut().push_instr(
+            then_,
+            Instr::Op {
+                dst: Some(x),
+                uses: vec![x],
+            },
+        );
         b.jump(then_, join);
         // else: x = op()
-        b.function_mut().block_mut(else_).instrs.push(Instr::Op {
-            dst: Some(x),
-            uses: vec![],
-        });
+        b.function_mut().push_instr(
+            else_,
+            Instr::Op {
+                dst: Some(x),
+                uses: vec![],
+            },
+        );
         b.jump(else_, join);
         b.ret(join, &[x]);
         b.finish()
@@ -418,10 +439,13 @@ mod tests {
         let i = b.def(entry, "i");
         b.jump(entry, header);
         b.branch(header, c, body, exit);
-        b.function_mut().block_mut(body).instrs.push(Instr::Op {
-            dst: Some(i),
-            uses: vec![i],
-        });
+        b.function_mut().push_instr(
+            body,
+            Instr::Op {
+                dst: Some(i),
+                uses: vec![i],
+            },
+        );
         b.jump(body, header);
         b.ret(exit, &[i]);
         let f = b.finish();
@@ -430,7 +454,7 @@ mod tests {
         assert!(is_ssa(&ssa), "{}", ssa);
         assert!(is_strict(&ssa), "{}", ssa);
         // The loop header needs a φ for i.
-        assert!(ssa.block(header).instrs.iter().any(|ins| ins.is_phi()));
+        assert!(ssa.block_instrs(header).any(|ins| ins.is_phi()));
     }
 
     #[test]
@@ -442,10 +466,13 @@ mod tests {
         let y = b.fresh_var("y");
         let _ = b.op(entry, "x", &[y]);
         b.jump(entry, later);
-        b.function_mut().block_mut(later).instrs.push(Instr::Op {
-            dst: Some(y),
-            uses: vec![],
-        });
+        b.function_mut().push_instr(
+            later,
+            Instr::Op {
+                dst: Some(y),
+                uses: vec![],
+            },
+        );
         b.ret(later, &[]);
         let f = b.finish();
         assert!(is_ssa(&f)); // singly defined...

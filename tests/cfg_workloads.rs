@@ -6,7 +6,7 @@
 use coalesce_gen::cfg::{generate, CfgParams, PressureLevel, ShapeProfile};
 use coalesce_graph::chordal;
 use coalesce_ir::dom::DominatorTree;
-use coalesce_ir::function::{Function, Instr};
+use coalesce_ir::function::{Function, InstrView};
 use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
 use coalesce_ir::liveness::Liveness;
 use coalesce_ir::loops::is_reducible;
@@ -45,19 +45,19 @@ fn defs_dominate_uses(f: &Function) -> Result<(), String> {
         }
     };
     for (b, i, instr) in f.instructions() {
-        if let Instr::Phi { args, .. } = instr {
-            for &(pred, v) in args {
+        if let InstrView::Phi { args, .. } = instr {
+            for a in args {
                 // A φ argument is a use at the end of `pred`.
-                check(v, pred, None)?;
+                check(a.value, a.pred, None)?;
             }
         } else {
-            for v in instr.local_uses() {
+            for &v in instr.local_uses() {
                 check(v, b, Some(i))?;
             }
         }
     }
     for b in f.block_ids() {
-        for v in f.block(b).terminator.uses() {
+        for v in f.terminator(b).uses() {
             check(v, b, None)?;
         }
     }

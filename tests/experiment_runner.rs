@@ -15,6 +15,17 @@ fn serial_sweep() -> &'static [ExperimentReport] {
     SWEEP.get_or_init(|| run_reports(&ExperimentId::ALL, 42, 1))
 }
 
+/// Drops the measured-throughput summary lines (E16's `functions_per_sec`
+/// and `elapsed_ms` vary run to run by construction) so byte-compares only
+/// see the deterministic part of a report.  The CI `cmp` step applies the
+/// same filter before comparing `--jobs 1` and `--jobs 4` artifacts.
+fn mask_timing(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.contains("_per_sec") && !l.contains("elapsed_ms"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// `run-experiments --experiment e1 --seed 42` must reproduce the
 /// committed fixture byte-for-byte.  If this fails because the E1 report
 /// format deliberately changed, regenerate the fixture with
@@ -126,11 +137,11 @@ fn jobs_4_output_is_byte_identical_to_jobs_1_for_all_experiments() {
         ])
         .to_pretty_string()
     };
-    let serial = serialize(serial_sweep());
-    let parallel = serialize(&run_reports(&ExperimentId::ALL, 42, 4));
+    let serial = mask_timing(&serialize(serial_sweep()));
+    let parallel = mask_timing(&serialize(&run_reports(&ExperimentId::ALL, 42, 4)));
     assert_eq!(
         serial, parallel,
-        "--jobs must never change the serialized reports"
+        "--jobs must never change the deterministic report fields"
     );
 }
 
@@ -239,6 +250,113 @@ fn e15_rows_are_byte_identical_for_any_jobs_value() {
         .to_json()
         .to_pretty_string();
     assert_eq!(serial, parallel);
+}
+
+/// `run-experiments --experiment e16 --seed 42` must reproduce the
+/// committed fixture byte-for-byte on every deterministic field (the two
+/// measured-throughput summary lines are masked on both sides).  If this
+/// fails because the E16 report format deliberately changed, regenerate
+/// the fixture with
+/// `run-experiments --experiment e16 --seed 42 --quiet --json tests/fixtures/e16_seed42.json`.
+#[test]
+fn e16_seed_42_matches_the_golden_fixture() {
+    let fixture = mask_timing(include_str!("fixtures/e16_seed42.json"));
+    let current = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E16)
+        .expect("sweep contains e16")
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(
+        mask_timing(&current),
+        fixture,
+        "E16 seed-42 JSON deviates from tests/fixtures/e16_seed42.json"
+    );
+}
+
+/// The E16 fixture parses, covers the full 3-profile × 3-pressure grid
+/// with the whole 1000-function module accounted for, and its invariants
+/// hold: strict SSA everywhere, a sane flat-IR footprint (≥ the 16-byte
+/// instruction record, under 100 bytes/instr), non-negative aggregate
+/// spill fields, the declared wall-clock budget, and a positive measured
+/// throughput.
+#[test]
+fn the_e16_fixture_is_internally_consistent() {
+    let doc = Json::parse(include_str!("fixtures/e16_seed42.json")).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 9, "3 profiles x 3 pressures");
+    let mut cells = std::collections::BTreeSet::new();
+    let mut functions = 0;
+    for row in rows {
+        let profile = row.get("profile").and_then(Json::as_str).unwrap();
+        let pressure = row.get("pressure").and_then(Json::as_str).unwrap();
+        cells.insert((profile.to_owned(), pressure.to_owned()));
+        functions += row.get("functions").and_then(Json::as_u64).unwrap();
+        let bpi = row
+            .get("bytes_per_instr_x100")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(
+            (1600..10_000).contains(&bpi),
+            "{profile}/{pressure}: {bpi} centibytes/instr outside the sane range"
+        );
+        for key in ["spilled", "reloads", "spill_weight", "ir_bytes"] {
+            assert!(
+                row.get(key).and_then(Json::as_u64).is_some(),
+                "{profile}/{pressure}: `{key}` missing or negative"
+            );
+        }
+    }
+    assert_eq!(cells.len(), 9, "grid must cross 3 profiles x 3 pressures");
+    assert_eq!(functions, 1000, "the whole module must be accounted for");
+    let summary = doc.get("summary").unwrap();
+    assert_eq!(
+        summary.get("strict_ssa_all").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        summary.get("budget_ms").and_then(Json::as_u64),
+        ExperimentId::E16.budget_ms(),
+        "the report must embed the declared wall-clock budget"
+    );
+    assert!(summary.get("functions_per_sec").and_then(Json::as_u64) > Some(0));
+}
+
+/// E16's rows must not depend on `--jobs`: the per-function work fans over
+/// the worker pool, and everything except the masked throughput summary
+/// is byte-identical for any jobs value.
+#[test]
+fn e16_rows_are_byte_identical_for_any_jobs_value() {
+    let serial = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E16)
+        .expect("sweep contains e16")
+        .to_json()
+        .to_pretty_string();
+    let parallel = coalesce_bench::run_experiment_with_jobs(ExperimentId::E16, 42, 4)
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(mask_timing(&serial), mask_timing(&parallel));
+}
+
+/// The E16 wall-clock budget: generating, analysing and spilling the whole
+/// 1000-function module must finish within the declared 10-second budget
+/// even serially in debug (release with `--jobs` runs in a fraction of
+/// it).  A per-function superlinearity anywhere in the flat-IR pipeline —
+/// generation, liveness, spilling — blows this immediately at 1000
+/// functions.
+#[test]
+fn e16_module_allocation_stays_within_the_wall_clock_budget() {
+    let start = Instant::now();
+    let report = coalesce_bench::experiments::module::e16_report_with_jobs(42, 1);
+    let elapsed = start.elapsed();
+    assert_eq!(report.rows.len(), 9);
+    let budget = Duration::from_millis(ExperimentId::E16.budget_ms().unwrap());
+    assert!(
+        elapsed < budget,
+        "whole-module allocation took {elapsed:?} (budget: {budget:?}) — check \
+         the flat-IR generation/liveness/spill pipeline for a superlinear step"
+    );
 }
 
 /// Every experiment with a wall-clock guard must embed its declared

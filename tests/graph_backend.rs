@@ -12,7 +12,7 @@
 use coalesce_gen::cfg::{generate, PressureLevel, ShapeProfile};
 use coalesce_gen::graphs::{random_chordal_graph, random_interval_graph};
 use coalesce_graph::{chordal, Graph, VertexId};
-use coalesce_ir::function::{BlockId, Function, Instr, Var};
+use coalesce_ir::function::{BlockId, Function, InstrView, Var};
 use coalesce_ir::liveness::Liveness;
 use coalesce_ir::spill::{spill_everywhere, SpillResult};
 use proptest::prelude::*;
@@ -246,14 +246,13 @@ impl SetLiveness {
                 let b = BlockId::new(bi);
                 let mut out: BTreeSet<Var> = BTreeSet::new();
                 for s in f.successors(b) {
-                    let sblock = f.block(s);
                     let mut from_s = live_in[s.index()].clone();
-                    for phi in sblock.phis() {
-                        if let Instr::Phi { dst, args } = phi {
-                            from_s.remove(dst);
-                            for (p, v) in args {
-                                if *p == b {
-                                    from_s.insert(*v);
+                    for phi in f.phis(s) {
+                        if let InstrView::Phi { dst, args } = phi {
+                            from_s.remove(&dst);
+                            for a in args {
+                                if a.pred == b {
+                                    from_s.insert(a.value);
                                 }
                             }
                         }
@@ -261,15 +260,14 @@ impl SetLiveness {
                     out.extend(from_s);
                 }
                 let mut live = out.clone();
-                let block = f.block(b);
-                for v in block.terminator.uses() {
+                for v in f.terminator(b).uses() {
                     live.insert(v);
                 }
-                for instr in block.instrs.iter().rev() {
+                for instr in f.block_instrs(b).rev() {
                     if let Some(d) = instr.def() {
                         live.remove(&d);
                     }
-                    for u in instr.local_uses() {
+                    for &u in instr.local_uses() {
                         live.insert(u);
                     }
                 }
@@ -321,24 +319,19 @@ fn bitset_liveness_matches_the_btreeset_reference_on_generated_cfgs() {
         // walk too (spot-check the first blocks to keep the test quick).
         for b in f.block_ids().take(16) {
             let points = bitset.live_points(&f, b);
-            let block = f.block(b);
+            let n_instrs = f.num_instrs(b);
             let mut live = reference.live_out[b.index()].clone();
-            for v in block.terminator.uses() {
+            for v in f.terminator(b).uses() {
                 live.insert(v);
             }
             let expect: Vec<Var> = live.iter().copied().collect();
-            let got: Vec<Var> = points[block.instrs.len()].iter().collect();
-            assert_eq!(
-                got,
-                expect,
-                "program {i}: point {} of {b:?}",
-                block.instrs.len()
-            );
-            for (j, instr) in block.instrs.iter().enumerate().rev() {
+            let got: Vec<Var> = points[n_instrs].iter().collect();
+            assert_eq!(got, expect, "program {i}: point {n_instrs} of {b:?}");
+            for (j, instr) in f.block_instrs(b).enumerate().rev() {
                 if let Some(d) = instr.def() {
                     live.remove(&d);
                 }
-                for u in instr.local_uses() {
+                for &u in instr.local_uses() {
                     live.insert(u);
                 }
                 let expect: Vec<Var> = live.iter().copied().collect();
@@ -372,9 +365,9 @@ fn incremental_spill_patch_equals_a_full_recomputation() {
                 .instructions()
                 .any(|(_, _, i)| i.local_uses().contains(&victim))
                 || f.block_ids().any(|b| {
-                    f.block(b).terminator.uses().contains(&victim)
-                        || f.block(b).phis().any(|p| match p {
-                            Instr::Phi { args, .. } => args.iter().any(|(_, v)| *v == victim),
+                    f.terminator(b).uses().contains(&victim)
+                        || f.phis(b).any(|p| match p {
+                            InstrView::Phi { args, .. } => args.iter().any(|a| a.value == victim),
                             _ => false,
                         })
                 });

@@ -1,0 +1,514 @@
+//! Equivalence suite for the PR-6 flat-arena IR backend.
+//!
+//! The flat `Function` (one instruction arena, handle-indexed blocks,
+//! pooled operands) replaced the per-block `Vec<Instr>` layout; these
+//! tests pin the analyses that consume it to verbatim reference
+//! implementations of the old per-block-`Vec` behavior, materialized
+//! through [`Function::block_instrs_owned`]: identical live-in/live-out
+//! sets, identical interference edges and affinities (both interference
+//! kinds), identical spill costs, and an identical spill-victim sequence
+//! from a from-scratch reference spiller — on generated CFG and module
+//! workloads.  This mirrors what `tests/graph_backend.rs` does for the
+//! PR-5 graph and liveness backends.
+
+use coalesce_gen::cfg::{generate, PressureLevel, ShapeProfile};
+use coalesce_gen::module::{module_specs, ModuleParams};
+use coalesce_ir::function::{BlockId, Function, Instr, Var};
+use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
+use coalesce_ir::liveness::Liveness;
+use coalesce_ir::spill::{self, spill_everywhere, SpillResult};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// The old layout, rematerialized: one owned Vec<Instr> per block.
+// ---------------------------------------------------------------------------
+
+/// A function snapshot in the pre-flat layout: per-block owned instruction
+/// vectors.  Every reference implementation below walks these vectors the
+/// way the old passes walked `f.block(b).instrs`.
+struct OwnedBlocks {
+    instrs: Vec<Vec<Instr>>,
+}
+
+impl OwnedBlocks {
+    fn of(f: &Function) -> Self {
+        OwnedBlocks {
+            instrs: f.block_ids().map(|b| f.block_instrs_owned(b)).collect(),
+        }
+    }
+
+    fn block(&self, b: BlockId) -> &[Instr] {
+        &self.instrs[b.index()]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference liveness: the old BTreeSet dataflow over owned blocks.
+// ---------------------------------------------------------------------------
+
+struct RefLiveness {
+    live_in: Vec<BTreeSet<Var>>,
+    live_out: Vec<BTreeSet<Var>>,
+}
+
+impl RefLiveness {
+    /// The old round-robin iterate-to-fixpoint implementation, walking the
+    /// owned per-block vectors.
+    fn compute(f: &Function, owned: &OwnedBlocks) -> Self {
+        let n = f.num_blocks();
+        let mut live_in: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let b = BlockId::new(bi);
+                let mut out: BTreeSet<Var> = BTreeSet::new();
+                for s in f.successors(b) {
+                    let mut from_s = live_in[s.index()].clone();
+                    for phi in owned.block(s).iter().filter(|i| i.is_phi()) {
+                        if let Instr::Phi { dst, args } = phi {
+                            from_s.remove(dst);
+                            for &(pred, value) in args {
+                                if pred == b {
+                                    from_s.insert(value);
+                                }
+                            }
+                        }
+                    }
+                    out.extend(from_s);
+                }
+                let mut live = out.clone();
+                for v in f.terminator(b).uses() {
+                    live.insert(v);
+                }
+                for instr in owned.block(b).iter().rev() {
+                    if let Some(d) = instr.def() {
+                        live.remove(&d);
+                    }
+                    for u in instr.local_uses() {
+                        live.insert(u);
+                    }
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if live != live_in[bi] {
+                    live_in[bi] = live;
+                    changed = true;
+                }
+            }
+        }
+        RefLiveness { live_in, live_out }
+    }
+}
+
+fn assert_same_liveness(f: &Function, flat: &Liveness, reference: &RefLiveness) {
+    for b in f.block_ids() {
+        let flat_in: Vec<Var> = flat.live_in(b).iter().collect();
+        let ref_in: Vec<Var> = reference.live_in[b.index()].iter().copied().collect();
+        assert_eq!(flat_in, ref_in, "live-in of {b:?} diverged");
+        let flat_out: Vec<Var> = flat.live_out(b).iter().collect();
+        let ref_out: Vec<Var> = reference.live_out[b.index()].iter().copied().collect();
+        assert_eq!(flat_out, ref_out, "live-out of {b:?} diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference interference: the old per-block backward walk, verbatim.
+// ---------------------------------------------------------------------------
+
+type EdgeSet = BTreeSet<(Var, Var)>;
+type AffinityMap = BTreeMap<(Var, Var), u64>;
+
+/// The old interference construction over owned instruction vectors: φ
+/// results pairwise and against live-in, definition edges against the
+/// live-after set of a backward walk (with Chaitin's copy exception), and
+/// weight-summed affinity dedup on unordered pairs.
+fn reference_interference(
+    f: &Function,
+    owned: &OwnedBlocks,
+    live: &RefLiveness,
+    kind: InterferenceKind,
+) -> (EdgeSet, AffinityMap) {
+    let mut edges = EdgeSet::new();
+    let add = |a: Var, b: Var, edges: &mut EdgeSet| {
+        if a != b {
+            edges.insert(if a < b { (a, b) } else { (b, a) });
+        }
+    };
+    let mut affinities = AffinityMap::new();
+    let affine = |a: Var, b: Var, w: u64, map: &mut AffinityMap| {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        *map.entry(key).or_insert(0) += w;
+    };
+    for b in f.block_ids() {
+        let weight = 10u64.saturating_pow(f.loop_depth(b));
+        let instrs = owned.block(b);
+
+        let phi_defs: Vec<Var> = instrs
+            .iter()
+            .filter(|i| i.is_phi())
+            .filter_map(|i| i.def())
+            .collect();
+        for (i, &p) in phi_defs.iter().enumerate() {
+            for &q in &phi_defs[i + 1..] {
+                add(p, q, &mut edges);
+            }
+            for &v in &live.live_in[b.index()] {
+                if v != p {
+                    add(p, v, &mut edges);
+                }
+            }
+        }
+
+        // Backward per-point walk: at the top of each loop iteration
+        // `cursor` is exactly the set live after instruction `i`.
+        let mut cursor: BTreeSet<Var> = live.live_out[b.index()].clone();
+        for v in f.terminator(b).uses() {
+            cursor.insert(v);
+        }
+        for instr in instrs.iter().rev() {
+            if let Some(d) = instr.def() {
+                for &v in &cursor {
+                    if v == d {
+                        continue;
+                    }
+                    if kind == InterferenceKind::Chaitin {
+                        if let Instr::Copy { src, .. } = instr {
+                            if v == *src {
+                                continue;
+                            }
+                        }
+                    }
+                    add(d, v, &mut edges);
+                }
+                cursor.remove(&d);
+            }
+            for u in instr.local_uses() {
+                cursor.insert(u);
+            }
+        }
+
+        for instr in instrs {
+            match instr {
+                Instr::Copy { dst, src } if dst != src => {
+                    affine(*dst, *src, weight, &mut affinities);
+                }
+                Instr::Phi { dst, args } => {
+                    for &(pred, value) in args {
+                        if value != *dst {
+                            let w = 10u64.saturating_pow(f.loop_depth(pred));
+                            affine(*dst, value, w, &mut affinities);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (edges, affinities)
+}
+
+fn flat_edges(ig: &InterferenceGraph) -> EdgeSet {
+    ig.graph
+        .edges()
+        .map(|(u, v)| {
+            let (a, b) = (Var::new(u.index()), Var::new(v.index()));
+            if a < b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect()
+}
+
+fn flat_affinities(ig: &InterferenceGraph) -> AffinityMap {
+    ig.affinities
+        .iter()
+        .map(|a| {
+            let key = if a.a <= a.b { (a.a, a.b) } else { (a.b, a.a) };
+            (key, a.weight)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Reference spill costs and the from-scratch reference spiller.
+// ---------------------------------------------------------------------------
+
+/// The old spill-cost computation over owned instruction vectors: a store
+/// at the definition plus a reload per use at `10^loop_depth` (φ arguments
+/// at the predecessor's depth).
+fn reference_spill_costs(f: &Function, owned: &OwnedBlocks) -> Vec<u64> {
+    let mut cost = vec![0u64; f.num_vars()];
+    for b in f.block_ids() {
+        let weight = 10u64.saturating_pow(f.loop_depth(b));
+        for instr in owned.block(b) {
+            if let Some(d) = instr.def() {
+                cost[d.index()] = cost[d.index()].saturating_add(weight);
+            }
+            match instr {
+                Instr::Phi { args, .. } => {
+                    for &(pred, value) in args {
+                        let w = 10u64.saturating_pow(f.loop_depth(pred));
+                        cost[value.index()] = cost[value.index()].saturating_add(w);
+                    }
+                }
+                _ => {
+                    for u in instr.local_uses() {
+                        cost[u.index()] = cost[u.index()].saturating_add(weight);
+                    }
+                }
+            }
+        }
+        for u in f.terminator(b).uses() {
+            cost[u.index()] = cost[u.index()].saturating_add(weight);
+        }
+    }
+    cost
+}
+
+/// Per-block candidate statistics computed from scratch over the owned
+/// layout — the quantities `spill_to_pressure` keeps incrementally.
+#[derive(Default)]
+struct RefBlockStats {
+    contributions: Vec<(Var, u64)>,
+    candidates: Vec<Var>,
+    maxlive: usize,
+}
+
+fn ref_block_stats(
+    f: &Function,
+    owned: &OwnedBlocks,
+    live: &RefLiveness,
+    b: BlockId,
+    k: usize,
+) -> RefBlockStats {
+    let instrs = owned.block(b);
+    let n = instrs.len();
+    let mut stats = RefBlockStats::default();
+    let mut birth: BTreeMap<Var, u32> = BTreeMap::new();
+    let mut cursor: BTreeSet<Var> = live.live_out[b.index()].clone();
+    for u in f.terminator(b).uses() {
+        cursor.insert(u);
+    }
+    for &v in &cursor {
+        birth.insert(v, n as u32);
+    }
+    stats.maxlive = cursor.len();
+    let mut min_over = if cursor.len() > k { n as u32 } else { u32::MAX };
+    for (i, instr) in instrs.iter().enumerate().rev() {
+        if let Some(d) = instr.def() {
+            if !instr.is_phi() {
+                stats.maxlive = stats
+                    .maxlive
+                    .max(cursor.len() + usize::from(!cursor.contains(&d)));
+            }
+            if cursor.remove(&d) {
+                let first = birth[&d];
+                stats.contributions.push((d, u64::from(first) - i as u64));
+                if min_over <= first {
+                    stats.candidates.push(d);
+                }
+            }
+        }
+        for u in instr.local_uses() {
+            if cursor.insert(u) {
+                birth.insert(u, i as u32);
+            }
+        }
+        stats.maxlive = stats.maxlive.max(cursor.len());
+        if cursor.len() > k {
+            min_over = i as u32;
+        }
+    }
+    for &v in &cursor {
+        let first = birth[&v];
+        stats.contributions.push((v, u64::from(first) + 1));
+        if min_over <= first {
+            stats.candidates.push(v);
+        }
+    }
+    let phi_defs = instrs.iter().filter(|i| i.is_phi()).count();
+    if phi_defs > 0 {
+        stats.maxlive = stats.maxlive.max(live.live_in[b.index()].len() + phi_defs);
+    }
+    stats
+}
+
+/// The seed's spiller structure: full liveness fixpoint and whole-function
+/// candidate statistics recomputed from scratch before every victim, over
+/// the owned layout.  The victim comparator and the not-spillable rules
+/// are the ones `spill_to_pressure` uses, so the selected sequence must be
+/// identical; only the mutation primitive (`spill_everywhere`) is shared.
+fn reference_spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
+    let mut result = SpillResult::default();
+    let mut not_spillable: BTreeSet<Var> = BTreeSet::new();
+    let spill_cost = reference_spill_costs(f, &OwnedBlocks::of(f));
+    loop {
+        let owned = OwnedBlocks::of(f);
+        let live = RefLiveness::compute(f, &owned);
+        let mut occurrences = vec![0u64; f.num_vars()];
+        let mut candidates: BTreeSet<Var> = BTreeSet::new();
+        let mut maxlive = 0;
+        for b in f.block_ids() {
+            let s = ref_block_stats(f, &owned, &live, b, k);
+            for &(v, c) in &s.contributions {
+                occurrences[v.index()] += c;
+            }
+            candidates.extend(&s.candidates);
+            maxlive = maxlive.max(s.maxlive);
+        }
+        if maxlive <= k {
+            break;
+        }
+        let candidate = candidates
+            .iter()
+            .copied()
+            .filter(|v| !not_spillable.contains(v))
+            .min_by(|&a, &b| {
+                let (ca, cb) = (spill_cost[a.index()], spill_cost[b.index()]);
+                let (oa, ob) = (occurrences[a.index()], occurrences[b.index()]);
+                (u128::from(ca) * u128::from(ob))
+                    .cmp(&(u128::from(cb) * u128::from(oa)))
+                    .then(ob.cmp(&oa))
+                    .then(a.cmp(&b))
+            });
+        let Some(victim) = candidate else { break };
+        if occurrences[victim.index()] <= 2 {
+            not_spillable.insert(victim);
+            continue;
+        }
+        let vars_before = f.num_vars();
+        spill_everywhere(f, victim, &mut result);
+        not_spillable.insert(victim);
+        not_spillable.extend((vars_before..f.num_vars()).map(Var::new));
+        result.spilled.push(victim);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Workloads: the graph_backend CFG mix plus module-drawn functions.
+// ---------------------------------------------------------------------------
+
+fn workload_functions() -> Vec<Function> {
+    let mut out = Vec::new();
+    for (i, profile) in ShapeProfile::ALL.into_iter().enumerate() {
+        let params = profile.params(PressureLevel::Low.pressure());
+        out.push(generate(&params, &mut coalesce_gen::rng(7 + i as u64)));
+    }
+    let params = ShapeProfile::FpLoopNest.params(PressureLevel::Medium.pressure());
+    out.push(generate(&params, &mut coalesce_gen::rng(23)));
+    out
+}
+
+fn module_functions(seed: u64) -> Vec<Function> {
+    module_specs(&ModuleParams { functions: 6 }, seed)
+        .iter()
+        .map(|s| s.generate())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence tests.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Flat-arena liveness equals the owned-layout BTreeSet reference on
+    /// module-drawn functions of every profile/pressure/size mix.
+    #[test]
+    fn flat_liveness_matches_the_owned_layout_reference(seed in 0u64..48) {
+        for f in module_functions(seed) {
+            let owned = OwnedBlocks::of(&f);
+            let flat = Liveness::compute(&f);
+            let reference = RefLiveness::compute(&f, &owned);
+            assert_same_liveness(&f, &flat, &reference);
+        }
+    }
+
+    /// Flat-arena interference equals the owned-layout reference — same
+    /// edge set and the same weight-summed affinities — under both
+    /// interference definitions.
+    #[test]
+    fn flat_interference_matches_the_owned_layout_reference(seed in 0u64..32) {
+        for f in module_functions(seed * 31 + 1) {
+            let owned = OwnedBlocks::of(&f);
+            let live = Liveness::compute(&f);
+            let reference = RefLiveness::compute(&f, &owned);
+            for kind in [InterferenceKind::Intersection, InterferenceKind::Chaitin] {
+                let ig = InterferenceGraph::build_with(
+                    &f,
+                    &live,
+                    BuildOptions { kind, ..Default::default() },
+                );
+                let (ref_edges, ref_affinities) =
+                    reference_interference(&f, &owned, &reference, kind);
+                prop_assert_eq!(flat_edges(&ig), ref_edges, "{:?} edges", kind);
+                prop_assert_eq!(flat_affinities(&ig), ref_affinities, "{:?} affinities", kind);
+            }
+        }
+    }
+
+    /// Flat-arena spill costs equal the owned-layout reference.
+    #[test]
+    fn flat_spill_costs_match_the_owned_layout_reference(seed in 0u64..48) {
+        for f in module_functions(seed * 17 + 3) {
+            let owned = OwnedBlocks::of(&f);
+            prop_assert_eq!(spill::spill_costs(&f), reference_spill_costs(&f, &owned));
+        }
+    }
+}
+
+/// The incremental spiller picks the same victims in the same order (and
+/// inserts the same number of reloads) as the from-scratch reference
+/// spiller over the owned layout, on every workload profile.
+#[test]
+fn incremental_spiller_matches_the_from_scratch_reference_victim_sequence() {
+    for (i, f) in workload_functions().into_iter().enumerate() {
+        let maxlive = Liveness::compute(&f).maxlive_precise(&f);
+        let k = (maxlive / 2).max(3);
+        let mut flat_f = f.clone();
+        let flat = spill::spill_to_pressure(&mut flat_f, k);
+        let mut ref_f = f.clone();
+        let reference = reference_spill_to_pressure(&mut ref_f, k);
+        assert_eq!(
+            flat.spilled, reference.spilled,
+            "workload {i}: victim sequence diverged at k = {k}"
+        );
+        assert_eq!(flat.reloads, reference.reloads, "workload {i}");
+        assert!(
+            !flat.spilled.is_empty(),
+            "workload {i}: no spill pressure at k = {k}"
+        );
+        // Both rewrites leave valid functions with the same final Maxlive.
+        assert!(flat_f.validate().is_ok() && ref_f.validate().is_ok());
+        assert_eq!(
+            Liveness::compute(&flat_f).maxlive_precise(&flat_f),
+            Liveness::compute(&ref_f).maxlive_precise(&ref_f),
+            "workload {i}"
+        );
+    }
+}
+
+/// Spot-check on module-drawn small functions too: the spiller equivalence
+/// holds across the generator's profile/pressure/size mix.
+#[test]
+fn incremental_spiller_matches_the_reference_on_module_functions() {
+    for f in module_functions(5) {
+        let maxlive = Liveness::compute(&f).maxlive_precise(&f);
+        let k = (maxlive / 2).max(3);
+        let mut flat_f = f.clone();
+        let flat = spill::spill_to_pressure(&mut flat_f, k);
+        let mut ref_f = f.clone();
+        let reference = reference_spill_to_pressure(&mut ref_f, k);
+        assert_eq!(flat.spilled, reference.spilled);
+        assert_eq!(flat.reloads, reference.reloads);
+    }
+}
