@@ -61,4 +61,4 @@ pub mod ssa_based;
 pub use assignment::RegisterAssignment;
 pub use chaitin::{chaitin_allocate, ChaitinConfig, ChaitinOutcome};
 pub use pipeline::{compare_allocators, run_allocator, AllocationReport, AllocatorKind};
-pub use ssa_based::{ssa_allocate, CoalescingStrategy, SsaAllocOutcome};
+pub use ssa_based::{ssa_allocate, ssa_allocate_with_spiller, CoalescingStrategy, SsaAllocOutcome};

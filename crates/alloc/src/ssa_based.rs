@@ -30,7 +30,8 @@ use coalesce_graph::{greedy, VertexId};
 use coalesce_ir::function::{Function, Var};
 use coalesce_ir::interference::InterferenceGraph;
 use coalesce_ir::liveness::Liveness;
-use coalesce_ir::{out_of_ssa, spill, ssa};
+use coalesce_ir::spill::SpillerKind;
+use coalesce_ir::{out_of_ssa, ssa};
 
 /// Which coalescing strategy the second phase uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +104,21 @@ pub struct SsaAllocOutcome {
 /// coalescing strategy.
 ///
 /// The input is converted to SSA first if it is not already in SSA form.
+/// Spilling uses the default [`SpillerKind::PressureGreedy`] strategy; use
+/// [`ssa_allocate_with_spiller`] to pick another spiller from the zoo.
 pub fn ssa_allocate(f: &Function, k: usize, strategy: CoalescingStrategy) -> SsaAllocOutcome {
+    ssa_allocate_with_spiller(f, k, strategy, SpillerKind::PressureGreedy)
+}
+
+/// Like [`ssa_allocate`], with the pressure-lowering phase delegated to an
+/// explicit [`SpillerKind`] (both the main round on the SSA form and the
+/// corrective round after the out-of-SSA translation use it).
+pub fn ssa_allocate_with_spiller(
+    f: &Function,
+    k: usize,
+    strategy: CoalescingStrategy,
+    spiller: SpillerKind,
+) -> SsaAllocOutcome {
     let mut function = if ssa::is_ssa(f) {
         f.clone()
     } else {
@@ -118,12 +133,12 @@ pub fn ssa_allocate(f: &Function, k: usize, strategy: CoalescingStrategy) -> Ssa
     };
 
     // Phase 1: spill to pressure, then translate out of SSA.
-    let spill_result = spill::spill_to_pressure(&mut function, k);
+    let spill_result = spiller.run(&mut function, k);
     out_of_ssa::destruct_ssa(&mut function);
     // Lowering can locally bump the pressure back up (copy cycles need a
     // temporary); one cheap corrective round keeps the promise of the
     // two-phase design as close as the spiller allows.
-    let correction = spill::spill_to_pressure(&mut function, k);
+    let correction = spiller.run(&mut function, k);
 
     let liveness = Liveness::compute(&function);
     let maxlive = liveness.maxlive_precise(&function);
@@ -309,6 +324,35 @@ mod tests {
         assert!(!ssa::is_ssa(&f));
         let outcome = ssa_allocate(&f, 2, CoalescingStrategy::Briggs);
         assert!(outcome.assignment.is_valid(&outcome.function, 2));
+    }
+
+    #[test]
+    fn every_spiller_kind_yields_a_valid_allocation() {
+        let f = diamond_chain();
+        for spiller in SpillerKind::ALL {
+            let outcome =
+                ssa_allocate_with_spiller(&f, 3, CoalescingStrategy::BriggsGeorge, spiller);
+            assert!(
+                outcome.assignment.is_valid(&outcome.function, 3),
+                "{spiller:?}"
+            );
+            assert!(outcome.uncolored.is_empty(), "{spiller:?}");
+        }
+    }
+
+    #[test]
+    fn default_spiller_matches_the_explicit_pressure_greedy_path() {
+        let f = diamond_chain();
+        let a = ssa_allocate(&f, 3, CoalescingStrategy::Briggs);
+        let b = ssa_allocate_with_spiller(
+            &f,
+            3,
+            CoalescingStrategy::Briggs,
+            SpillerKind::PressureGreedy,
+        );
+        assert_eq!(a.spilled_values, b.spilled_values);
+        assert_eq!(a.reloads_inserted, b.reloads_inserted);
+        assert_eq!(a.maxlive, b.maxlive);
     }
 
     #[test]

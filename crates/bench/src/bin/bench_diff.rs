@@ -2,7 +2,7 @@
 //! artifacts (the fresh `BENCH_pr.json` vs the committed baseline).
 //!
 //! ```text
-//! bench-diff BENCH_pr.json BENCH_baseline.json
+//! bench-diff [--require-all] BENCH_pr.json BENCH_baseline.json
 //! ```
 //!
 //! The comparison is deliberately *structural* rather than byte-for-byte:
@@ -10,11 +10,16 @@
 //! boolean `agree` / `equal` / theorem-holds columns and the summary
 //! quantities) must match, while instrumentation counters
 //! (`nodes_expanded`, `memo_*`) may drift as the solver evolves across
-//! PRs.  On top of the baseline comparison, a set of *domain invariants*
+//! PRs.  Experiments are matched *by name*, so a single-experiment
+//! artifact diffs cleanly against the full baseline; the CI full-sweep
+//! diff passes `--require-all`, which additionally fails the run when any
+//! baseline experiment is missing from the current artifact (a sweep that
+//! silently dropped an experiment would otherwise pass every per-pair
+//! check).  On top of the baseline comparison, a set of *domain invariants*
 //! is checked inside the current artifact itself: no coloring may use
 //! fewer colors than `Maxlive` without spilling (the E13 `chordal_colors`
-//! vs `maxlive` columns), and every spill-count field must be a
-//! non-negative number.  Experiments that carry a wall-clock regression
+//! vs `maxlive` columns), and every spill-count field (any `*spill*` key
+//! except the `spiller` strategy label) must be a non-negative number.  Experiments that carry a wall-clock regression
 //! guard embed their declared budget as a `budget_ms` summary field; the
 //! diff checks that every guarded experiment still declares it, that the
 //! value matches the library's [`ExperimentId::budget_ms`] table, and that
@@ -46,34 +51,44 @@ fn experiments_of(doc: &Json) -> Vec<&Json> {
     }
 }
 
-fn compare(current: &Json, baseline: &Json, problems: &mut Vec<String>) {
+fn experiment_name(e: &Json) -> &str {
+    e.get("experiment")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>")
+}
+
+fn compare(current: &Json, baseline: &Json, require_all: bool, problems: &mut Vec<String>) {
     let current_experiments = experiments_of(current);
     let baseline_experiments = experiments_of(baseline);
 
-    let names = |list: &[&Json]| -> Vec<String> {
-        list.iter()
-            .map(|e| {
-                e.get("experiment")
-                    .and_then(Json::as_str)
-                    .unwrap_or("<unnamed>")
-                    .to_owned()
-            })
-            .collect()
-    };
-    let current_names = names(&current_experiments);
-    let baseline_names = names(&baseline_experiments);
-    if current_names != baseline_names {
-        problems.push(format!(
-            "experiment sets differ: current {current_names:?} vs baseline {baseline_names:?}"
-        ));
-        return;
+    // Experiments are matched by name, not position: a single-experiment
+    // artifact is a valid diff input against the full baseline.  An
+    // experiment the baseline has never seen cannot be checked — that is
+    // an error, not a skip.
+    if require_all {
+        for base in &baseline_experiments {
+            let name = experiment_name(base);
+            if !current_experiments
+                .iter()
+                .any(|e| experiment_name(e) == name)
+            {
+                problems.push(format!(
+                    "{name}: baseline experiment missing from the current artifact \
+                     (--require-all)"
+                ));
+            }
+        }
     }
 
-    for (experiment, base) in current_experiments.iter().zip(&baseline_experiments) {
-        let name = experiment
-            .get("experiment")
-            .and_then(Json::as_str)
-            .unwrap_or("<unnamed>");
+    for experiment in &current_experiments {
+        let name = experiment_name(experiment);
+        let Some(base) = baseline_experiments
+            .iter()
+            .find(|e| experiment_name(e) == name)
+        else {
+            problems.push(format!("{name}: experiment not present in the baseline"));
+            continue;
+        };
         let rows = experiment
             .get("rows")
             .and_then(Json::as_array)
@@ -151,7 +166,12 @@ fn check_domain_invariants(context: &str, value: &Json, problems: &mut Vec<Strin
                 }
             }
             for (key, v) in pairs {
-                if key.contains("spill") && !matches!(v, Json::Object(_) | Json::Array(_)) {
+                // `spiller` (a strategy label, e.g. E17's) is the one
+                // spill-related field that is a name, not a quantity.
+                if key.contains("spill")
+                    && !key.contains("spiller")
+                    && !matches!(v, Json::Object(_) | Json::Array(_))
+                {
                     match v.as_u64() {
                         Some(_) => {}
                         None => problems.push(format!(
@@ -190,8 +210,15 @@ fn check_current_invariants(current: &Json, problems: &mut Vec<String>) {
 /// declares a budget for it) must carry the field in its summary with
 /// exactly the declared value, and the current artifact's budget must
 /// never exceed the baseline's.  Experiments absent from the artifact are
-/// not required — single-experiment files are valid diff inputs.
-fn check_budget_fields(current: &Json, baseline: &Json, problems: &mut Vec<String>) {
+/// not required — single-experiment files are valid diff inputs — unless
+/// `--require-all` is in force, where a missing guarded experiment means
+/// its wall-clock guard silently stopped running.
+fn check_budget_fields(
+    current: &Json,
+    baseline: &Json,
+    require_all: bool,
+    problems: &mut Vec<String>,
+) {
     fn report_of(doc: &Json, id: ExperimentId) -> Option<&Json> {
         experiments_of(doc)
             .into_iter()
@@ -208,6 +235,11 @@ fn check_budget_fields(current: &Json, baseline: &Json, problems: &mut Vec<Strin
             continue;
         };
         if report_of(current, id).is_none() {
+            if require_all {
+                problems.push(format!(
+                    "{id}: guarded experiment absent from the current artifact (--require-all)"
+                ));
+            }
             continue;
         }
         match budget_of(current, id) {
@@ -281,9 +313,12 @@ fn load(path: &str) -> Result<Json, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let before = args.len();
+    args.retain(|a| a != "--require-all");
+    let require_all = args.len() != before;
     let [current_path, baseline_path] = args.as_slice() else {
-        eprintln!("usage: bench-diff <current.json> <baseline.json>");
+        eprintln!("usage: bench-diff [--require-all] <current.json> <baseline.json>");
         return ExitCode::FAILURE;
     };
     let (current, baseline) = match (load(current_path), load(baseline_path)) {
@@ -297,9 +332,9 @@ fn main() -> ExitCode {
     };
 
     let mut problems = Vec::new();
-    compare(&current, &baseline, &mut problems);
+    compare(&current, &baseline, require_all, &mut problems);
     check_current_invariants(&current, &mut problems);
-    check_budget_fields(&current, &baseline, &mut problems);
+    check_budget_fields(&current, &baseline, require_all, &mut problems);
     check_throughput_floor(&current, &baseline, &mut problems);
     if problems.is_empty() {
         println!("bench-diff: {current_path} matches the invariants of {baseline_path}");

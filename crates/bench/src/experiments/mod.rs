@@ -1,4 +1,4 @@
-//! The E1–E16 experiments of the reproduction, as reusable library code.
+//! The E1–E17 experiments of the reproduction, as reusable library code.
 //!
 //! Each experiment is a function from a *base seed* to an
 //! [`ExperimentReport`]; base seed 0 reproduces the tables the original
@@ -11,6 +11,7 @@ pub mod module;
 pub mod reductions;
 pub mod regalloc;
 pub mod scaling;
+pub mod spillers;
 pub mod strategies;
 pub mod structure;
 
@@ -26,7 +27,7 @@ pub(crate) fn v(i: usize) -> VertexId {
     VertexId::new(i)
 }
 
-/// Identifier of one experiment (E1–E16).
+/// Identifier of one experiment (E1–E17).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExperimentId {
     /// Theorem 2 / Figure 1: multiway cut vs optimal aggressive coalescing.
@@ -63,11 +64,15 @@ pub enum ExperimentId {
     /// Whole-module parallel allocation over the flat IR: a 1000-function
     /// generated module spilled to tight `k`, fanned over `--jobs`.
     E16,
+    /// Rival spilling strategies: spill-everywhere vs pressure-greedy vs
+    /// Belady MIN over the E13 workload grid and an E16 module slice,
+    /// reporting loop-weighted spill weight and wall clock per spiller.
+    E17,
 }
 
 impl ExperimentId {
     /// Every experiment, in order.
-    pub const ALL: [ExperimentId; 16] = [
+    pub const ALL: [ExperimentId; 17] = [
         ExperimentId::E1,
         ExperimentId::E2,
         ExperimentId::E3,
@@ -84,6 +89,7 @@ impl ExperimentId {
         ExperimentId::E14,
         ExperimentId::E15,
         ExperimentId::E16,
+        ExperimentId::E17,
     ];
 
     /// The wall-clock budget (milliseconds) the experiment's hot path must
@@ -98,6 +104,7 @@ impl ExperimentId {
             ExperimentId::E5 => Some(5_000),
             ExperimentId::E15 => Some(5_000),
             ExperimentId::E16 => Some(10_000),
+            ExperimentId::E17 => Some(10_000),
             _ => None,
         }
     }
@@ -148,6 +155,9 @@ impl ExperimentId {
             ExperimentId::E16 => {
                 "whole-module parallel allocation: 1000-function module over the flat IR"
             }
+            ExperimentId::E17 => {
+                "rival spillers: everywhere vs pressure-greedy vs Belady (weight / wall clock)"
+            }
         }
     }
 
@@ -170,6 +180,7 @@ impl ExperimentId {
             ExperimentId::E14 => "e14",
             ExperimentId::E15 => "e15",
             ExperimentId::E16 => "e16",
+            ExperimentId::E17 => "e17",
         }
     }
 }
@@ -216,7 +227,7 @@ pub fn run_experiment(id: ExperimentId, base_seed: u64) -> ExperimentReport {
 
 /// Runs one experiment with the given base seed, fanning its per-seed /
 /// per-size rows over up to `jobs` worker threads where the experiment
-/// supports it (E1, E4, E5, E7, E13, E14, E15, E16 — the ones whose rows
+/// supports it (E1, E4, E5, E7, E13–E17 — the ones whose rows
 /// are independent and heavy enough to matter).  Row order, and therefore
 /// the serialized report's deterministic fields, is identical for every
 /// `jobs` value (E16's two measured throughput counters are the only
@@ -252,6 +263,7 @@ pub fn run_experiment_filtered(
         ExperimentId::E14 => regalloc::e14_report_filtered(base_seed, jobs, profiles),
         ExperimentId::E15 => scaling::e15_report_with_jobs(base_seed, jobs),
         ExperimentId::E16 => module::e16_report_with_jobs(base_seed, jobs),
+        ExperimentId::E17 => spillers::e17_report_with_jobs(base_seed, jobs),
     };
     // Experiments with a wall-clock regression guard carry their declared
     // budget in the summary so `bench-diff` can cross-check it against the
@@ -313,7 +325,7 @@ mod tests {
                 id
             );
         }
-        assert!("e17".parse::<ExperimentId>().is_err());
+        assert!("e18".parse::<ExperimentId>().is_err());
         assert!("".parse::<ExperimentId>().is_err());
     }
 
@@ -339,6 +351,7 @@ mod tests {
             ExperimentId::E14,
             ExperimentId::E15,
             ExperimentId::E16,
+            ExperimentId::E17,
         ] {
             let serial = mask_timing(
                 &run_experiment_with_jobs(id, 3, 1)

@@ -71,6 +71,14 @@ pub struct CfgParams {
     /// Number of irreducible (two-entry cycle) regions appended after the
     /// structured spine; 0 keeps the CFG reducible by construction.
     pub irreducible_regions: usize,
+    /// Width of the *next-use window*: when non-zero, operands are drawn
+    /// from the `reuse_window` most recently live values instead of the
+    /// whole live set, shortening next-use distances — the quantity
+    /// Belady-style spillers rank values by (E17's locality rows).  `0`
+    /// (the default everywhere) keeps the original unwindowed draw and,
+    /// deliberately, the exact RNG call sequence, so every committed
+    /// fixture and baseline stays byte-identical.
+    pub reuse_window: usize,
 }
 
 impl Default for CfgParams {
@@ -89,6 +97,7 @@ impl Default for CfgParams {
             loop_phis: 2,
             call_percent: 10,
             irreducible_regions: 0,
+            reuse_window: 0,
         }
     }
 }
@@ -143,6 +152,7 @@ impl ShapeProfile {
                 loop_phis: 1,
                 call_percent: 10,
                 irreducible_regions: 0,
+                reuse_window: 0,
             },
             ShapeProfile::FpLoopNest => CfgParams {
                 regions: 2,
@@ -158,6 +168,7 @@ impl ShapeProfile {
                 loop_phis: 3,
                 call_percent: 0,
                 irreducible_regions: 0,
+                reuse_window: 0,
             },
             ShapeProfile::CallHeavy => CfgParams {
                 regions: 4,
@@ -173,6 +184,7 @@ impl ShapeProfile {
                 loop_phis: 1,
                 call_percent: 40,
                 irreducible_regions: 0,
+                reuse_window: 0,
             },
         }
     }
@@ -314,9 +326,18 @@ impl CfgGen<'_> {
         if live.is_empty() {
             return Vec::new();
         }
-        let count = self.rng.gen_range(1..=2.min(live.len()));
+        // With `reuse_window == 0` the window spans the whole live set and
+        // this is the original draw, RNG call for RNG call; a non-zero
+        // window restricts operands to the most recently live values (the
+        // tail of `live`), which shortens next-use distances.
+        let window = match self.params.reuse_window {
+            0 => live.len(),
+            w => w.min(live.len()),
+        };
+        let base = live.len() - window;
+        let count = self.rng.gen_range(1..=2.min(window));
         (0..count)
-            .map(|_| live[self.rng.gen_range(0..live.len())])
+            .map(|_| live[base + self.rng.gen_range(0..window)])
             .collect()
     }
 
@@ -722,6 +743,34 @@ mod tests {
         let ml_low = Liveness::compute(&low).maxlive_precise(&low);
         let ml_high = Liveness::compute(&high).maxlive_precise(&high);
         assert!(ml_high > ml_low, "{ml_high} vs {ml_low}");
+    }
+
+    #[test]
+    fn reuse_window_preserves_strictness_and_shapes_next_use_locality() {
+        // A windowed draw must stay valid strict SSA and actually change
+        // the operand choices relative to the unwindowed default.
+        let base = CfgParams::default();
+        let windowed = CfgParams {
+            reuse_window: 2,
+            ..CfgParams::default()
+        };
+        let f0 = generate(&base, &mut crate::rng(9));
+        let f2 = generate(&windowed, &mut crate::rng(9));
+        check_structure(&f2);
+        assert_ne!(
+            f0.to_string(),
+            f2.to_string(),
+            "a width-2 window must change operand draws"
+        );
+        // A window at least as wide as the live cap is the identity: the
+        // generator trims the live set to `pressure.max(2)` values, so
+        // every draw already sees at most that many.
+        let wide = CfgParams {
+            reuse_window: base.pressure.max(2),
+            ..CfgParams::default()
+        };
+        let fw = generate(&wide, &mut crate::rng(9));
+        assert_eq!(f0.to_string(), fw.to_string());
     }
 
     #[test]

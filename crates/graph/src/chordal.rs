@@ -329,16 +329,18 @@ pub fn chordal_maximal_cliques(g: &Graph) -> Option<Vec<BTreeSet<VertexId>>> {
 pub fn chordal_coloring(g: &Graph) -> Option<Coloring> {
     let order = perfect_elimination_ordering(g)?;
     let mut coloring = Coloring::new(g.capacity());
+    // Epoch-stamped used-color scratch shared across the sweep: same
+    // first-fit choice (hence byte-identical colorings) as the former
+    // per-vertex `BTreeSet`, without the per-vertex allocation.
+    let mut scratch = crate::coloring::ColorScratch::new();
     for &v in order.iter().rev() {
-        let used: BTreeSet<usize> = g
-            .neighbors(v)
-            .filter_map(|u| coloring.color_of(u))
-            .collect();
-        let mut c = 0;
-        while used.contains(&c) {
-            c += 1;
+        scratch.begin();
+        for u in g.neighbors(v) {
+            if let Some(c) = coloring.color_of(u) {
+                scratch.mark(c);
+            }
         }
-        coloring.assign(v, c);
+        coloring.assign(v, scratch.first_free());
     }
     Some(coloring)
 }

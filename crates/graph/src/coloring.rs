@@ -3,6 +3,15 @@
 //! optionally supports *same-color constraints* (the question asked by
 //! incremental conservative coalescing: "is there a `k`-coloring `f` with
 //! `f(x) = f(y)`?").
+//!
+//! The greedy sweeps (here and in [`crate::chordal`]) share the
+//! [`ColorScratch`] epoch-stamped "used colors" array: one `Vec<u32>` slot
+//! per color, stamped with the current vertex's epoch, replacing the
+//! per-vertex `BTreeSet<usize>` allocation of the original implementation.
+//! Marking a neighbor color and finding the first free color are O(1) and
+//! O(colors) array operations with no per-vertex allocation; on the E16
+//! module corpus this roughly halves chordal-coloring time (see the README
+//! for measured numbers), with byte-identical colorings.
 
 use crate::graph::{Graph, VertexId};
 use std::collections::BTreeSet;
@@ -101,23 +110,71 @@ impl Coloring {
     }
 }
 
+/// Reusable epoch-stamped "used colors" scratch for greedy first-fit
+/// coloring sweeps.
+///
+/// One `u32` stamp per color, reused across vertices: a color counts as
+/// used by the current vertex's neighbors iff its stamp equals the current
+/// epoch, so "clearing" the set for the next vertex is a single counter
+/// increment instead of a fresh `BTreeSet` allocation.  The rare epoch
+/// wrap-around zeroes the stamps explicitly, so stale marks can never
+/// alias a live epoch.
+#[derive(Debug, Default)]
+pub struct ColorScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ColorScratch {
+    /// Creates an empty scratch; it grows on demand as colors are marked.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts the next vertex: every color becomes unused.
+    pub fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `color` as used by a neighbor of the current vertex.
+    pub fn mark(&mut self, color: usize) {
+        if color >= self.stamp.len() {
+            self.stamp.resize(color + 1, 0);
+        }
+        self.stamp[color] = self.epoch;
+    }
+
+    /// Smallest color not marked for the current vertex (first fit).
+    pub fn first_free(&self) -> usize {
+        let mut c = 0;
+        while c < self.stamp.len() && self.stamp[c] == self.epoch {
+            c += 1;
+        }
+        c
+    }
+}
+
 /// Colors the vertices of `g` greedily in the given order: each vertex gets
 /// the smallest color unused by its already-colored neighbors.
 ///
 /// This is the coloring scheme of Chaitin-like allocators (the "select"
-/// phase), applied to an arbitrary order.
+/// phase), applied to an arbitrary order.  The used-color set is tracked
+/// in a [`ColorScratch`] shared across the sweep.
 pub fn greedy_coloring_in_order(g: &Graph, order: &[VertexId]) -> Coloring {
     let mut coloring = Coloring::new(g.capacity());
+    let mut scratch = ColorScratch::new();
     for &v in order {
-        let used: BTreeSet<usize> = g
-            .neighbors(v)
-            .filter_map(|u| coloring.color_of(u))
-            .collect();
-        let mut c = 0;
-        while used.contains(&c) {
-            c += 1;
+        scratch.begin();
+        for u in g.neighbors(v) {
+            if let Some(c) = coloring.color_of(u) {
+                scratch.mark(c);
+            }
         }
-        coloring.assign(v, c);
+        coloring.assign(v, scratch.first_free());
     }
     coloring
 }
@@ -217,6 +274,21 @@ mod tests {
         assert!(!c.is_proper(&g));
         c.assign(1.into(), 1);
         assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn color_scratch_epochs_reset_between_vertices() {
+        let mut s = ColorScratch::new();
+        s.begin();
+        s.mark(0);
+        s.mark(1);
+        s.mark(3);
+        assert_eq!(s.first_free(), 2);
+        s.begin();
+        // Previous epoch's marks are gone without any clearing work.
+        assert_eq!(s.first_free(), 0);
+        s.mark(0);
+        assert_eq!(s.first_free(), 1);
     }
 
     #[test]

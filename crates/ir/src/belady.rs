@@ -1,0 +1,781 @@
+//! Braun–Hack-style Belady (`MIN`) spilling for SSA-form programs.
+//!
+//! Where the Chaitin-style spiller of [`crate::spill`] picks whole-range
+//! victims by loop-weighted cost/benefit, this pass ports Belady's `MIN`
+//! page-replacement rule to register allocation, following Braun & Hack
+//! (*Register Spilling and Live-Range Splitting for SSA-form Programs*):
+//! walk each block with a model of the `k`-entry register file `W`, and
+//! whenever a value must enter a full `W`, evict the resident value whose
+//! *next use* is furthest away.
+//!
+//! Three ingredients make the local rule work on whole programs:
+//!
+//! * **next-use distances** at block boundaries ([`NextUse`]): a backward
+//!   min-plus fixpoint gives, for every block, the distance (in
+//!   instruction slots) from its entry and from its exit to the nearest
+//!   upcoming use of each value.  Edges that leave a loop are penalised
+//!   with [`LOOP_EXIT_DISTANCE`], so a value whose only future use lies
+//!   past the loop looks "far" everywhere inside it and is evicted before
+//!   anything the loop itself touches;
+//! * **live-range splitting at block boundaries**: the register-file model
+//!   is rebuilt at every block entry, and a spilled value is reloaded into
+//!   one fresh temporary *per block in which the model actually reloads
+//!   it*, starting at the first non-resident use and serving every later
+//!   use in that block (including terminator uses and φ-arguments toward
+//!   successors), so no reload temporary outlives its block except along
+//!   the φ-edges it explicitly feeds;
+//! * **a global spill set, iterated to a fixpoint**: once a value is
+//!   evicted anywhere it is treated as memory-resident *everywhere*, and
+//!   the per-block scans are repeated with the accumulated victims until a
+//!   round adds none — without this, a block inside a loop could spill a
+//!   value an earlier-scanned block already decided to keep in a register
+//!   for the next iteration, and the two models would disagree across the
+//!   back edge.  The rewrite then replaces exactly the uses the fixpoint
+//!   model served from memory; uses made while the value was still
+//!   resident keep the original variable, so the rewritten pressure tracks
+//!   the modelled register file point for point, and every reload
+//!   temporary's live range is contained in the victim's original one —
+//!   the rewrite never increases the pressure at any program point.
+//!
+//! The pass is wired into the strategy zoo as
+//! [`SpillerKind::Belady`](crate::spill::SpillerKind::Belady) and compared
+//! against the other spillers in experiment E17.
+
+use crate::function::{BlockId, Function, Instr, InstrView, Terminator, Var};
+use crate::spill::SpillResult;
+use std::collections::BTreeMap;
+
+/// Extra next-use distance charged to an edge that leaves a loop (the
+/// successor's loop depth is smaller than the block's).
+///
+/// Any use only reachable through such an edge happens at most once per
+/// loop *execution* rather than once per iteration, so it should lose
+/// every eviction contest against values the loop itself still needs.
+/// The constant merely has to dominate realistic in-loop distances; it is
+/// added with saturating arithmetic, so nested exits cannot overflow.
+pub const LOOP_EXIT_DISTANCE: u64 = 100_000;
+
+/// Sentinel distance for "no further use on any path".
+const INFINITE: u64 = u64::MAX;
+
+/// Next-use distances at block boundaries, in instruction slots.
+///
+/// Distances follow the conventions of the per-block scan: inside a block
+/// of `n` instructions, ordinary instruction `i` is at distance `i` from
+/// the entry, the terminator at `n`, and crossing the block costs `n + 1`
+/// slots.  A φ-argument toward a successor counts as a use at distance 0
+/// past the predecessor's exit (plus the loop-exit penalty of the edge, if
+/// any); φ-results are definitions at their block's entry and therefore
+/// never appear in that block's entry map.
+#[derive(Debug, Clone)]
+pub struct NextUse {
+    /// `entry[b][v]` — distance from the entry of block `b` to the nearest
+    /// use of `v`.  For strict SSA input the key set is exactly the
+    /// live-in set of `b`.
+    pub entry: Vec<BTreeMap<Var, u64>>,
+    /// `exit[b][v]` — distance from the exit of block `b` (past its
+    /// terminator) to the nearest use of `v` on any outgoing path.
+    pub exit: Vec<BTreeMap<Var, u64>>,
+}
+
+fn merge_min(m: &mut BTreeMap<Var, u64>, v: Var, d: u64) {
+    let e = m.entry(v).or_insert(u64::MAX);
+    if d < *e {
+        *e = d;
+    }
+}
+
+impl NextUse {
+    /// Computes the boundary next-use distances of `f` by a backward
+    /// min-plus fixpoint (a shortest-distance problem: all block lengths
+    /// are positive, so the iteration converges).
+    pub fn compute(f: &Function) -> NextUse {
+        let nb = f.num_blocks();
+        let mut entry: Vec<BTreeMap<Var, u64>> = vec![BTreeMap::new(); nb];
+        let mut exit: Vec<BTreeMap<Var, u64>> = vec![BTreeMap::new(); nb];
+        loop {
+            let mut changed = false;
+            for bi in (0..nb).rev() {
+                let b = BlockId::new(bi);
+                let n = f.num_instrs(b) as u64;
+                // Exit map: best distance over all outgoing edges.
+                let mut out: BTreeMap<Var, u64> = BTreeMap::new();
+                for s in f.successors(b) {
+                    let penalty = if f.loop_depth(s) < f.loop_depth(b) {
+                        LOOP_EXIT_DISTANCE
+                    } else {
+                        0
+                    };
+                    for (&v, &d) in &entry[s.index()] {
+                        merge_min(&mut out, v, d.saturating_add(penalty));
+                    }
+                    // φ-arguments along this edge are used right at the
+                    // predecessor's exit.
+                    for phi in f.phis(s) {
+                        if let InstrView::Phi { args, .. } = phi {
+                            for a in args {
+                                if a.pred == b {
+                                    merge_min(&mut out, a.value, penalty);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Entry map: local backward transfer over the block.
+                let mut m: BTreeMap<Var, u64> = BTreeMap::new();
+                for (&v, &d) in &out {
+                    m.insert(v, (n + 1).saturating_add(d));
+                }
+                for u in f.terminator(b).uses() {
+                    merge_min(&mut m, u, n);
+                }
+                for (i, instr) in f.block_instrs(b).enumerate().rev() {
+                    if let Some(d) = instr.def() {
+                        m.remove(&d);
+                    }
+                    for &u in instr.local_uses() {
+                        m.insert(u, i as u64);
+                    }
+                }
+                if out != exit[bi] {
+                    exit[bi] = out;
+                    changed = true;
+                }
+                if m != entry[bi] {
+                    entry[bi] = m;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return NextUse { entry, exit };
+            }
+        }
+    }
+}
+
+/// One value of the modelled register file `W`.
+#[derive(Debug, Clone)]
+struct Resident {
+    /// The (original) variable this register holds.
+    var: Var,
+    /// Distance from the current block's entry to its next use.
+    next_use: u64,
+    /// A per-block reload temporary: it *is* the spill access, so it can
+    /// never itself be evicted.
+    pinned: bool,
+}
+
+/// Evicts the evictable resident with the furthest next use (ties broken
+/// toward the higher variable index, deterministically).  Pinned reload
+/// temporaries and the `protect`ed operands of the current instruction are
+/// never evicted; returns `None` when nothing can go (the register file is
+/// then allowed to overflow — the same structural floor the other spillers
+/// hit when one instruction's operands alone exceed `k`).
+fn evict_furthest(w: &mut Vec<Resident>, protect: &[Var]) -> Option<Resident> {
+    let mut best: Option<usize> = None;
+    for (j, r) in w.iter().enumerate() {
+        if r.pinned || protect.contains(&r.var) {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(bj) => (r.next_use, r.var) > (w[bj].next_use, w[bj].var),
+        };
+        if better {
+            best = Some(j);
+        }
+    }
+    best.map(|j| w.swap_remove(j))
+}
+
+/// Spills variables of `f` towards `Maxlive ≤ k` with the Belady `MIN`
+/// rule and rewrites `f` in place (one reload temporary per block and
+/// spilled value — live-range splitting at block boundaries).  Returns the
+/// spilled variables in decision order.
+///
+/// Like the other spillers, the result can stay above `k` at structurally
+/// forced points; for this pass the floor is its own result at `k = 0`
+/// (spill everything through the same one-reload-per-block rewrite): a
+/// reload temporary stays live between a block's first and last served
+/// use of its victim, so overlapping reload spans can congest a point no
+/// matter what `k` is, on top of the operand/φ pressure no spiller can
+/// remove.  One further slot is conceded at definitions whose value
+/// bypasses the register file — a dead result, or one whose own next use
+/// is the furthest of all (Belady then stores it right after the
+/// definition) — because the store still occupies the defining register
+/// at that single point.  `tests/ir_backend.rs` pins the resulting
+/// contract: `maxlive_precise ≤ max(k + 1, the pass's own k = 0 floor)`.
+pub fn spill_belady(f: &mut Function, k: usize) -> SpillResult {
+    let decisions = belady_decisions(f, k);
+    rewrite_spilled(f, decisions)
+}
+
+/// What phase 1 decided: the victims in decision order, plus — per (block,
+/// victim) — the position of the first use the model had to serve from
+/// memory in that block (`n` for a block of `n` instructions when the
+/// first such use is the terminator or an outgoing φ-argument).  The
+/// rewrite places each reload temporary exactly there; uses before that
+/// point were served by the still-resident original value and keep it.
+struct BeladyDecisions {
+    order: Vec<Var>,
+    reloads: BTreeMap<(usize, Var), u64>,
+}
+
+/// Phase 1 (analysis only): which values end up in memory, in the order
+/// the decisions were made, and where each block first reloads them.
+///
+/// The per-block scans are iterated to a fixpoint of the global spill
+/// set.  A single pass is not enough: the blocks are scanned in index
+/// order, so a block inside a loop can spill a value whose next-iteration
+/// use an earlier-scanned block already decided to serve from a register —
+/// the two models then disagree across the back edge, and the value would
+/// stay live through the spilling block.  Re-scanning with the
+/// accumulated victims (which only grow, so the iteration terminates)
+/// makes every block see the same memory-resident set; at the fixpoint
+/// every surviving direct use is a resident use, which is what lets the
+/// modelled register file bound the rewritten pressure.
+fn belady_decisions(f: &Function, k: usize) -> BeladyDecisions {
+    let next_use = NextUse::compute(f);
+    let mut spilled = vec![false; f.num_vars()];
+    let mut order: Vec<Var> = Vec::new();
+    loop {
+        let victims_before = order.len();
+        let reloads = belady_scan(f, k, &next_use, &mut spilled, &mut order);
+        if order.len() == victims_before {
+            return BeladyDecisions { order, reloads };
+        }
+    }
+}
+
+/// One decision round: scans every block against the current global spill
+/// set (extending it), and returns the reload positions this round would
+/// imply.
+fn belady_scan(
+    f: &Function,
+    k: usize,
+    next_use: &NextUse,
+    spilled: &mut [bool],
+    order: &mut Vec<Var>,
+) -> BTreeMap<(usize, Var), u64> {
+    let mut reloads: BTreeMap<(usize, Var), u64> = BTreeMap::new();
+    for b in f.block_ids() {
+        let n = f.num_instrs(b);
+        // Local use positions per variable, in increasing order:
+        // instruction index for ordinary uses, `n` for terminator uses and
+        // φ-arguments toward successors (both happen at the block's end
+        // and are served by the same per-block reload temporary).
+        let mut use_pos: BTreeMap<Var, Vec<u64>> = BTreeMap::new();
+        for (i, instr) in f.block_instrs(b).enumerate() {
+            for &u in instr.local_uses() {
+                use_pos.entry(u).or_default().push(i as u64);
+            }
+        }
+        for u in f.terminator(b).uses() {
+            use_pos.entry(u).or_default().push(n as u64);
+        }
+        for s in f.successors(b) {
+            for phi in f.phis(s) {
+                if let InstrView::Phi { args, .. } = phi {
+                    for a in args {
+                        if a.pred == b {
+                            use_pos.entry(a.value).or_default().push(n as u64);
+                        }
+                    }
+                }
+            }
+        }
+        let exit_b = &next_use.exit[b.index()];
+        // Next use of `v` strictly after position `pos`; `local_only`
+        // stops at the block's end (the horizon of a reload temporary),
+        // otherwise the exit distance extends the search across the
+        // boundary.
+        let next_after = |v: Var, pos: i64, local_only: bool| -> u64 {
+            if let Some(ps) = use_pos.get(&v) {
+                for &p in ps {
+                    if (p as i64) > pos {
+                        return p;
+                    }
+                }
+            }
+            if local_only {
+                return INFINITE;
+            }
+            match exit_b.get(&v) {
+                Some(&d) => (n as u64 + 1).saturating_add(d),
+                None => INFINITE,
+            }
+        };
+
+        // Block entry: φ-results are defined here no matter what — even
+        // the dead or already-spilled ones occupy a register at the entry
+        // point (they are all simultaneously live with the live-in set),
+        // so they consume entry capacity without entering `W`.  Then the
+        // nearest-used live-in values fill the remaining capacity; the
+        // rest start (or stay) in memory.
+        let mut w: Vec<Resident> = Vec::new();
+        let mut entry_overhead = 0usize;
+        for phi in f.phis(b) {
+            if let Some(d) = phi.def() {
+                if spilled[d.index()] {
+                    entry_overhead += 1;
+                    continue;
+                }
+                let nu = next_after(d, -1, false);
+                if nu == INFINITE {
+                    entry_overhead += 1;
+                    continue;
+                }
+                w.push(Resident {
+                    var: d,
+                    next_use: nu,
+                    pinned: false,
+                });
+            }
+        }
+        let entry_capacity = k.saturating_sub(entry_overhead);
+        let mut entries: Vec<(u64, Var)> = next_use.entry[b.index()]
+            .iter()
+            .filter(|(v, _)| !spilled[v.index()])
+            .map(|(&v, &d)| (d, v))
+            .collect();
+        entries.sort_unstable();
+        for (_, v) in entries {
+            if w.len() < entry_capacity {
+                let nu = next_after(v, -1, false);
+                w.push(Resident {
+                    var: v,
+                    next_use: nu,
+                    pinned: false,
+                });
+            } else if !spilled[v.index()] {
+                spilled[v.index()] = true;
+                order.push(v);
+            }
+        }
+
+        // Forward scan: ordinary instructions, then the block's end point
+        // (terminator uses plus outgoing φ-arguments) as position `n`.
+        for (i, instr) in f.block_instrs(b).enumerate() {
+            if instr.is_phi() {
+                continue;
+            }
+            let mut uses: Vec<Var> = instr.local_uses().to_vec();
+            uses.sort_unstable();
+            uses.dedup();
+            // Every operand must be resident; spilled (or evicted-here)
+            // operands enter as pinned reload temporaries.
+            for &u in &uses {
+                if w.iter().any(|r| r.var == u) {
+                    continue;
+                }
+                if !spilled[u.index()] {
+                    spilled[u.index()] = true;
+                    order.push(u);
+                }
+                if w.len() >= k {
+                    if let Some(evicted) = evict_furthest(&mut w, &uses) {
+                        if !spilled[evicted.var.index()] {
+                            spilled[evicted.var.index()] = true;
+                            order.push(evicted.var);
+                        }
+                    }
+                }
+                reloads.entry((b.index(), u)).or_insert(i as u64);
+                w.push(Resident {
+                    var: u,
+                    next_use: next_after(u, i as i64, true),
+                    pinned: true,
+                });
+            }
+            // Operands consumed: advance their next use, drop the dead.
+            w.retain_mut(|r| {
+                if !uses.contains(&r.var) {
+                    return true;
+                }
+                r.next_use = next_after(r.var, i as i64, r.pinned);
+                r.next_use != INFINITE
+            });
+            // The result takes a register of its own — unless its own next
+            // use is the furthest of all (then Belady's rule spills the
+            // freshly defined value itself: store after the definition,
+            // reload at its distant uses).
+            if let Some(d) = instr.def() {
+                if !spilled[d.index()] && !w.iter().any(|r| r.var == d) {
+                    let nu = next_after(d, i as i64, false);
+                    if nu != INFINITE {
+                        let mut insert = true;
+                        if w.len() >= k {
+                            let protect = uses.clone();
+                            let best = w
+                                .iter()
+                                .filter(|r| !r.pinned && !protect.contains(&r.var))
+                                .map(|r| (r.next_use, r.var))
+                                .max();
+                            match best {
+                                Some(b) if b > (nu, d) => {
+                                    let evicted = evict_furthest(&mut w, &protect)
+                                        .expect("a furthest evictable resident exists");
+                                    if !spilled[evicted.var.index()] {
+                                        spilled[evicted.var.index()] = true;
+                                        order.push(evicted.var);
+                                    }
+                                }
+                                _ => {
+                                    // The definition itself is the
+                                    // furthest-used (or nothing can go):
+                                    // it starts its life in memory.
+                                    spilled[d.index()] = true;
+                                    order.push(d);
+                                    insert = false;
+                                }
+                            }
+                        }
+                        if insert {
+                            w.push(Resident {
+                                var: d,
+                                next_use: nu,
+                                pinned: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Block end: terminator uses and φ-arguments toward successors.
+        let mut end_uses: Vec<Var> = f.terminator(b).uses();
+        for s in f.successors(b) {
+            for phi in f.phis(s) {
+                if let InstrView::Phi { args, .. } = phi {
+                    for a in args {
+                        if a.pred == b {
+                            end_uses.push(a.value);
+                        }
+                    }
+                }
+            }
+        }
+        end_uses.sort_unstable();
+        end_uses.dedup();
+        for &u in &end_uses {
+            if w.iter().any(|r| r.var == u) {
+                continue;
+            }
+            if !spilled[u.index()] {
+                spilled[u.index()] = true;
+                order.push(u);
+            }
+            if w.len() >= k {
+                if let Some(evicted) = evict_furthest(&mut w, &end_uses) {
+                    if !spilled[evicted.var.index()] {
+                        spilled[evicted.var.index()] = true;
+                        order.push(evicted.var);
+                    }
+                }
+            }
+            reloads.entry((b.index(), u)).or_insert(n as u64);
+            w.push(Resident {
+                var: u,
+                next_use: n as u64,
+                pinned: true,
+            });
+        }
+        // W is discarded here: the next block rebuilds it from its own
+        // entry state (live-range splitting at the boundary).
+    }
+    reloads
+}
+
+/// Phase 2: rewrites the uses the model served from memory through one
+/// reload temporary per (block, value), placed at the block's first
+/// recorded reload position and covering every later use in the block
+/// (ordinary, terminator, and φ-arguments toward successors).  Uses before
+/// that position were made while the value was still resident and keep the
+/// original variable.  The original definitions are kept (they are the
+/// stores), and every temporary's live range is contained in the victim's
+/// original one.
+fn rewrite_spilled(f: &mut Function, decisions: BeladyDecisions) -> SpillResult {
+    let mut result = SpillResult {
+        spilled: decisions.order,
+        reloads: 0,
+    };
+    // Group the recorded reloads per block: `(position, victim)` pairs.
+    let mut events: Vec<Vec<(u64, Var)>> = vec![Vec::new(); f.num_blocks()];
+    for (&(bi, v), &p) in &decisions.reloads {
+        events[bi].push((p, v));
+    }
+    let block_ids: Vec<BlockId> = f.block_ids().collect();
+    for b in block_ids {
+        if events[b.index()].is_empty() {
+            continue;
+        }
+        let n = f.num_instrs(b) as u64;
+        // Allocate the temporaries.  A use at position `i` is served by
+        // the temporary iff `i >= pos_of[victim]`; terminator uses and
+        // φ-arguments sit at position `n`, past every recorded position.
+        let mut temp_of: BTreeMap<Var, Var> = BTreeMap::new();
+        let mut pos_of: BTreeMap<Var, u64> = BTreeMap::new();
+        for &(p, v) in &events[b.index()] {
+            let t = f.derive_var(v, "_reload");
+            temp_of.insert(v, t);
+            pos_of.insert(v, p);
+            result.reloads += 1;
+        }
+        // Rewrite the ordinary uses (position-gated) and the terminator,
+        // before any insertion shifts the indices.
+        for i in 0..f.num_instrs(b) {
+            let view = f.instr(b, i);
+            let served = |u: &Var| -> bool { pos_of.get(u).is_some_and(|&p| i as u64 >= p) };
+            if view.is_phi() || !view.local_uses().iter().any(served) {
+                continue;
+            }
+            let new_instr = match f.instr(b, i).to_instr() {
+                Instr::Op { dst, uses } => Instr::Op {
+                    dst,
+                    uses: uses
+                        .into_iter()
+                        .map(|u| if served(&u) { temp_of[&u] } else { u })
+                        .collect(),
+                },
+                Instr::Copy { dst, src } => Instr::Copy {
+                    dst,
+                    src: if served(&src) { temp_of[&src] } else { src },
+                },
+                phi @ Instr::Phi { .. } => phi,
+            };
+            f.replace_instr(b, i, new_instr);
+        }
+        if f.terminator(b)
+            .uses()
+            .iter()
+            .any(|u| temp_of.contains_key(u))
+        {
+            let new_term = match f.terminator(b).clone() {
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => Terminator::Branch {
+                    cond: temp_of.get(&cond).copied().unwrap_or(cond),
+                    then_block,
+                    else_block,
+                },
+                Terminator::Return { uses } => Terminator::Return {
+                    uses: uses
+                        .into_iter()
+                        .map(|u| temp_of.get(&u).copied().unwrap_or(u))
+                        .collect(),
+                },
+                t @ Terminator::Jump(_) => t,
+            };
+            *f.terminator_mut(b) = new_term;
+        }
+        // Rewrite φ-arguments in the successors: the per-block temporary
+        // is defined before the block's end, so it is a legal value along
+        // every outgoing edge.
+        let succs: Vec<BlockId> = f.successors(b);
+        for s in succs {
+            for i in 0..f.num_phis_in(s) {
+                let rewrite_phi = match f.instr(s, i) {
+                    InstrView::Phi { dst, args }
+                        if args
+                            .iter()
+                            .any(|a| a.pred == b && temp_of.contains_key(&a.value)) =>
+                    {
+                        Some((
+                            dst,
+                            args.iter().map(|a| (a.pred, a.value)).collect::<Vec<_>>(),
+                        ))
+                    }
+                    _ => None,
+                };
+                if let Some((dst, mut args)) = rewrite_phi {
+                    for (p, v) in args.iter_mut() {
+                        if *p == b {
+                            if let Some(&t) = temp_of.get(v) {
+                                *v = t;
+                            }
+                        }
+                    }
+                    f.replace_instr(s, i, Instr::Phi { dst, args });
+                }
+            }
+        }
+        // Insert the reload definitions, highest position first so the
+        // recorded indices stay valid; position `n` (a first use at the
+        // terminator or along an outgoing edge) appends at the block's
+        // end.
+        let mut by_pos = events[b.index()].clone();
+        by_pos.sort_unstable_by(|a, b| b.cmp(a));
+        for (p, v) in by_pos {
+            let t = temp_of[&v];
+            if p >= n {
+                f.emit_op(b, Some(t), &[]);
+            } else {
+                f.insert_instr(
+                    b,
+                    p as usize,
+                    Instr::Op {
+                        dst: Some(t),
+                        uses: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+    debug_assert!(f.validate().is_ok());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionBuilder;
+    use crate::liveness::Liveness;
+
+    #[test]
+    fn next_use_distances_in_a_straight_line_block() {
+        let mut b = FunctionBuilder::new("line");
+        let entry = b.entry_block();
+        let x = b.def(entry, "x"); // position 0
+        let y = b.def(entry, "y"); // position 1
+        let _z = b.op(entry, "z", &[x]); // position 2: uses x
+        b.ret(entry, &[y]); // terminator at position 3
+        let f = b.finish();
+        let nu = NextUse::compute(&f);
+        // Nothing is live at the function entry, and the exit of the only
+        // block has no successors.
+        assert!(nu.entry[0].is_empty());
+        assert!(nu.exit[0].is_empty());
+    }
+
+    #[test]
+    fn next_use_crosses_blocks_and_charges_loop_exits() {
+        // entry -> body (depth 1) -> body | exit; `far` is used only in
+        // `exit`, `near` inside `body`.
+        let mut b = FunctionBuilder::new("loop");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.set_loop_depth(body, 1);
+        let far = b.def(entry, "far");
+        let near = b.def(entry, "near");
+        let c = b.def(entry, "c");
+        b.jump(entry, body);
+        b.effect(body, &[near]);
+        b.branch(body, c, body, exit);
+        b.effect(exit, &[far]);
+        b.ret(exit, &[]);
+        let f = b.finish();
+        let nu = NextUse::compute(&f);
+        let body_entry = &nu.entry[body.index()];
+        // `near` is used at the body's first instruction; `far` only past
+        // the loop exit, so its distance carries the penalty.
+        assert_eq!(body_entry.get(&near), Some(&0));
+        assert!(*body_entry.get(&far).unwrap() >= LOOP_EXIT_DISTANCE);
+        assert!(*body_entry.get(&far).unwrap() < INFINITE);
+    }
+
+    #[test]
+    fn belady_prefers_evicting_the_furthest_value() {
+        // Three values live across a long stretch, k = 2: the one whose
+        // use comes last must be the one spilled.
+        let mut b = FunctionBuilder::new("minrule");
+        let entry = b.entry_block();
+        let a = b.def(entry, "a");
+        let m = b.def(entry, "m");
+        let z = b.def(entry, "z");
+        b.effect(entry, &[a]);
+        b.effect(entry, &[m]);
+        b.effect(entry, &[z]);
+        b.ret(entry, &[]);
+        let mut f = b.finish();
+        let result = spill_belady(&mut f, 2);
+        assert!(f.validate().is_ok());
+        assert!(
+            result.spilled.contains(&z),
+            "expected the furthest-used value to be spilled, got {:?}",
+            result.spilled
+        );
+        assert!(!result.spilled.contains(&a));
+    }
+
+    #[test]
+    fn belady_keeps_loop_resident_values_over_loop_idle_ones() {
+        // Same shape as the greedy spiller's loop test: `idle` crosses the
+        // loop unused, `hot` is used every iteration.  The loop-exit
+        // penalty must make Belady evict `idle`.
+        let mut b = FunctionBuilder::new("loop_belady");
+        let entry = b.entry_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.set_loop_depth(body, 1);
+        let idle = b.def(entry, "idle");
+        let hot = b.def(entry, "hot");
+        let c = b.def(entry, "c");
+        b.jump(entry, body);
+        let t = b.op(body, "t", &[hot]);
+        b.effect(body, &[t, hot]);
+        b.branch(body, c, body, exit);
+        b.effect(exit, &[idle, hot]);
+        b.ret(exit, &[]);
+        let mut f = b.finish();
+        let result = spill_belady(&mut f, 3);
+        assert!(f.validate().is_ok());
+        assert!(
+            result.spilled.contains(&idle),
+            "expected `idle` to be spilled, got {:?}",
+            result.spilled
+        );
+        assert!(!result.spilled.contains(&hot));
+    }
+
+    #[test]
+    fn belady_rewrite_never_increases_pressure() {
+        let mut b = FunctionBuilder::new("noninc");
+        let entry = b.entry_block();
+        let vars: Vec<Var> = (0..8).map(|i| b.def(entry, format!("v{i}"))).collect();
+        for pair in vars.chunks(2) {
+            b.effect(entry, pair);
+        }
+        b.ret(entry, &[vars[0]]);
+        let mut f = b.finish();
+        let before = Liveness::compute(&f).maxlive_precise(&f);
+        let _ = spill_belady(&mut f, 3);
+        assert!(f.validate().is_ok());
+        let after = Liveness::compute(&f).maxlive_precise(&f);
+        assert!(after <= before, "pressure rose from {before} to {after}");
+    }
+
+    #[test]
+    fn belady_splits_ranges_at_block_boundaries() {
+        // A value used in two far-apart blocks gets one reload temp per
+        // using block once spilled, not a single long-lived one.
+        let mut b = FunctionBuilder::new("split");
+        let entry = b.entry_block();
+        let mid = b.new_block();
+        let last = b.new_block();
+        let x = b.def(entry, "x");
+        let vars: Vec<Var> = (0..4).map(|i| b.def(entry, format!("v{i}"))).collect();
+        b.effect(entry, &vars);
+        b.jump(entry, mid);
+        b.effect(mid, &[x]);
+        b.jump(mid, last);
+        b.effect(last, &[x]);
+        b.ret(last, &[]);
+        let mut f = b.finish();
+        let result = spill_belady(&mut f, 2);
+        assert!(f.validate().is_ok());
+        if result.spilled.contains(&x) {
+            // One reload per using block.
+            let x_name = f.var_name(x).unwrap().to_owned();
+            let reloads_for_x = (0..f.num_vars())
+                .map(Var::new)
+                .filter(|v| {
+                    f.var_name(*v)
+                        .is_some_and(|n| n.starts_with(&format!("{x_name}_reload")))
+                })
+                .count();
+            assert_eq!(reloads_for_x, 2);
+        }
+    }
+}

@@ -18,9 +18,12 @@
 //! * [`out_of_ssa`]: φ elimination with critical-edge splitting, producing
 //!   the register-to-register moves whose removal is the aggressive
 //!   coalescing problem;
-//! * [`spill`]: simple spilling passes used to lower register pressure to a
+//! * [`spill`]: spilling passes used to lower register pressure to a
 //!   target `k` before the coloring/coalescing phase (the "two-phase"
-//!   allocator setting of Appel–George and Hack et al.).
+//!   allocator setting of Appel–George and Hack et al.), plus the
+//!   [`spill::SpillerKind`] strategy zoo;
+//! * [`belady`]: Braun–Hack-style Belady `MIN` spilling driven by next-use
+//!   distances, with live-range splitting at block boundaries.
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod belady;
 pub mod dom;
 pub mod function;
 pub mod interference;

@@ -359,6 +359,139 @@ fn e16_module_allocation_stays_within_the_wall_clock_budget() {
     );
 }
 
+/// `run-experiments --experiment e17 --seed 42` must reproduce the
+/// committed fixture byte-for-byte on every deterministic field (the
+/// per-spiller and total wall-clock summary lines are masked on both
+/// sides).  If this fails because the E17 report format deliberately
+/// changed, regenerate the fixture with
+/// `run-experiments --experiment e17 --seed 42 --quiet --json tests/fixtures/e17_seed42.json`.
+#[test]
+fn e17_seed_42_matches_the_golden_fixture() {
+    let fixture = mask_timing(include_str!("fixtures/e17_seed42.json"));
+    let current = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E17)
+        .expect("sweep contains e17")
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(
+        mask_timing(&current),
+        fixture,
+        "E17 seed-42 JSON deviates from tests/fixtures/e17_seed42.json"
+    );
+}
+
+/// The E17 fixture parses and the rival-spiller sweep is complete and
+/// sane: every grid cell ran under all three strategies, the module slice
+/// accounts for the same functions under each, every strategy honoured
+/// the pressure contract (`maxlive_after ≤ k + 1` on grid cells, where
+/// the cell's `k` is far above any structural floor), and the naive
+/// spill-everywhere baseline never beats a rival on loop-weighted spill
+/// weight (it spills whole candidate sets at once — if a rival ever costs
+/// more, its cost model regressed).
+#[test]
+fn the_e17_fixture_is_internally_consistent() {
+    let doc = Json::parse(include_str!("fixtures/e17_seed42.json")).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    let spiller_of = |r: &Json| r.get("spiller").and_then(Json::as_str).unwrap().to_owned();
+    let grid: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("scope").and_then(Json::as_str) == Some("grid"))
+        .collect();
+    let module: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("scope").and_then(Json::as_str) == Some("module"))
+        .collect();
+    assert_eq!(grid.len(), 30, "10 grid cells x 3 spillers");
+    assert_eq!(module.len(), 3, "one module aggregate per spiller");
+    let mut cells = std::collections::BTreeSet::new();
+    for row in &grid {
+        cells.insert((
+            spiller_of(row),
+            row.get("profile")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned(),
+            row.get("pressure")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned(),
+            row.get("reuse_window").and_then(Json::as_u64).unwrap(),
+        ));
+        let k = row.get("k").and_then(Json::as_u64).unwrap();
+        let after = row.get("maxlive_after").and_then(Json::as_u64).unwrap();
+        let before = row.get("maxlive").and_then(Json::as_u64).unwrap();
+        assert!(
+            after <= before,
+            "spilling must never raise the precise Maxlive"
+        );
+        assert!(
+            after <= k + 1,
+            "{}: maxlive_after {after} above k + 1 = {}",
+            spiller_of(row),
+            k + 1
+        );
+    }
+    assert_eq!(cells.len(), 30, "every (spiller, cell) pair exactly once");
+    for rows in [&grid, &module] {
+        let weight = |name: &str| -> u64 {
+            rows.iter()
+                .filter(|r| spiller_of(r) == name)
+                .map(|r| r.get("spill_weight").and_then(Json::as_u64).unwrap())
+                .sum()
+        };
+        let everywhere = weight("everywhere");
+        assert!(weight("pressure-greedy") <= everywhere);
+        assert!(weight("belady") <= everywhere);
+    }
+    for row in &module {
+        assert_eq!(row.get("functions").and_then(Json::as_u64), Some(150));
+        assert!(row.get("within_k").and_then(Json::as_u64).unwrap() <= 150);
+    }
+    let summary = doc.get("summary").unwrap();
+    assert_eq!(
+        summary.get("budget_ms").and_then(Json::as_u64),
+        ExperimentId::E17.budget_ms(),
+        "the report must embed the declared wall-clock budget"
+    );
+}
+
+/// E17's rows must not depend on `--jobs`: the grid cells and module
+/// functions fan over the worker pool, and everything except the masked
+/// wall-clock summary lines is byte-identical for any jobs value.
+#[test]
+fn e17_rows_are_byte_identical_for_any_jobs_value() {
+    let serial = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E17)
+        .expect("sweep contains e17")
+        .to_json()
+        .to_pretty_string();
+    let parallel = coalesce_bench::run_experiment_with_jobs(ExperimentId::E17, 42, 4)
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(mask_timing(&serial), mask_timing(&parallel));
+}
+
+/// The E17 wall-clock budget: running all three spillers over the full
+/// grid and the 150-function module slice must finish within the declared
+/// 10-second budget even serially in debug.  A superlinear step in any
+/// spiller — the Belady fixpoint rounds included — blows this immediately.
+#[test]
+fn e17_rival_spillers_stay_within_the_wall_clock_budget() {
+    let start = Instant::now();
+    let report = coalesce_bench::experiments::spillers::e17_report_with_jobs(42, 1);
+    let elapsed = start.elapsed();
+    assert_eq!(report.rows.len(), 33);
+    let budget = Duration::from_millis(ExperimentId::E17.budget_ms().unwrap());
+    assert!(
+        elapsed < budget,
+        "the rival-spiller sweep took {elapsed:?} (budget: {budget:?}) — \
+         check the spillers (including the Belady decision fixpoint) for a \
+         superlinear step"
+    );
+}
+
 /// Every experiment with a wall-clock guard must embed its declared
 /// `budget_ms` in the summary — the field `bench-diff` cross-checks
 /// against the baseline artifact.

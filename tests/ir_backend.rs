@@ -10,15 +10,23 @@
 //! from a from-scratch reference spiller — on generated CFG and module
 //! workloads.  This mirrors what `tests/graph_backend.rs` does for the
 //! PR-5 graph and liveness backends.
+//!
+//! PR 7 adds the Belady spiller: its boundary next-use distances are
+//! pinned to an independent per-variable Dijkstra reference (the pass
+//! itself uses a min-plus fixpoint over whole maps), and every
+//! [`spill::SpillerKind`] is held to the common pressure contract
+//! `Maxlive ≤ max(k, structural floor)`.
 
 use coalesce_gen::cfg::{generate, PressureLevel, ShapeProfile};
 use coalesce_gen::module::{module_specs, ModuleParams};
+use coalesce_ir::belady::{NextUse, LOOP_EXIT_DISTANCE};
 use coalesce_ir::function::{BlockId, Function, Instr, Var};
 use coalesce_ir::interference::{BuildOptions, InterferenceGraph, InterferenceKind};
 use coalesce_ir::liveness::Liveness;
-use coalesce_ir::spill::{self, spill_everywhere, SpillResult};
+use coalesce_ir::spill::{self, spill_everywhere, SpillResult, SpillerKind};
 use proptest::prelude::*;
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 // ---------------------------------------------------------------------------
 // The old layout, rematerialized: one owned Vec<Instr> per block.
@@ -393,6 +401,147 @@ fn reference_spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
 }
 
 // ---------------------------------------------------------------------------
+// Reference next-use distances: per-variable Dijkstra over block exits.
+// ---------------------------------------------------------------------------
+
+/// An independent implementation of the [`NextUse`] boundary distances.
+///
+/// Where `NextUse::compute` iterates whole `BTreeMap`s to a min-plus
+/// fixpoint, this reference treats each variable separately as a
+/// shortest-path problem over block exits: the local summaries
+/// (entry-visible first use, kill set) are extracted per block from the
+/// owned layout, and the exit distances are settled by Dijkstra with the
+/// block-crossing cost `n + 1` and the loop-exit penalty as edge weights.
+/// Same conventions: ordinary use at its instruction index, terminator at
+/// `n`, φ-arguments toward a successor at distance 0 past the
+/// predecessor's exit.
+fn reference_next_use(f: &Function, owned: &OwnedBlocks) -> NextUse {
+    let nb = f.num_blocks();
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); nb];
+    for b in f.block_ids() {
+        for s in f.successors(b) {
+            preds[s.index()].push(b);
+        }
+    }
+    // Local summaries: first entry-visible use position per variable (φ
+    // results are defined at the entry, so a definition anywhere hides all
+    // later local uses), and the set of variables the block (re)defines.
+    let mut local_first: Vec<BTreeMap<Var, u64>> = vec![BTreeMap::new(); nb];
+    let mut killed: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); nb];
+    for b in f.block_ids() {
+        let instrs = owned.block(b);
+        for (i, instr) in instrs.iter().enumerate() {
+            for u in instr.local_uses() {
+                if !killed[b.index()].contains(&u) {
+                    local_first[b.index()].entry(u).or_insert(i as u64);
+                }
+            }
+            if let Some(d) = instr.def() {
+                killed[b.index()].insert(d);
+            }
+        }
+        for u in f.terminator(b).uses() {
+            if !killed[b.index()].contains(&u) {
+                local_first[b.index()]
+                    .entry(u)
+                    .or_insert(instrs.len() as u64);
+            }
+        }
+    }
+    // φ-arguments per CFG edge: a use at distance 0 past the predecessor's
+    // exit.
+    let mut edge_phi: BTreeMap<(usize, usize), BTreeSet<Var>> = BTreeMap::new();
+    for s in f.block_ids() {
+        for instr in owned.block(s).iter().filter(|i| i.is_phi()) {
+            if let Instr::Phi { args, .. } = instr {
+                for &(pred, value) in args {
+                    edge_phi
+                        .entry((pred.index(), s.index()))
+                        .or_default()
+                        .insert(value);
+                }
+            }
+        }
+    }
+    let penalty = |b: BlockId, s: BlockId| -> u64 {
+        if f.loop_depth(s) < f.loop_depth(b) {
+            LOOP_EXIT_DISTANCE
+        } else {
+            0
+        }
+    };
+
+    let mut exit: Vec<BTreeMap<Var, u64>> = vec![BTreeMap::new(); nb];
+    for vi in 0..f.num_vars() {
+        let v = Var::new(vi);
+        let mut dist: Vec<u64> = vec![u64::MAX; nb];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // Multi-source initialization: uses visible without crossing a
+        // whole successor (φ-arguments on the edge, entry-visible local
+        // uses of the successor).
+        for b in f.block_ids() {
+            let mut best = u64::MAX;
+            for s in f.successors(b) {
+                let p = penalty(b, s);
+                if edge_phi
+                    .get(&(b.index(), s.index()))
+                    .is_some_and(|set| set.contains(&v))
+                {
+                    best = best.min(p);
+                }
+                if let Some(&d) = local_first[s.index()].get(&v) {
+                    best = best.min(p.saturating_add(d));
+                }
+            }
+            if best < u64::MAX {
+                dist[b.index()] = best;
+                heap.push(Reverse((best, b.index())));
+            }
+        }
+        // Settle: crossing block `b` costs `n_b + 1` plus the edge penalty
+        // into it, and is only possible where `b` does not redefine `v`.
+        while let Some(Reverse((d, bi))) = heap.pop() {
+            if d > dist[bi] {
+                continue;
+            }
+            if killed[bi].contains(&v) {
+                continue;
+            }
+            let through = (owned.block(BlockId::new(bi)).len() as u64 + 1).saturating_add(d);
+            for &p in &preds[bi] {
+                let cand = penalty(p, BlockId::new(bi)).saturating_add(through);
+                if cand < dist[p.index()] {
+                    dist[p.index()] = cand;
+                    heap.push(Reverse((cand, p.index())));
+                }
+            }
+        }
+        for (bi, &d) in dist.iter().enumerate() {
+            if d != u64::MAX {
+                exit[bi].insert(v, d);
+            }
+        }
+    }
+
+    let mut entry: Vec<BTreeMap<Var, u64>> = vec![BTreeMap::new(); nb];
+    for bi in 0..nb {
+        entry[bi] = local_first[bi].clone();
+        let n = owned.block(BlockId::new(bi)).len() as u64;
+        for (&v, &d) in &exit[bi] {
+            if killed[bi].contains(&v) {
+                continue;
+            }
+            let through = (n + 1).saturating_add(d);
+            let e = entry[bi].entry(v).or_insert(u64::MAX);
+            if through < *e {
+                *e = through;
+            }
+        }
+    }
+    NextUse { entry, exit }
+}
+
+// ---------------------------------------------------------------------------
 // Workloads: the graph_backend CFG mix plus module-drawn functions.
 // ---------------------------------------------------------------------------
 
@@ -462,6 +611,73 @@ proptest! {
         for f in module_functions(seed * 17 + 3) {
             let owned = OwnedBlocks::of(&f);
             prop_assert_eq!(spill::spill_costs(&f), reference_spill_costs(&f, &owned));
+        }
+    }
+
+    /// The Belady pass's min-plus fixpoint boundary distances equal the
+    /// per-variable Dijkstra reference on module-drawn functions.
+    #[test]
+    fn next_use_fixpoint_matches_the_dijkstra_reference(seed in 0u64..32) {
+        for f in module_functions(seed * 13 + 11) {
+            let owned = OwnedBlocks::of(&f);
+            let fixpoint = NextUse::compute(&f);
+            let reference = reference_next_use(&f, &owned);
+            for b in f.block_ids() {
+                prop_assert_eq!(
+                    &fixpoint.entry[b.index()],
+                    &reference.entry[b.index()],
+                    "entry map of {:?} diverged", b
+                );
+                prop_assert_eq!(
+                    &fixpoint.exit[b.index()],
+                    &reference.exit[b.index()],
+                    "exit map of {:?} diverged", b
+                );
+            }
+        }
+    }
+
+    /// Every spiller in the zoo upholds the common pressure contract on
+    /// module-drawn functions: a valid rewrite whose precise `Maxlive` is
+    /// at most `max(k + 1, the strategy's own floor)`, where the floor is
+    /// the strategy's result at `k = 0` — the pressure that survives
+    /// spilling *everything spillable* through that strategy's own rewrite
+    /// (one instruction's operands, or a block entry's simultaneously-live
+    /// φ-results, can alone exceed `k`; Belady's one-reload-per-block
+    /// splitting keeps a temporary alive between a block's first and last
+    /// served use of a victim; and the greedy spiller's reload temporaries
+    /// are themselves unspillable — no run of the same strategy can go
+    /// below what its own rewrite leaves behind).  The `+ 1` concedes the
+    /// slot a spilled value's store still occupies at its single
+    /// definition point under the *precise* metric, which charges dead
+    /// definitions too (see `spill_belady`).  The spilled set and reload
+    /// count of each strategy must also be reproducible.
+    #[test]
+    fn every_spiller_meets_the_pressure_target_up_to_the_floor(seed in 0u64..24) {
+        for f in module_functions(seed * 29 + 5) {
+            let maxlive = Liveness::compute(&f).maxlive_precise(&f);
+            let k = (maxlive / 2).max(3);
+            for spiller in SpillerKind::ALL {
+                let mut floor_f = f.clone();
+                let _ = spiller.run(&mut floor_f, 0);
+                let floor = Liveness::compute(&floor_f).maxlive_precise(&floor_f);
+                let mut g = f.clone();
+                let result = spiller.run(&mut g, k);
+                prop_assert!(g.validate().is_ok(), "{} broke the function", spiller.name());
+                let after = Liveness::compute(&g).maxlive_precise(&g);
+                prop_assert!(
+                    after <= (k + 1).max(floor),
+                    "{}: Maxlive {} above max(k + 1 = {}, floor = {})",
+                    spiller.name(), after, k + 1, floor
+                );
+                let mut g2 = f.clone();
+                let result2 = spiller.run(&mut g2, k);
+                prop_assert_eq!(
+                    result.spilled, result2.spilled,
+                    "{} victim sequence not reproducible", spiller.name()
+                );
+                prop_assert_eq!(result.reloads, result2.reloads);
+            }
         }
     }
 }
