@@ -60,5 +60,8 @@ pub mod ssa_based;
 
 pub use assignment::RegisterAssignment;
 pub use chaitin::{chaitin_allocate, ChaitinConfig, ChaitinOutcome};
-pub use pipeline::{compare_allocators, run_allocator, AllocationReport, AllocatorKind};
+pub use pipeline::{
+    compare_allocators, run_allocator, run_allocator_with_artifacts, AllocationArtifacts,
+    AllocationReport, AllocatorKind,
+};
 pub use ssa_based::{ssa_allocate, ssa_allocate_with_spiller, CoalescingStrategy, SsaAllocOutcome};

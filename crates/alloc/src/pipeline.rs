@@ -7,7 +7,7 @@
 //! one [`AllocationReport`] per configuration — the rows of the printed
 //! tables.
 
-use crate::assignment::MoveCosts;
+use crate::assignment::{MoveCosts, RegisterAssignment};
 use crate::chaitin::{chaitin_allocate, ChaitinConfig};
 use crate::ssa_based::{ssa_allocate, CoalescingStrategy};
 use coalesce_ir::function::Function;
@@ -101,8 +101,25 @@ impl fmt::Display for AllocationReport {
     }
 }
 
-/// Runs one allocator configuration on `f` with `k` registers.
-pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationReport {
+/// The concrete outputs of one allocator run: the final lowered function
+/// and the register assignment over its variables.  [`run_allocator`]
+/// summarises these into an [`AllocationReport`]; the verifier audits them
+/// directly.
+#[derive(Debug)]
+pub struct AllocationArtifacts {
+    /// The final function, with spill/reload code inserted.
+    pub function: Function,
+    /// The final register assignment over `function`'s variables.
+    pub assignment: RegisterAssignment,
+}
+
+/// Runs one allocator configuration on `f` with `k` registers, returning
+/// both the summary report and the final function + assignment.
+pub fn run_allocator_with_artifacts(
+    f: &Function,
+    k: usize,
+    kind: AllocatorKind,
+) -> (AllocationReport, AllocationArtifacts) {
     let lowered_maxlive = |function: &Function| {
         coalesce_ir::liveness::Liveness::compute(function).maxlive_precise(function)
     };
@@ -110,7 +127,7 @@ pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationR
         AllocatorKind::ChaitinBriggs => {
             let outcome = chaitin_allocate(f, ChaitinConfig::new(k));
             let moves = outcome.assignment.move_costs(&outcome.function);
-            AllocationReport {
+            let report = AllocationReport {
                 kind,
                 registers: k,
                 valid: outcome.assignment.is_valid(&outcome.function, k),
@@ -125,12 +142,19 @@ pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationR
                 moves,
                 registers_used: outcome.assignment.registers_used(),
                 maxlive: lowered_maxlive(&outcome.function),
-            }
+            };
+            (
+                report,
+                AllocationArtifacts {
+                    function: outcome.function,
+                    assignment: outcome.assignment,
+                },
+            )
         }
         AllocatorKind::SsaBased(strategy) => {
             let outcome = ssa_allocate(f, k, strategy);
             let moves = outcome.assignment.move_costs(&outcome.function);
-            AllocationReport {
+            let report = AllocationReport {
                 kind,
                 registers: k,
                 valid: outcome.assignment.is_valid(&outcome.function, k),
@@ -139,9 +163,21 @@ pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationR
                 moves,
                 registers_used: outcome.assignment.registers_used(),
                 maxlive: outcome.maxlive,
-            }
+            };
+            (
+                report,
+                AllocationArtifacts {
+                    function: outcome.function,
+                    assignment: outcome.assignment,
+                },
+            )
         }
     }
+}
+
+/// Runs one allocator configuration on `f` with `k` registers.
+pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationReport {
+    run_allocator_with_artifacts(f, k, kind).0
 }
 
 /// Runs every allocator configuration on `f` with `k` registers.

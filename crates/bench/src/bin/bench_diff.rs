@@ -32,15 +32,66 @@
 use coalesce_bench::{ExperimentId, Json};
 use std::process::ExitCode;
 
-/// Summary/row keys that are allowed to drift between runs: search
-/// instrumentation and measured wall-clock throughput, not paper
-/// invariants.  Throughput is still guarded — by the floor check in
-/// [`check_throughput_floor`], not by equality.
+/// How one exempted field class is treated by the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Exemption {
+    /// Measured instrumentation: exempt from equality.  Throughput is
+    /// still guarded — by the floor check in [`check_throughput_floor`],
+    /// not by equality.
+    PerfCounter,
+    /// A name, not a quantity: exempt from the numeric domain checks
+    /// (e.g. E17's `spiller` strategy column among the `*spill*` keys).
+    Label,
+}
+
+/// A key pattern of the exemption table.
+#[derive(Debug, Clone, Copy)]
+enum Matcher {
+    Contains(&'static str),
+    EndsWith(&'static str),
+}
+
+impl Matcher {
+    fn matches(self, key: &str) -> bool {
+        match self {
+            Matcher::Contains(needle) => key.contains(needle),
+            Matcher::EndsWith(suffix) => key.ends_with(suffix),
+        }
+    }
+}
+
+/// The single source of truth for field exemptions: every key that the
+/// structural comparison treats specially, with the class deciding *how*.
+/// First match wins; keys matching nothing are fully checked invariants.
+const EXEMPTIONS: &[(Matcher, Exemption)] = &[
+    // Search instrumentation: drifts as the solver evolves across PRs.
+    (Matcher::Contains("nodes_expanded"), Exemption::PerfCounter),
+    (Matcher::Contains("memo"), Exemption::PerfCounter),
+    // Measured wall clock and throughput (E16's `functions_per_sec`,
+    // the `*_elapsed_ms` counters of E16/E17).
+    (Matcher::EndsWith("_per_sec"), Exemption::PerfCounter),
+    (Matcher::Contains("elapsed"), Exemption::PerfCounter),
+    // Strategy labels: `spiller` is the one spill-related key that is a
+    // name, not a quantity.
+    (Matcher::Contains("spiller"), Exemption::Label),
+];
+
+/// Looks a key up in [`EXEMPTIONS`] (first match wins).
+fn exemption_of(key: &str) -> Option<Exemption> {
+    EXEMPTIONS
+        .iter()
+        .find(|(matcher, _)| matcher.matches(key))
+        .map(|&(_, class)| class)
+}
+
+/// Summary/row keys that are allowed to drift between runs.
 fn is_perf_counter(key: &str) -> bool {
-    key.contains("nodes_expanded")
-        || key.contains("memo")
-        || key.ends_with("_per_sec")
-        || key.contains("elapsed")
+    exemption_of(key) == Some(Exemption::PerfCounter)
+}
+
+/// Keys that hold names rather than quantities.
+fn is_label(key: &str) -> bool {
+    exemption_of(key) == Some(Exemption::Label)
 }
 
 fn experiments_of(doc: &Json) -> Vec<&Json> {
@@ -166,10 +217,8 @@ fn check_domain_invariants(context: &str, value: &Json, problems: &mut Vec<Strin
                 }
             }
             for (key, v) in pairs {
-                // `spiller` (a strategy label, e.g. E17's) is the one
-                // spill-related field that is a name, not a quantity.
                 if key.contains("spill")
-                    && !key.contains("spiller")
+                    && !is_label(key)
                     && !matches!(v, Json::Object(_) | Json::Array(_))
                 {
                     match v.as_u64() {
@@ -345,5 +394,86 @@ fn main() -> ExitCode {
         }
         eprintln!("bench-diff: {} problem(s)", problems.len());
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumentation_and_wall_clock_keys_are_perf_counters() {
+        for key in [
+            "nodes_expanded",
+            "exact_nodes_expanded",
+            "memo_hits",
+            "memo_entries",
+            "functions_per_sec",
+            "elapsed_ms",
+            "everywhere_elapsed_ms",
+            "pressure-greedy_elapsed_ms",
+            "belady_elapsed_ms",
+        ] {
+            assert!(is_perf_counter(key), "{key} must be exempt from equality");
+            assert!(!is_label(key), "{key} is a counter, not a label");
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_labels_not_quantities() {
+        assert!(is_label("spiller"));
+        assert!(!is_perf_counter("spiller"));
+    }
+
+    #[test]
+    fn spill_quantities_stay_fully_checked() {
+        for key in [
+            "spilled",
+            "total_spilled",
+            "spill_weight",
+            "aggregate_spill_weight",
+            "irc_spills",
+            "everywhere_spill_weight",
+        ] {
+            assert_eq!(
+                exemption_of(key),
+                None,
+                "{key} is an invariant and must not be exempted"
+            );
+        }
+    }
+
+    #[test]
+    fn unexempted_invariants_are_compared() {
+        for key in ["chordal", "maxlive", "all_assignments_valid", "rows"] {
+            assert_eq!(exemption_of(key), None);
+        }
+    }
+
+    #[test]
+    fn first_match_wins_in_table_order() {
+        // A hypothetical key matching both a counter pattern and the
+        // label pattern resolves to the earlier (counter) entry, keeping
+        // it exempt from equality like the old hand-written logic did.
+        assert_eq!(
+            exemption_of("spiller_elapsed_total"),
+            Some(Exemption::PerfCounter)
+        );
+    }
+
+    #[test]
+    fn domain_check_accepts_labels_and_rejects_bad_quantities() {
+        let good = Json::object([
+            ("spiller", Json::from("belady")),
+            ("spill_weight", Json::from(7u64)),
+        ]);
+        let mut problems = Vec::new();
+        check_domain_invariants("row", &good, &mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+
+        let bad = Json::object([("spill_weight", Json::from("seven"))]);
+        check_domain_invariants("row", &bad, &mut problems);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("spill_weight"));
     }
 }

@@ -16,8 +16,10 @@
 
 use coalesce_bench::corpus::{collect_corpus_paths, run_corpus, CorpusConfig};
 use coalesce_bench::experiments::UnknownExperiment;
+use coalesce_bench::verify::{verify_corpus, verify_experiment};
 use coalesce_bench::{run_reports_filtered, ExperimentId, Json};
 use coalesce_gen::cfg::{ShapeProfile, UnknownProfile};
+use coalesce_verify::VerifyLevel;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,6 +43,12 @@ OPTIONS:
                         instead of running experiments; repeatable.  Rows are
                         streamed as JSON Lines to --json (default: stdout)
     --batch <N>         Corpus instances processed per batch (default: 64)
+    --verify <LEVEL>    Audit the pipeline boundaries after the run by
+                        regenerating each experiment's inputs and checking
+                        them against independent reference implementations
+                        (off, boundaries, paranoid; default: off).  Exits
+                        nonzero if any violation is found; the JSON report
+                        is unaffected
     --quiet             Suppress the human-readable tables on stdout
     --list              List experiment ids and titles, then exit
     --help              Show this help
@@ -54,6 +62,7 @@ struct Options {
     json_path: Option<String>,
     corpus: Vec<PathBuf>,
     batch_size: usize,
+    verify: VerifyLevel,
     quiet: bool,
 }
 
@@ -65,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut json_path = None;
     let mut corpus: Vec<PathBuf> = Vec::new();
     let mut batch_size: Option<usize> = None;
+    let mut verify = VerifyLevel::Off;
     let mut quiet = false;
 
     let mut iter = args.iter();
@@ -129,6 +139,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                         .ok_or(format!("--batch expects a positive integer, got `{value}`"))?,
                 );
             }
+            "--verify" => verify = value_for("--verify")?.parse()?,
             "--quiet" | "-q" => quiet = true,
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
@@ -178,6 +189,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         json_path,
         corpus,
         batch_size: batch_size.unwrap_or(64),
+        verify,
         quiet,
     }))
 }
@@ -219,6 +231,26 @@ fn run_corpus_mode(options: &Options) -> ExitCode {
             summary.and_then(|s| writer.flush().map(|()| s))
         }
     };
+    // Certificate audit of the corpus claims: re-parse each instance
+    // independently of the streamed pipeline, so the JSON Lines output
+    // above is untouched.
+    if options.verify.is_on() {
+        let flagged = verify_corpus(&paths, options.verify);
+        if !flagged.is_empty() {
+            for (path, violations) in &flagged {
+                for v in violations {
+                    eprintln!("verify: {}: {v}", path.display());
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+        if !options.quiet {
+            eprintln!(
+                "verify: corpus certificates clean at level `{}`",
+                options.verify
+            );
+        }
+    }
     match summary {
         Ok(summary) => {
             if !options.quiet {
@@ -297,6 +329,31 @@ fn main() -> ExitCode {
             }
         }
         None => {}
+    }
+
+    // Boundary verification: regenerate each experiment's pipeline from
+    // the same seeds and audit it against the independent reference
+    // implementations.  The report above is already written — the audit
+    // can only fail the process, never change the JSON.
+    if options.verify.is_on() {
+        let mut total = 0usize;
+        for &id in &options.experiments {
+            let violations = verify_experiment(id, options.seed, options.verify, options.jobs);
+            for v in &violations {
+                eprintln!("verify: {}: {v}", id.as_str());
+            }
+            total += violations.len();
+        }
+        if total > 0 {
+            eprintln!("verify: {total} violation(s) found");
+            return ExitCode::FAILURE;
+        }
+        if !options.quiet {
+            eprintln!(
+                "verify: all pipeline boundaries clean at level `{}`",
+                options.verify
+            );
+        }
     }
 
     ExitCode::SUCCESS

@@ -285,12 +285,28 @@ pub struct E14Row {
     pub irc_spills: usize,
 }
 
+/// Deterministic seed of one profile's E14 instance (offset from the E13
+/// cell seed so the two sweeps draw distinct programs).
+pub fn e14_seed(base_seed: u64, profile: ShapeProfile) -> u64 {
+    cell_seed(base_seed, profile, PressureLevel::Medium) + 100
+}
+
+/// Generates the pre-spill program of one profile's E14 instance — the
+/// [`e14_instance`] input before spilling and SSA destruction, exposed so
+/// the verification harness can regenerate and re-audit the lowering.
+pub fn e14_program(base_seed: u64, profile: ShapeProfile) -> Function {
+    let params = profile.params(PressureLevel::Medium.pressure());
+    generate(
+        &params,
+        &mut coalesce_gen::rng(e14_seed(base_seed, profile)),
+    )
+}
+
 /// Builds the E14 instance of one profile: generate at medium pressure,
 /// spill to `k`, translate out of SSA, extract the affinity graph.
 pub fn e14_instance(base_seed: u64, profile: ShapeProfile, k: usize) -> (AffinityGraph, u64) {
-    let seed = cell_seed(base_seed, profile, PressureLevel::Medium) + 100;
-    let params = profile.params(PressureLevel::Medium.pressure());
-    let mut f = generate(&params, &mut coalesce_gen::rng(seed));
+    let seed = e14_seed(base_seed, profile);
+    let mut f = e14_program(base_seed, profile);
     spill::spill_to_pressure(&mut f, k);
     out_of_ssa::destruct_ssa(&mut f);
     let live = Liveness::compute(&f);

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod json;
 pub mod par;
 pub mod report;
+pub mod verify;
 
 pub use corpus::{run_corpus, CorpusConfig, CorpusSummary};
 pub use experiments::{

@@ -322,6 +322,24 @@ pub fn chordal_maximal_cliques(g: &Graph) -> Option<Vec<BTreeSet<VertexId>>> {
     forest.chordal.then_some(forest.cliques)
 }
 
+/// Returns one maximum clique of a **chordal** graph — a witness for the
+/// `ω(G)` value reported by [`chordal_clique_number`], usable as an
+/// independently checkable certificate (every pair must be adjacent and the
+/// size must equal the claimed clique number).
+///
+/// Returns `None` if `g` is not chordal.
+pub fn chordal_max_clique(g: &Graph) -> Option<Vec<VertexId>> {
+    let forest = mcs_clique_forest(g);
+    forest.chordal.then(|| {
+        forest
+            .cliques
+            .iter()
+            .max_by_key(|c| c.len())
+            .map(|c| c.iter().copied().collect())
+            .unwrap_or_default()
+    })
+}
+
 /// Optimally colors a **chordal** graph with `ω(G)` colors by coloring the
 /// vertices in reverse perfect elimination order, greedily.
 ///

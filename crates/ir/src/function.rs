@@ -709,6 +709,37 @@ impl Function {
     }
 
     // -------------------------------------------------------------------
+    // Raw-layout audit hooks.
+    //
+    // `coalesce-verify` audits the flat arena from the outside; the sliced
+    // accessors above panic on corrupt ranges, so the auditor needs
+    // panic-free access to the raw layout to report corruption as a
+    // violation instead.
+    // -------------------------------------------------------------------
+
+    /// The raw `(start, len)` order range of block `b`.
+    pub fn raw_block_range(&self, b: BlockId) -> (u32, u32) {
+        self.block_ranges[b.index()]
+    }
+
+    /// The shared instruction-order array underlying every block range.
+    pub fn raw_order(&self) -> &[InstrId] {
+        &self.order
+    }
+
+    /// Number of records in the instruction arena, orphans included.
+    pub fn raw_arena_len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Overwrites block `b`'s raw order range with no consistency checks.
+    /// Fault-injection hook for the verifier's mutation harness; nothing on
+    /// the construction or rewrite path calls this.
+    pub fn set_raw_block_range(&mut self, b: BlockId, start: u32, len: u32) {
+        self.block_ranges[b.index()] = (start, len);
+    }
+
+    // -------------------------------------------------------------------
     // Mutation.
     // -------------------------------------------------------------------
 

@@ -1,0 +1,440 @@
+//! Independent reference implementations the checkers compare against.
+//!
+//! Nothing here calls the analyses under audit ([`coalesce_ir::dom`],
+//! [`coalesce_ir::liveness`], [`coalesce_ir::interference`],
+//! [`coalesce_graph::chordal`]): reachability is a fresh DFS, dominators an
+//! iterative bitvector dataflow, liveness a `BTreeSet` worklist fixpoint
+//! straight from the transfer equations, interference a `HashSet` of
+//! normalized pairs built from the reference liveness, and the PEO parent
+//! test runs over an adjacency copy extracted once from the subject graph's
+//! edge list.  Slower than the hot path by design — the redundancy is the
+//! point.
+
+use coalesce_graph::{Graph, VertexId};
+use coalesce_ir::function::{BlockId, Function, InstrView};
+use coalesce_ir::interference::InterferenceKind;
+use coalesce_ir::Var;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// Normalized unordered pair key over dense indices.
+pub fn pair_key(a: usize, b: usize) -> u64 {
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    ((x as u64) << 32) | y as u64
+}
+
+/// Reference control-flow facts: successor/predecessor lists restricted to
+/// in-range targets, reachability from the entry, and a reverse postorder
+/// of the reachable blocks.
+#[derive(Debug)]
+pub struct RefCfg {
+    /// In-range successors per block.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessors per block (derived from `succs`).
+    pub preds: Vec<Vec<usize>>,
+    /// Whether each block is reachable from the entry.
+    pub reachable: Vec<bool>,
+    /// Reachable blocks in reverse postorder.
+    pub rpo: Vec<usize>,
+}
+
+impl RefCfg {
+    /// Builds the reference CFG facts with a fresh iterative DFS.
+    pub fn build(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        for (b, out) in succs.iter_mut().enumerate() {
+            for s in f.terminator(BlockId::new(b)).successors() {
+                if s.index() < n {
+                    out.push(s.index());
+                }
+            }
+        }
+        let mut preds = vec![Vec::new(); n];
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+        let mut reachable = vec![false; n];
+        let mut postorder = Vec::new();
+        if n > 0 && f.entry.index() < n {
+            let entry = f.entry.index();
+            reachable[entry] = true;
+            let mut stack = vec![(entry, 0usize)];
+            while let Some((b, i)) = stack.pop() {
+                if i < succs[b].len() {
+                    stack.push((b, i + 1));
+                    let s = succs[b][i];
+                    if !reachable[s] {
+                        reachable[s] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    postorder.push(b);
+                }
+            }
+        }
+        postorder.reverse();
+        RefCfg {
+            succs,
+            preds,
+            reachable,
+            rpo: postorder,
+        }
+    }
+}
+
+/// Reference dominators: the classic iterative bitvector dataflow
+/// `dom(b) = {b} ∪ ⋂_{p ∈ preds(b)} dom(p)` run to a fixpoint over the
+/// reference reverse postorder.
+#[derive(Debug)]
+pub struct RefDoms {
+    words: usize,
+    dom: Vec<Vec<u64>>,
+}
+
+impl RefDoms {
+    /// Computes dominator sets for the reachable blocks of `f`.
+    pub fn compute(f: &Function, cfg: &RefCfg) -> Self {
+        let n = f.num_blocks();
+        let words = n.div_ceil(64);
+        let mut dom = vec![vec![u64::MAX; words]; n];
+        if n == 0 || f.entry.index() >= n {
+            return RefDoms { words, dom };
+        }
+        let entry = f.entry.index();
+        dom[entry] = vec![0; words];
+        dom[entry][entry / 64] |= 1 << (entry % 64);
+        let mut changed = true;
+        let mut meet = vec![0u64; words];
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                if b == entry {
+                    continue;
+                }
+                meet.fill(u64::MAX);
+                for &p in &cfg.preds[b] {
+                    if cfg.reachable[p] {
+                        for (m, d) in meet.iter_mut().zip(&dom[p]) {
+                            *m &= d;
+                        }
+                    }
+                }
+                meet[b / 64] |= 1 << (b % 64);
+                if meet != dom[b] {
+                    dom[b].copy_from_slice(&meet);
+                    changed = true;
+                }
+            }
+        }
+        RefDoms { words, dom }
+    }
+
+    /// `true` if block `a` dominates block `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        debug_assert!(a / 64 < self.words);
+        self.dom[b][a / 64] >> (a % 64) & 1 == 1
+    }
+}
+
+/// The φ definitions at the head of block `b`.
+fn phi_defs(f: &Function, b: usize) -> Vec<Var> {
+    f.phis(BlockId::new(b)).filter_map(|p| p.def()).collect()
+}
+
+/// The live-out set of block `b` from the transfer equation, given any
+/// per-block live-in lookup:
+/// `live-out(b) = ⋃_{s ∈ succ(b)} (live-in(s) \ phidefs(s)) ∪ phiuses(s from b)`.
+pub fn transfer_out(
+    f: &Function,
+    b: usize,
+    live_in_of: impl Fn(usize) -> BTreeSet<Var>,
+) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    for s in f.successors(BlockId::new(b)) {
+        let mut flow = live_in_of(s.index());
+        for phi in f.phis(s) {
+            if let InstrView::Phi { dst, args } = phi {
+                flow.remove(&dst);
+                for a in args {
+                    if a.pred.index() == b {
+                        flow.insert(a.value);
+                    }
+                }
+            }
+        }
+        out.extend(flow);
+    }
+    out
+}
+
+/// The live-in set of block `b` from a backward walk over its instructions,
+/// starting from `out` (φ definitions end up excluded — the walk removes
+/// them and φs have no local uses).
+pub fn transfer_in(f: &Function, b: usize, out: &BTreeSet<Var>) -> BTreeSet<Var> {
+    let block = BlockId::new(b);
+    let mut live = out.clone();
+    live.extend(f.terminator(block).uses());
+    for instr in f.block_instrs(block).rev() {
+        if let Some(d) = instr.def() {
+            live.remove(&d);
+        }
+        live.extend(instr.local_uses().iter().copied());
+    }
+    live
+}
+
+/// Reference live-variable analysis: a worklist fixpoint over the transfer
+/// equations with per-block `BTreeSet`s.
+#[derive(Debug)]
+pub struct RefLiveness {
+    /// Live-in per block (φ results excluded).
+    pub live_in: Vec<BTreeSet<Var>>,
+    /// Live-out per block.
+    pub live_out: Vec<BTreeSet<Var>>,
+}
+
+impl RefLiveness {
+    /// Runs the fixpoint on `f`, seeding every block.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut live = RefLiveness {
+            live_in: vec![BTreeSet::new(); n],
+            live_out: vec![BTreeSet::new(); n],
+        };
+        let cfg = RefCfg::build(f);
+        let mut queued = vec![true; n];
+        let mut queue: VecDeque<usize> = (0..n).rev().collect();
+        while let Some(b) = queue.pop_front() {
+            queued[b] = false;
+            let out = transfer_out(f, b, |s| live.live_in[s].clone());
+            let inn = transfer_in(f, b, &out);
+            live.live_out[b] = out;
+            if inn != live.live_in[b] {
+                live.live_in[b] = inn;
+                for &p in &cfg.preds[b] {
+                    if !queued[p] {
+                        queued[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        live
+    }
+
+    /// `true` if `v` is live at any block boundary.
+    pub fn live_at_any_boundary(&self, v: Var) -> bool {
+        self.live_in.iter().any(|s| s.contains(&v)) || self.live_out.iter().any(|s| s.contains(&v))
+    }
+
+    /// Reference `Maxlive` over every program point, mirroring the audited
+    /// semantics: pressure at every between-instruction point, a defined
+    /// value occupies a register at its definition point even when dead,
+    /// and φ results all count together with the block's live-in.
+    pub fn maxlive_precise(&self, f: &Function) -> usize {
+        let mut max = 0;
+        for b in 0..f.num_blocks() {
+            let block = BlockId::new(b);
+            let mut live = self.live_out[b].clone();
+            live.extend(f.terminator(block).uses());
+            max = max.max(live.len());
+            let instrs: Vec<InstrView<'_>> = f.block_instrs(block).collect();
+            for instr in instrs.iter().rev() {
+                if let Some(d) = instr.def() {
+                    if !instr.is_phi() {
+                        max = max.max(live.len() + usize::from(!live.contains(&d)));
+                    }
+                    live.remove(&d);
+                }
+                live.extend(instr.local_uses().iter().copied());
+                max = max.max(live.len());
+            }
+            let phis = phi_defs(f, b).len();
+            if phis > 0 {
+                max = max.max(self.live_in[b].len() + phis);
+            }
+        }
+        max
+    }
+}
+
+/// The set of interference pairs the chosen definition demands, built from
+/// the reference liveness: φ results pairwise and against the block's
+/// live-in, and every definition against the set live after it (Chaitin
+/// interference exempts a copy's source at the copy itself).
+pub fn interference_pairs(
+    f: &Function,
+    live: &RefLiveness,
+    kind: InterferenceKind,
+) -> HashSet<u64> {
+    let mut pairs = HashSet::new();
+    let mut add = |a: Var, b: Var| {
+        pairs.insert(pair_key(a.index(), b.index()));
+    };
+    for b in 0..f.num_blocks() {
+        let block = BlockId::new(b);
+        let defs = phi_defs(f, b);
+        for (i, &p) in defs.iter().enumerate() {
+            for &q in &defs[i + 1..] {
+                add(p, q);
+            }
+            for &v in &live.live_in[b] {
+                if v != p {
+                    add(p, v);
+                }
+            }
+        }
+        let mut after = live.live_out[b].clone();
+        after.extend(f.terminator(block).uses());
+        let instrs: Vec<InstrView<'_>> = f.block_instrs(block).collect();
+        for instr in instrs.iter().rev() {
+            if let Some(d) = instr.def() {
+                for &v in &after {
+                    if v == d {
+                        continue;
+                    }
+                    if kind == InterferenceKind::Chaitin {
+                        if let InstrView::Copy { src, .. } = instr {
+                            if v == *src {
+                                continue;
+                            }
+                        }
+                    }
+                    add(d, v);
+                }
+                after.remove(&d);
+            }
+            after.extend(instr.local_uses().iter().copied());
+        }
+    }
+    pairs
+}
+
+/// Adjacency copy of a subject graph, extracted once from its vertex and
+/// edge iterators so certificate checks never query the subject's own
+/// `has_edge`.
+#[derive(Debug)]
+pub struct RefGraph {
+    /// Vertex-id capacity (dense index bound).
+    pub capacity: usize,
+    /// Which indices are live vertices.
+    pub live: Vec<bool>,
+    /// Number of live vertices.
+    pub num_live: usize,
+    /// Neighbor lists per index.
+    pub adj: Vec<Vec<usize>>,
+    /// Normalized edge pairs.
+    pub pairs: HashSet<u64>,
+}
+
+impl RefGraph {
+    /// Extracts the adjacency of `g`.
+    pub fn build(g: &Graph) -> Self {
+        let capacity = g.capacity();
+        let mut live = vec![false; capacity];
+        let mut num_live = 0;
+        for v in g.vertices() {
+            live[v.index()] = true;
+            num_live += 1;
+        }
+        let mut adj = vec![Vec::new(); capacity];
+        let mut pairs = HashSet::new();
+        for (a, b) in g.edges() {
+            if pairs.insert(pair_key(a.index(), b.index())) {
+                adj[a.index()].push(b.index());
+                adj[b.index()].push(a.index());
+            }
+        }
+        RefGraph {
+            capacity,
+            live,
+            num_live,
+            adj,
+            pairs,
+        }
+    }
+
+    /// `true` if the extracted edge set joins `a` and `b`.
+    pub fn has(&self, a: usize, b: usize) -> bool {
+        self.pairs.contains(&pair_key(a, b))
+    }
+}
+
+/// Checks that `order` is a perfect elimination ordering of the extracted
+/// graph via the Golumbic parent test, returning the clique number the
+/// ordering implies (`1 + max` later-neighborhood size) on success.
+pub fn check_peo(rg: &RefGraph, order: &[VertexId]) -> Result<usize, String> {
+    let mut pos = vec![usize::MAX; rg.capacity];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= rg.capacity || !rg.live[v.index()] {
+            return Err(format!("order element {v:?} is not a live vertex"));
+        }
+        if pos[v.index()] != usize::MAX {
+            return Err(format!("vertex {v:?} appears twice in the ordering"));
+        }
+        pos[v.index()] = i;
+    }
+    if order.len() != rg.num_live {
+        return Err(format!(
+            "ordering covers {} of {} vertices",
+            order.len(),
+            rg.num_live
+        ));
+    }
+    let mut omega = usize::from(!order.is_empty());
+    for &v in order {
+        let i = pos[v.index()];
+        let later: Vec<usize> = rg.adj[v.index()]
+            .iter()
+            .copied()
+            .filter(|&u| pos[u] > i)
+            .collect();
+        omega = omega.max(later.len() + 1);
+        let Some(&parent) = later.iter().min_by_key(|&&u| pos[u]) else {
+            continue;
+        };
+        for &u in &later {
+            if u != parent && !rg.has(parent, u) {
+                return Err(format!(
+                    "later neighbors {u} and {parent} of vertex {} are not adjacent",
+                    v.index()
+                ));
+            }
+        }
+    }
+    Ok(omega)
+}
+
+/// Checks that `clique` is a set of `claimed` distinct, pairwise-adjacent
+/// live vertices.
+pub fn check_clique(rg: &RefGraph, clique: &[VertexId], claimed: usize) -> Result<(), String> {
+    if clique.len() != claimed {
+        return Err(format!(
+            "witness has {} vertices but omega claim is {claimed}",
+            clique.len()
+        ));
+    }
+    let mut seen = HashSet::new();
+    for &v in clique {
+        if v.index() >= rg.capacity || !rg.live[v.index()] {
+            return Err(format!("witness vertex {v:?} is not a live vertex"));
+        }
+        if !seen.insert(v.index()) {
+            return Err(format!("witness vertex {v:?} repeated"));
+        }
+    }
+    for (i, &a) in clique.iter().enumerate() {
+        for &b in &clique[i + 1..] {
+            if !rg.has(a.index(), b.index()) {
+                return Err(format!(
+                    "witness vertices {} and {} are not adjacent",
+                    a.index(),
+                    b.index()
+                ));
+            }
+        }
+    }
+    Ok(())
+}

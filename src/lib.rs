@@ -18,3 +18,4 @@ pub use coalesce_gen;
 pub use coalesce_graph;
 pub use coalesce_ir;
 pub use coalesce_reduce;
+pub use coalesce_verify;

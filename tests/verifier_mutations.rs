@@ -1,0 +1,76 @@
+//! The verifier's acceptance suite: every seeded fault injector must be
+//! flagged with its expected rule id, and the real experiment pipelines
+//! must come back clean under the paranoid audit.
+//!
+//! The injectors live in `coalesce_verify::mutation`: each builds the
+//! clean pipeline artifacts of a small hand-written program, corrupts
+//! exactly one of them the way a real bug would, and runs the checker
+//! suite on the affected boundary.  A verifier that misses its fault — or
+//! one that cries wolf on the untouched pipelines — fails here.
+
+use coalesce_bench::verify::verify_experiment;
+use coalesce_bench::ExperimentId;
+use coalesce_verify::mutation::{verify_clean_sample, Fault};
+use coalesce_verify::VerifyLevel;
+
+/// Every injected fault is detected, and under the rule id the fault
+/// promises (co-firing secondary rules are fine; missing the primary one
+/// is not).
+#[test]
+fn every_injected_fault_is_flagged_with_its_rule_id() {
+    assert!(Fault::ALL.len() >= 10, "the harness promises 10+ injectors");
+    for fault in Fault::ALL {
+        let violations = fault.inject_and_verify();
+        let expected = fault.expected_rule();
+        assert!(
+            violations.iter().any(|v| v.rule == expected),
+            "{fault:?}: expected a `{expected}` violation, got {violations:#?}"
+        );
+    }
+}
+
+/// The clean sample pipeline produces zero violations at the paranoid
+/// level — the flip side of the injector test: no false positives.
+#[test]
+fn clean_sample_pipeline_is_silent_at_paranoid() {
+    let violations = verify_clean_sample();
+    assert!(
+        violations.is_empty(),
+        "clean pipeline flagged: {violations:#?}"
+    );
+}
+
+/// Each fault's expected rule id names a rule in the published catalog.
+#[test]
+fn expected_rules_are_catalogued() {
+    for fault in Fault::ALL {
+        let expected = fault.expected_rule();
+        assert!(
+            coalesce_verify::rules::CATALOG
+                .iter()
+                .any(|r| r.id == expected),
+            "{fault:?} expects uncatalogued rule `{expected}`"
+        );
+    }
+}
+
+/// The real experiment pipelines are clean under the paranoid audit at
+/// the pinned seed — the same invocation the CI job runs for E13.
+#[test]
+fn experiment_pipelines_verify_clean_at_paranoid_seed_42() {
+    for id in [
+        ExperimentId::E13,
+        ExperimentId::E15,
+        ExperimentId::E16,
+        ExperimentId::E17,
+    ] {
+        let violations = verify_experiment(id, 42, VerifyLevel::Paranoid, 1);
+        assert!(
+            violations.is_empty(),
+            "{}: paranoid audit flagged {} violation(s): {:#?}",
+            id.as_str(),
+            violations.len(),
+            violations
+        );
+    }
+}
