@@ -177,6 +177,8 @@ pub fn run_allocator_with_artifacts(
 
 /// Runs one allocator configuration on `f` with `k` registers.
 pub fn run_allocator(f: &Function, k: usize, kind: AllocatorKind) -> AllocationReport {
+    let _span = coalesce_stats::span!("alloc/run");
+    coalesce_stats::counter!("alloc.runs");
     run_allocator_with_artifacts(f, k, kind).0
 }
 

@@ -1,21 +1,25 @@
-//! `run-experiments` — deterministic CLI driver for the E1–E16 experiments
+//! `run-experiments` — deterministic CLI driver for the E1–E17 experiments
 //! and the streaming corpus analyzer.
 //!
 //! ```text
 //! run-experiments --experiment e1 --seed 0 --json out.json
 //! run-experiments --experiment all --json all.json
+//! run-experiments --experiment e13 --stats --trace-out trace.json
 //! run-experiments --corpus instances/ --jobs 8 --json corpus.jsonl
 //! run-experiments --list
 //! ```
 //!
 //! The JSON output is byte-identical across runs for a fixed experiment
 //! and seed, so the files can be diffed and archived as `BENCH_*.json`
-//! perf-trajectory artifacts.  Corpus mode streams one JSON Lines row per
-//! instance file (batched, bounded memory) instead of building a report
-//! in memory.
+//! perf-trajectory artifacts.  `--stats` and `--trace-out` only add
+//! observability side channels (a stderr table and a chrome://tracing
+//! sidecar) — they never change the report JSON.  Corpus mode streams one
+//! JSON Lines row per instance file (batched, bounded memory) instead of
+//! building a report in memory.
 
 use coalesce_bench::corpus::{collect_corpus_paths, run_corpus, CorpusConfig};
 use coalesce_bench::experiments::UnknownExperiment;
+use coalesce_bench::report::ExperimentReport;
 use coalesce_bench::verify::{verify_corpus, verify_experiment};
 use coalesce_bench::{run_reports_filtered, ExperimentId, Json};
 use coalesce_gen::cfg::{ShapeProfile, UnknownProfile};
@@ -24,36 +28,164 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "\
-run-experiments: run the E1-E16 coalescing experiments deterministically
+/// One CLI flag: the single source of truth for both the parser and the
+/// `--help` text, so the two can never drift apart again.
+struct FlagSpec {
+    long: &'static str,
+    short: Option<&'static str>,
+    /// Value metavariable (`<ID>`); `None` for boolean flags.
+    metavar: Option<&'static str>,
+    help: &'static [&'static str],
+}
 
-USAGE:
-    run-experiments [OPTIONS]
+/// Every flag the parser accepts, in help order.  The parse loop looks
+/// arguments up HERE (an arg missing from this table is an unknown
+/// argument), and [`usage`] renders the help text from the same rows.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        long: "--experiment",
+        short: Some("-e"),
+        metavar: Some("<ID>"),
+        help: &[
+            "Experiment to run: e1..e17, or `all` (default: all);",
+            "repeatable",
+        ],
+    },
+    FlagSpec {
+        long: "--seed",
+        short: Some("-s"),
+        metavar: Some("<N>"),
+        help: &["Base seed offsetting every internal seed (default: 0)"],
+    },
+    FlagSpec {
+        long: "--jobs",
+        short: None,
+        metavar: Some("<N>"),
+        help: &[
+            "Worker threads fanning out experiments and rows",
+            "(default: 1; output is byte-identical for any N)",
+        ],
+    },
+    FlagSpec {
+        long: "--profile",
+        short: Some("-p"),
+        metavar: Some("<NAME>"),
+        help: &[
+            "Restrict the E13/E14 workload sweeps to a shape",
+            "profile (int-branchy, fp-loopnest, call-heavy);",
+            "repeatable, default: all profiles",
+        ],
+    },
+    FlagSpec {
+        long: "--json",
+        short: Some("-j"),
+        metavar: Some("<PATH>"),
+        help: &["Write the JSON report to PATH (`-` for stdout)"],
+    },
+    FlagSpec {
+        long: "--corpus",
+        short: None,
+        metavar: Some("<PATH>"),
+        help: &[
+            "Analyze a DIMACS/challenge instance file or directory",
+            "instead of running experiments; repeatable.  Rows are",
+            "streamed as JSON Lines to --json (default: stdout)",
+        ],
+    },
+    FlagSpec {
+        long: "--batch",
+        short: None,
+        metavar: Some("<N>"),
+        help: &["Corpus instances processed per batch (default: 64)"],
+    },
+    FlagSpec {
+        long: "--verify",
+        short: None,
+        metavar: Some("<LEVEL>"),
+        help: &[
+            "Audit the pipeline boundaries after the run by",
+            "regenerating each experiment's inputs and checking",
+            "them against independent reference implementations",
+            "(off, boundaries, paranoid; default: off).  Exits",
+            "nonzero if any violation is found; the JSON report",
+            "is unaffected",
+        ],
+    },
+    FlagSpec {
+        long: "--stats",
+        short: None,
+        metavar: None,
+        help: &[
+            "Print each experiment's pass-counter totals (and,",
+            "with --trace-out, the per-span wall-clock totals) as",
+            "a table on stderr.  The JSON report is unaffected",
+        ],
+    },
+    FlagSpec {
+        long: "--trace-out",
+        short: None,
+        metavar: Some("<PATH>"),
+        help: &[
+            "Record hierarchical pass timings and write them to",
+            "PATH in chrome://tracing \"trace event format\" JSON",
+            "(open in chrome://tracing or Perfetto).  Timings live",
+            "only in this sidecar, never in the byte-compared",
+            "report",
+        ],
+    },
+    FlagSpec {
+        long: "--quiet",
+        short: Some("-q"),
+        metavar: None,
+        help: &["Suppress the human-readable tables on stdout"],
+    },
+    FlagSpec {
+        long: "--list",
+        short: None,
+        metavar: None,
+        help: &["List experiment ids and titles, then exit"],
+    },
+    FlagSpec {
+        long: "--help",
+        short: Some("-h"),
+        metavar: None,
+        help: &["Show this help"],
+    },
+];
 
-OPTIONS:
-    --experiment <ID>   Experiment to run: e1..e16, or `all` (default: all)
-    --seed <N>          Base seed offsetting every internal seed (default: 0)
-    --jobs <N>          Worker threads fanning out experiments and rows
-                        (default: 1; output is byte-identical for any N)
-    --profile <NAME>    Restrict the E13/E14 workload sweeps to a shape
-                        profile (int-branchy, fp-loopnest, call-heavy);
-                        repeatable, default: all profiles
-    --json <PATH>       Write the JSON report to PATH (`-` for stdout)
-    --corpus <PATH>     Analyze a DIMACS/challenge instance file or directory
-                        instead of running experiments; repeatable.  Rows are
-                        streamed as JSON Lines to --json (default: stdout)
-    --batch <N>         Corpus instances processed per batch (default: 64)
-    --verify <LEVEL>    Audit the pipeline boundaries after the run by
-                        regenerating each experiment's inputs and checking
-                        them against independent reference implementations
-                        (off, boundaries, paranoid; default: off).  Exits
-                        nonzero if any violation is found; the JSON report
-                        is unaffected
-    --quiet             Suppress the human-readable tables on stdout
-    --list              List experiment ids and titles, then exit
-    --help              Show this help
-";
+/// Renders the `--help` text from [`FLAGS`] — the usage can't drift from
+/// the parser because both read the same table.
+fn usage() -> String {
+    let mut out = String::from(
+        "run-experiments: run the E1-E17 coalescing experiments deterministically\n\
+         \n\
+         USAGE:\n\
+         \x20   run-experiments [OPTIONS]\n\
+         \n\
+         OPTIONS:\n",
+    );
+    for spec in FLAGS {
+        let mut head = String::new();
+        head.push_str(spec.long);
+        if let Some(metavar) = spec.metavar {
+            head.push(' ');
+            head.push_str(metavar);
+        }
+        for (i, line) in spec.help.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("    {head:<20}{line}\n"));
+            } else {
+                out.push_str(&format!("    {:<20}{line}\n", ""));
+            }
+        }
+        if let Some(short) = spec.short {
+            out.push_str(&format!("    {:<20}(short: {short})\n", ""));
+        }
+    }
+    out
+}
 
+#[derive(Debug)]
 struct Options {
     experiments: Vec<ExperimentId>,
     seed: u64,
@@ -63,6 +195,8 @@ struct Options {
     corpus: Vec<PathBuf>,
     batch_size: usize,
     verify: VerifyLevel,
+    stats: bool,
+    trace_out: Option<String>,
     quiet: bool,
 }
 
@@ -75,18 +209,34 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut corpus: Vec<PathBuf> = Vec::new();
     let mut batch_size: Option<usize> = None;
     let mut verify = VerifyLevel::Off;
+    let mut stats = false;
+    let mut trace_out: Option<String> = None;
     let mut quiet = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
-        let mut value_for = |flag: &str| {
-            iter.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} requires a value"))
+        // The flag table is the parser's vocabulary: an argument that
+        // doesn't resolve to a spec is unknown, and every spec row is
+        // handled by exactly one dispatch arm below.
+        let Some(spec) = FLAGS
+            .iter()
+            .find(|spec| spec.long == arg.as_str() || spec.short == Some(arg.as_str()))
+        else {
+            return Err(format!("unknown argument `{arg}`\n\n{}", usage()));
         };
-        match arg.as_str() {
-            "--help" | "-h" => {
-                print!("{USAGE}");
+        let value = if spec.metavar.is_some() {
+            Some(
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{} requires a value", spec.long))?,
+            )
+        } else {
+            None
+        };
+        let value = |()| value.clone().expect("value parsed for metavar flags");
+        match spec.long {
+            "--help" => {
+                print!("{}", usage());
                 return Ok(None);
             }
             "--list" => {
@@ -95,8 +245,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 }
                 return Ok(None);
             }
-            "--experiment" | "-e" => {
-                let value = value_for("--experiment")?;
+            "--experiment" => {
+                let value = value(());
                 let list = experiments.get_or_insert_with(Vec::new);
                 if value.eq_ignore_ascii_case("all") {
                     list.extend(ExperimentId::ALL);
@@ -108,29 +258,32 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     );
                 }
             }
-            "--seed" | "-s" => {
-                let value = value_for("--seed")?;
+            "--seed" => {
+                let value = value(());
                 seed =
                     Some(value.parse().map_err(|_| {
                         format!("--seed expects an unsigned integer, got `{value}`")
                     })?);
             }
             "--jobs" => {
-                let value = value_for("--jobs")?;
+                let value = value(());
                 jobs = value
                     .parse()
                     .ok()
                     .filter(|&n: &usize| n >= 1)
                     .ok_or(format!("--jobs expects a positive integer, got `{value}`"))?;
             }
-            "--profile" | "-p" => {
-                let value = value_for("--profile")?;
-                profiles.push(value.parse().map_err(|e: UnknownProfile| e.to_string())?);
+            "--profile" => {
+                profiles.push(
+                    value(())
+                        .parse()
+                        .map_err(|e: UnknownProfile| e.to_string())?,
+                );
             }
-            "--json" | "-j" => json_path = Some(value_for("--json")?),
-            "--corpus" => corpus.push(PathBuf::from(value_for("--corpus")?)),
+            "--json" => json_path = Some(value(())),
+            "--corpus" => corpus.push(PathBuf::from(value(()))),
             "--batch" => {
-                let value = value_for("--batch")?;
+                let value = value(());
                 batch_size = Some(
                     value
                         .parse()
@@ -139,9 +292,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                         .ok_or(format!("--batch expects a positive integer, got `{value}`"))?,
                 );
             }
-            "--verify" => verify = value_for("--verify")?.parse()?,
-            "--quiet" | "-q" => quiet = true,
-            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+            "--verify" => verify = value(()).parse()?,
+            "--stats" => stats = true,
+            "--trace-out" => trace_out = Some(value(())),
+            "--quiet" => quiet = true,
+            other => unreachable!("flag `{other}` is in FLAGS but not dispatched"),
         }
     }
 
@@ -153,6 +308,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if corpus.is_empty() && batch_size.is_some() {
         return Err("--batch only applies to --corpus mode".into());
+    }
+    if !corpus.is_empty() && (stats || trace_out.is_some()) {
+        return Err("--stats and --trace-out only apply to experiment mode".into());
     }
 
     // Dedupe while preserving first-occurrence order, so mixes of `all`
@@ -190,6 +348,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         corpus,
         batch_size: batch_size.unwrap_or(64),
         verify,
+        stats,
+        trace_out,
         quiet,
     }))
 }
@@ -277,6 +437,27 @@ fn run_corpus_mode(options: &Options) -> ExitCode {
     }
 }
 
+/// Prints each report's summary `"stats"` counter object as a stderr
+/// table — the human exporter of the pass-counter machinery.
+fn print_stats_tables(reports: &[ExperimentReport]) {
+    for report in reports {
+        let Some(Json::Object(counters)) = report
+            .summary
+            .iter()
+            .find(|(key, _)| key == "stats")
+            .map(|(_, v)| v)
+        else {
+            continue;
+        };
+        eprintln!("stats: {} (seed {})", report.id.as_str(), report.base_seed);
+        for (name, value) in counters {
+            if let Some(n) = value.as_u64() {
+                eprintln!("  {name:<32}{n:>14}");
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -290,6 +471,14 @@ fn main() -> ExitCode {
 
     if !options.corpus.is_empty() {
         return run_corpus_mode(&options);
+    }
+
+    // Tracing is opt-in per run: raise the default level so the spans in
+    // the experiment harness and the passes start recording.  Counters
+    // are always collected (they are deterministic report fields), so
+    // neither flag changes the JSON below by a single byte.
+    if options.trace_out.is_some() {
+        coalesce_stats::set_default_level(coalesce_stats::Level::Trace);
     }
 
     let reports = run_reports_filtered(
@@ -331,6 +520,31 @@ fn main() -> ExitCode {
         None => {}
     }
 
+    if options.stats {
+        print_stats_tables(&reports);
+    }
+
+    // The timing side channel: drain the recorded spans into the
+    // chrome://tracing sidecar (and, with --stats, a stderr span table).
+    // Wall clock never reaches the byte-compared report above.
+    if let Some(path) = options.trace_out.as_deref() {
+        let events = coalesce_stats::trace::take_events();
+        if options.stats {
+            eprintln!("spans: {} event(s)", events.len());
+            for line in coalesce_stats::trace::summary_lines(&events) {
+                eprintln!("  {line}");
+            }
+        }
+        let trace = coalesce_stats::trace::chrome_trace_json(&events);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !options.quiet {
+            println!("wrote {path} ({} span(s))", events.len());
+        }
+    }
+
     // Boundary verification: regenerate each experiment's pipeline from
     // the same seeds and audit it against the independent reference
     // implementations.  The report above is already written — the audit
@@ -357,4 +571,76 @@ fn main() -> ExitCode {
     }
 
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Option<Options>, String> {
+        parse_args(&args.iter().map(ToString::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn every_flag_in_the_table_is_parsed_and_documented() {
+        // Parse each boolean flag and each value flag with a dummy value:
+        // a FLAGS row without a dispatch arm would hit the unreachable
+        // arm, and a row missing from usage() can't happen by
+        // construction.  (--help/--list short-circuit to Ok(None).)
+        for spec in FLAGS {
+            let args: Vec<&str> = match (spec.long, spec.metavar) {
+                ("--experiment", _) => vec![spec.long, "e13"],
+                ("--profile", _) => vec![spec.long, "int-branchy", "-e", "e13"],
+                ("--corpus", _) => vec![spec.long, "some-dir"],
+                ("--batch", _) => vec![spec.long, "1", "--corpus", "some-dir"],
+                ("--verify", _) => vec![spec.long, "boundaries"],
+                ("--json" | "--trace-out", _) => vec![spec.long, "out.json"],
+                (_, Some(_)) => vec![spec.long, "1"],
+                (_, None) => vec![spec.long],
+            };
+            assert!(opts(&args).is_ok(), "flag {} must parse", spec.long);
+            let text = usage();
+            assert!(
+                text.contains(spec.long),
+                "usage() must document {}",
+                spec.long
+            );
+            if let Some(short) = spec.short {
+                assert!(
+                    text.contains(&format!("(short: {short})")),
+                    "usage() must document the {short} alias"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_aliases_resolve_to_their_long_flags() {
+        let options = opts(&["-e", "e13", "-s", "7", "-q"]).unwrap().unwrap();
+        assert_eq!(options.experiments, vec![ExperimentId::E13]);
+        assert_eq!(options.seed, 7);
+        assert!(options.quiet);
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected_with_the_usage_text() {
+        let err = opts(&["--nope"]).unwrap_err();
+        assert!(err.contains("unknown argument `--nope`"));
+        assert!(err.contains("OPTIONS:"), "error must embed the usage");
+    }
+
+    #[test]
+    fn stats_and_trace_out_are_experiment_mode_only() {
+        assert!(opts(&["--stats"]).unwrap().unwrap().stats);
+        let err = opts(&["--corpus", "dir", "--stats"]).unwrap_err();
+        assert!(err.contains("experiment mode"));
+        let err = opts(&["--corpus", "dir", "--trace-out", "t.json"]).unwrap_err();
+        assert!(err.contains("experiment mode"));
+    }
+
+    #[test]
+    fn value_flags_require_a_value() {
+        let err = opts(&["--trace-out"]).unwrap_err();
+        assert!(err.contains("--trace-out requires a value"));
+    }
 }

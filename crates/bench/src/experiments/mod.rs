@@ -246,6 +246,7 @@ pub fn run_experiment_filtered(
     jobs: usize,
     profiles: &[ShapeProfile],
 ) -> ExperimentReport {
+    let _span = coalesce_stats::span!(id.as_str());
     let mut report = match id {
         ExperimentId::E1 => reductions::e1_report_with_jobs(base_seed, jobs),
         ExperimentId::E2 => reductions::e2_report(base_seed),

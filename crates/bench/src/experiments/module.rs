@@ -40,7 +40,7 @@ pub fn e16_specs(base_seed: u64) -> Vec<FunctionSpec> {
 }
 
 /// Deterministic per-function allocation statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct E16FnStats {
     /// Shape profile drawn for the function.
     pub profile: ShapeProfile,
@@ -70,21 +70,28 @@ pub struct E16FnStats {
     pub reloads: usize,
     /// Total spill cost (`Σ 10^depth` store/reload weight) of the victims.
     pub spill_weight: u64,
+    /// Pass counters of the function's analyses and spill (deterministic
+    /// in the spec alone, like every other field).
+    pub counters: coalesce_stats::Counters,
 }
 
 /// Generates, analyses and spills one module function.  Deterministic in
 /// the spec alone, so it can run on any worker thread.
 pub fn e16_fn_stats(spec: &FunctionSpec) -> E16FnStats {
+    let _span = coalesce_stats::span!("e16/function");
     let f = spec.generate();
-    let live = Liveness::compute(&f);
-    let maxlive = live.maxlive_precise(&f);
-    let k = (maxlive / 2).max(3);
-    // Costs are taken on the pre-spill program: the reported weight is the
-    // price of the chosen victims, not of the rewrite's reload temps.
-    let costs = spill::spill_costs(&f);
-    let mut spilled_f = f.clone();
-    let result = spill::spill_to_pressure(&mut spilled_f, k);
-    let spill_weight = result.spilled.iter().map(|v| costs[v.index()]).sum::<u64>();
+    let ((maxlive, k, result, spill_weight), counters) = coalesce_stats::collect(|| {
+        let live = Liveness::compute(&f);
+        let maxlive = live.maxlive_precise(&f);
+        let k = (maxlive / 2).max(3);
+        // Costs are taken on the pre-spill program: the reported weight is
+        // the price of the chosen victims, not of the rewrite's temps.
+        let costs = spill::spill_costs(&f);
+        let mut spilled_f = f.clone();
+        let result = spill::spill_to_pressure(&mut spilled_f, k);
+        let spill_weight = result.spilled.iter().map(|v| costs[v.index()]).sum::<u64>();
+        (maxlive, k, result, spill_weight)
+    });
     E16FnStats {
         profile: spec.profile,
         pressure: spec.pressure,
@@ -99,12 +106,13 @@ pub fn e16_fn_stats(spec: &FunctionSpec) -> E16FnStats {
         spilled: result.spilled.len(),
         reloads: result.reloads,
         spill_weight,
+        counters,
     }
 }
 
 /// One aggregate row: every module function of one profile × pressure
 /// cell, summed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct E16Row {
     /// Functions in the cell.
     pub functions: usize,
@@ -124,6 +132,8 @@ pub struct E16Row {
     pub reloads: usize,
     /// Total spill weight.
     pub spill_weight: u64,
+    /// Merged pass counters of the cell's functions.
+    pub counters: coalesce_stats::Counters,
 }
 
 impl E16Row {
@@ -137,6 +147,7 @@ impl E16Row {
         self.spilled += s.spilled;
         self.reloads += s.reloads;
         self.spill_weight += s.spill_weight;
+        self.counters.merge(&s.counters);
     }
 
     /// Arena bytes per instruction × 100 (fixed-point, two decimals), so
@@ -164,6 +175,7 @@ fn row_json(profile: ShapeProfile, pressure: PressureLevel, r: &E16Row) -> Json 
         ("spilled", Json::from(r.spilled)),
         ("reloads", Json::from(r.reloads)),
         ("spill_weight", Json::from(r.spill_weight)),
+        ("stats", Json::counters(&r.counters)),
     ])
 }
 
@@ -226,6 +238,7 @@ pub fn e16_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
                 Json::from(totals.spill_weight),
             ),
             ("strict_ssa_all".into(), Json::from(strict_ssa_all)),
+            ("stats".into(), Json::counters(&totals.counters)),
             // Measured, not deterministic: masked by the byte-compare
             // tests, treated as perf counters by `bench-diff`.
             ("functions_per_sec".into(), Json::from(functions_per_sec)),

@@ -104,6 +104,10 @@ pub struct E13Row {
     pub chordal_colors: usize,
     /// One report per allocator configuration at `k` registers.
     pub reports: Vec<AllocationReport>,
+    /// Pass counters collected while the row was computed: the shared
+    /// facts passes (liveness, interference, chordal coloring) plus this
+    /// row's allocator runs.  Seed-deterministic.
+    pub stats: coalesce_stats::Counters,
 }
 
 impl E13Row {
@@ -116,48 +120,62 @@ impl E13Row {
 
 /// Computes the two E13 rows (generous and tight `k`) of one sweep cell.
 pub fn e13_rows(base_seed: u64, profile: ShapeProfile, level: PressureLevel) -> Vec<E13Row> {
+    let _span = coalesce_stats::span!("e13/cell");
     let f = workload_program(base_seed, profile, level);
-    let live = Liveness::compute(&f);
-    let maxlive = live.maxlive_precise(&f);
-    let ig = InterferenceGraph::build_with(
-        &f,
-        &live,
-        BuildOptions {
-            kind: InterferenceKind::Intersection,
-            ..Default::default()
-        },
-    );
-    let chordal_coloring = chordal::chordal_coloring(&ig.graph);
-    let chordal_colors = chordal_coloring.as_ref().map_or(0, |c| c.num_colors());
-    let info = LoopInfo::compute(&f);
-    let facts = E13Row {
-        profile,
-        pressure: level,
-        seed: cell_seed(base_seed, profile, level),
-        k: 0,
-        blocks: f.num_blocks(),
-        vars: f.num_vars(),
-        phis: f.num_phis(),
-        ir_bytes: f.ir_bytes(),
-        loops: info.num_loops(),
-        max_loop_depth: info.depth.iter().copied().max().unwrap_or(0),
-        maxlive,
-        strict_ssa: ssa::is_strict(&f),
-        reducible: is_reducible(&f),
-        chordal: chordal_coloring.is_some(),
-        chordal_colors,
-        reports: Vec::new(),
-    };
+    // Pass counters of the shared facts passes, collected once per cell
+    // and merged into every row of the cell.
+    let (facts, facts_stats) = coalesce_stats::collect(|| {
+        let _span = coalesce_stats::span!("e13/facts");
+        let live = Liveness::compute(&f);
+        let maxlive = live.maxlive_precise(&f);
+        let ig = InterferenceGraph::build_with(
+            &f,
+            &live,
+            BuildOptions {
+                kind: InterferenceKind::Intersection,
+                ..Default::default()
+            },
+        );
+        let chordal_coloring = chordal::chordal_coloring(&ig.graph);
+        let chordal_colors = chordal_coloring.as_ref().map_or(0, |c| c.num_colors());
+        let info = LoopInfo::compute(&f);
+        E13Row {
+            profile,
+            pressure: level,
+            seed: cell_seed(base_seed, profile, level),
+            k: 0,
+            blocks: f.num_blocks(),
+            vars: f.num_vars(),
+            phis: f.num_phis(),
+            ir_bytes: f.ir_bytes(),
+            loops: info.num_loops(),
+            max_loop_depth: info.depth.iter().copied().max().unwrap_or(0),
+            maxlive,
+            strict_ssa: ssa::is_strict(&f),
+            reducible: is_reducible(&f),
+            chordal: chordal_coloring.is_some(),
+            chordal_colors,
+            reports: Vec::new(),
+            stats: coalesce_stats::Counters::default(),
+        }
+    });
+    let maxlive = facts.maxlive;
     let tight = (maxlive / 2).max(3);
     let mut ks = vec![maxlive.max(1)];
     if tight < maxlive {
         ks.push(tight);
     }
     ks.into_iter()
-        .map(|k| E13Row {
-            k,
-            reports: compare_allocators(&f, k),
-            ..facts.clone()
+        .map(|k| {
+            let _span = coalesce_stats::span!("e13/alloc");
+            let (reports, mut stats) = coalesce_stats::collect(|| compare_allocators(&f, k));
+            stats.merge(&facts_stats);
+            E13Row {
+                k,
+                reports,
+                stats,
+                ..facts.clone()
+            }
         })
         .collect()
 }
@@ -202,6 +220,7 @@ fn e13_row_json(row: &E13Row) -> Json {
             "allocators",
             Json::Array(row.reports.iter().map(allocator_json).collect()),
         ),
+        ("stats", Json::counters(&row.stats)),
     ])
 }
 
@@ -224,6 +243,10 @@ pub fn e13_report_filtered(
     let all_chordal_eq = rows.iter().all(E13Row::chordal_colors_eq_maxlive);
     let all_strict = rows.iter().all(|r| r.strict_ssa);
     let all_reducible = rows.iter().all(|r| r.reducible);
+    let mut totals = coalesce_stats::Counters::default();
+    for row in &rows {
+        totals.merge(&row.stats);
+    }
     ExperimentReport {
         id: ExperimentId::E13,
         title: ExperimentId::E13.title(),
@@ -238,6 +261,7 @@ pub fn e13_report_filtered(
                 Json::from(all_chordal_eq),
             ),
             ("all_assignments_valid".into(), Json::from(all_valid)),
+            ("stats".into(), Json::counters(&totals)),
         ],
     }
 }
@@ -283,6 +307,9 @@ pub struct E14Row {
     pub strategies: Vec<StrategyOutcome>,
     /// Actual spills of the IRC allocator at `k`.
     pub irc_spills: usize,
+    /// Pass counters collected across the whole row (lowering plus the
+    /// strategy zoo).  Seed-deterministic.
+    pub stats: coalesce_stats::Counters,
 }
 
 /// Deterministic seed of one profile's E14 instance (offset from the E13
@@ -422,9 +449,13 @@ pub fn strategies_json(strategies: &[StrategyOutcome]) -> Json {
 
 /// Computes one E14 row.
 pub fn e14_row(base_seed: u64, profile: ShapeProfile) -> E14Row {
+    let _span = coalesce_stats::span!("e14/row");
     let k = 6;
-    let (ag, seed) = e14_instance(base_seed, profile, k);
-    let (strategies, irc_spills) = run_strategy_zoo(&ag, k);
+    let ((ag, seed, strategies, irc_spills), stats) = coalesce_stats::collect(|| {
+        let (ag, seed) = e14_instance(base_seed, profile, k);
+        let (strategies, irc_spills) = run_strategy_zoo(&ag, k);
+        (ag, seed, strategies, irc_spills)
+    });
     E14Row {
         profile,
         seed,
@@ -436,6 +467,7 @@ pub fn e14_row(base_seed: u64, profile: ShapeProfile) -> E14Row {
         chordal: chordal::is_chordal(&ag.graph),
         strategies,
         irc_spills,
+        stats,
     }
 }
 
@@ -465,6 +497,7 @@ fn e14_row_json(row: &E14Row) -> Json {
             "weights_within_total",
             Json::from(row.weights_within_total()),
         ),
+        ("stats", Json::counters(&row.stats)),
     ])
 }
 
@@ -479,6 +512,10 @@ pub fn e14_report_filtered(
     let rows: Vec<E14Row> = par_map(&profiles, jobs, |&p| e14_row(base_seed, p));
     let all_within = rows.iter().all(E14Row::weights_within_total);
     let total_weight: u64 = rows.iter().map(|r| r.total_weight).sum();
+    let mut totals = coalesce_stats::Counters::default();
+    for row in &rows {
+        totals.merge(&row.stats);
+    }
     ExperimentReport {
         id: ExperimentId::E14,
         title: ExperimentId::E14.title(),
@@ -488,6 +525,7 @@ pub fn e14_report_filtered(
             ("rows".into(), Json::from(rows.len())),
             ("total_weight".into(), Json::from(total_weight)),
             ("all_weights_within_total".into(), Json::from(all_within)),
+            ("stats".into(), Json::counters(&totals)),
         ],
     }
 }

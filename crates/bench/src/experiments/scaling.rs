@@ -266,10 +266,20 @@ pub fn e15_report(base_seed: u64) -> ExperimentReport {
 /// report is byte-identical for every `jobs` value.
 pub fn e15_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
     let specs = row_specs();
-    let rows: Vec<Json> = par_map(&specs, jobs, |&spec| match spec {
-        RowSpec::Interval(n) => interval_row_json(&e15_interval_row(base_seed, n)),
-        RowSpec::Cfg(profile) => cfg_row_json(&e15_cfg_row(base_seed, profile)),
+    let computed: Vec<(Json, coalesce_stats::Counters)> = par_map(&specs, jobs, |&spec| {
+        let _span = coalesce_stats::span!("e15/row");
+        let (mut row, stats) = coalesce_stats::collect(|| match spec {
+            RowSpec::Interval(n) => interval_row_json(&e15_interval_row(base_seed, n)),
+            RowSpec::Cfg(profile) => cfg_row_json(&e15_cfg_row(base_seed, profile)),
+        });
+        row.push_counters(&stats);
+        (row, stats)
     });
+    let mut totals = coalesce_stats::Counters::default();
+    for (_, stats) in &computed {
+        totals.merge(stats);
+    }
+    let rows: Vec<Json> = computed.into_iter().map(|(row, _)| row).collect();
     let total_edges: u64 = rows
         .iter()
         .filter_map(|r| {
@@ -299,6 +309,7 @@ pub fn e15_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
             ("total_edges".into(), Json::from(total_edges)),
             ("min_cfg_blocks".into(), Json::from(min_cfg_blocks)),
             ("invariants_hold".into(), Json::from(invariants_hold)),
+            ("stats".into(), Json::counters(&totals)),
         ],
     }
 }

@@ -56,7 +56,7 @@ pub fn windowed_program(base_seed: u64) -> Function {
 
 /// Deterministic result of one spiller on one input function, plus the
 /// measured wall clock of the spill call (summary-only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct E17CellStats {
     /// The strategy that produced the row.
     pub spiller: SpillerKind,
@@ -76,21 +76,37 @@ pub struct E17CellStats {
     /// Measured spill-call wall clock in nanoseconds.  **Not** part of any
     /// report row — aggregated into the summary's perf counters only.
     pub elapsed_nanos: u64,
+    /// Pass counters of the cell's analyses and spill call (deterministic,
+    /// unlike `elapsed_nanos` — these do ride in the rows).
+    pub counters: coalesce_stats::Counters,
 }
 
 /// Runs one spiller on (a clone of) `f` at the E16-convention `k` and
 /// packages the deterministic statistics.
 pub fn e17_cell_stats(f: &Function, spiller: SpillerKind) -> E17CellStats {
-    let maxlive = Liveness::compute(f).maxlive_precise(f);
-    let k = (maxlive / 2).max(3);
-    // Costs on the pre-spill program: the reported weight is the price of
-    // the chosen victims, not of the rewrite's reload temporaries.
-    let costs = spill::spill_costs(f);
-    let mut spilled_f = f.clone();
-    let started = std::time::Instant::now();
-    let result = spiller.run(&mut spilled_f, k);
-    let elapsed_nanos = started.elapsed().as_nanos() as u64;
-    let spill_weight = result.spilled.iter().map(|v| costs[v.index()]).sum::<u64>();
+    let _span = coalesce_stats::span!("e17/cell");
+    let ((maxlive, k, result, elapsed_nanos, spill_weight, maxlive_after), counters) =
+        coalesce_stats::collect(|| {
+            let maxlive = Liveness::compute(f).maxlive_precise(f);
+            let k = (maxlive / 2).max(3);
+            // Costs on the pre-spill program: the reported weight is the
+            // price of the chosen victims, not of the rewrite's temps.
+            let costs = spill::spill_costs(f);
+            let mut spilled_f = f.clone();
+            let started = std::time::Instant::now();
+            let result = spiller.run(&mut spilled_f, k);
+            let elapsed_nanos = started.elapsed().as_nanos() as u64;
+            let spill_weight = result.spilled.iter().map(|v| costs[v.index()]).sum::<u64>();
+            let maxlive_after = Liveness::compute(&spilled_f).maxlive_precise(&spilled_f);
+            (
+                maxlive,
+                k,
+                result,
+                elapsed_nanos,
+                spill_weight,
+                maxlive_after,
+            )
+        });
     E17CellStats {
         spiller,
         maxlive,
@@ -98,8 +114,9 @@ pub fn e17_cell_stats(f: &Function, spiller: SpillerKind) -> E17CellStats {
         spilled: result.spilled.len(),
         reloads: result.reloads,
         spill_weight,
-        maxlive_after: Liveness::compute(&spilled_f).maxlive_precise(&spilled_f),
+        maxlive_after,
         elapsed_nanos,
+        counters,
     }
 }
 
@@ -155,11 +172,12 @@ fn grid_row_json(cell: &GridCell, f: &Function, s: &E17CellStats) -> Json {
         ("reloads", Json::from(s.reloads)),
         ("spill_weight", Json::from(s.spill_weight)),
         ("maxlive_after", Json::from(s.maxlive_after)),
+        ("stats", Json::counters(&s.counters)),
     ])
 }
 
 /// Aggregate of one spiller over the module slice.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct ModuleAgg {
     functions: usize,
     spilled: usize,
@@ -167,6 +185,7 @@ struct ModuleAgg {
     spill_weight: u64,
     within_k: usize,
     elapsed_nanos: u64,
+    counters: coalesce_stats::Counters,
 }
 
 impl ModuleAgg {
@@ -177,6 +196,7 @@ impl ModuleAgg {
         self.spill_weight += s.spill_weight;
         self.within_k += usize::from(s.maxlive_after <= s.k);
         self.elapsed_nanos += s.elapsed_nanos;
+        self.counters.merge(&s.counters);
     }
 }
 
@@ -227,7 +247,8 @@ pub fn e17_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
             .map(|&sp| e17_cell_stats(&f, sp))
             .collect()
     });
-    let mut aggs = [ModuleAgg::default(); SpillerKind::ALL.len()];
+    let mut aggs: [ModuleAgg; SpillerKind::ALL.len()] =
+        std::array::from_fn(|_| ModuleAgg::default());
     for per_fn in &module_stats {
         for (i, s) in per_fn.iter().enumerate() {
             aggs[i].add(s);
@@ -245,6 +266,7 @@ pub fn e17_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
             ("reloads", Json::from(a.reloads)),
             ("spill_weight", Json::from(a.spill_weight)),
             ("within_k", Json::from(a.within_k)),
+            ("stats", Json::counters(&a.counters)),
         ]));
     }
 
@@ -258,6 +280,16 @@ pub fn e17_report_with_jobs(base_seed: u64, jobs: usize) -> ExperimentReport {
             Json::from(per_spiller_weight[i]),
         ));
     }
+    let mut totals = coalesce_stats::Counters::default();
+    for (_, stats) in &cell_results {
+        for s in stats {
+            totals.merge(&s.counters);
+        }
+    }
+    for a in &aggs {
+        totals.merge(&a.counters);
+    }
+    summary.push(("stats".to_owned(), Json::counters(&totals)));
     // Measured, not deterministic: masked by the byte-compare tests,
     // treated as perf counters by `bench-diff`.
     for (i, spiller) in SpillerKind::ALL.into_iter().enumerate() {

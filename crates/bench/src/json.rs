@@ -39,6 +39,27 @@ impl Json {
         Json::Array(values.into_iter().collect())
     }
 
+    /// Serializes collected pass counters as an object in ascending name
+    /// order — the deterministic `"stats"` field the experiment rows and
+    /// summaries embed.  Counters are seed-deterministic (never wall
+    /// clock), so the field is byte-identical across runs and `--jobs`
+    /// values and is pinned by the golden fixtures.
+    pub fn counters(c: &coalesce_stats::Counters) -> Json {
+        Json::Object(
+            c.entries()
+                .iter()
+                .map(|&(k, v)| (k.to_string(), Json::UInt(v)))
+                .collect(),
+        )
+    }
+
+    /// Appends a `"stats"` counters field to an object row.
+    pub fn push_counters(&mut self, c: &coalesce_stats::Counters) {
+        if let Json::Object(pairs) = self {
+            pairs.push(("stats".to_string(), Json::counters(c)));
+        }
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn to_compact_string(&self) -> String {
         let mut out = String::new();

@@ -155,6 +155,8 @@ impl Coalescing {
         }
         self.merged_graph.merge(ra, rb);
         self.classes.union_into(ra.index(), rb.index());
+        // The one point every strategy funnels its accepted merges through.
+        coalesce_stats::counter!("coalesce.merges_accepted");
         Some(ra)
     }
 

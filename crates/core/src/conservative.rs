@@ -138,7 +138,11 @@ pub fn conservative_coalesce(
     k: usize,
     rule: ConservativeRule,
 ) -> ConservativeResult {
+    let _span = coalesce_stats::span!("core/coalesce/conservative");
     let mut coalescing = Coalescing::identity(&ag.graph);
+    // Rejected rule decisions, reported once at the fixpoint (accepted
+    // merges are counted by `Coalescing::merge` for every strategy).
+    let mut rejected: u64 = 0;
     // Keep looping over the affinities until a fixed point: a merge can make
     // a previously rejected merge acceptable.
     let mut changed = true;
@@ -170,9 +174,12 @@ pub fn conservative_coalesce(
             if ok {
                 coalescing.merge(ra, rb);
                 changed = true;
+            } else {
+                rejected += 1;
             }
         }
     }
+    coalesce_stats::counter!("coalesce.merges_rejected", rejected);
     let stats = coalescing.stats(&ag.affinities);
     ConservativeResult { coalescing, stats }
 }

@@ -80,13 +80,22 @@ pub(crate) fn mcs_clique_forest(g: &Graph) -> CliqueForest {
     // Visited-neighbor count of the previously visited vertex; MAX is the
     // "no previous vertex" sentinel so the first vertex starts a clique.
     let mut prev_card = usize::MAX;
+    // Pops (valid and stale) plus pushes; reported once at the end so the
+    // hot loop only touches a local.
+    let mut bucket_ops: u64 = 0;
 
     while visit_order.len() < n {
         let v = loop {
             match buckets[max_w].pop() {
-                Some(c) if !visited[c.index()] && weight[c.index()] == max_w => break c,
-                Some(_) => continue, // stale entry
-                None => max_w -= 1,  // bucket exhausted; the max can only drop
+                Some(c) if !visited[c.index()] && weight[c.index()] == max_w => {
+                    bucket_ops += 1;
+                    break c;
+                }
+                Some(_) => {
+                    bucket_ops += 1;
+                    continue; // stale entry
+                }
+                None => max_w -= 1, // bucket exhausted; the max can only drop
             }
         };
         visited[v.index()] = true;
@@ -141,6 +150,7 @@ pub(crate) fn mcs_clique_forest(g: &Graph) -> CliqueForest {
                     buckets.resize(w + 1, Vec::new());
                 }
                 buckets[w].push(u);
+                bucket_ops += 1;
             }
         }
         // The maximum weight can rise by at most one per visit.
@@ -186,6 +196,9 @@ pub(crate) fn mcs_clique_forest(g: &Graph) -> CliqueForest {
             }
         }
     }
+
+    coalesce_stats::counter!("mcs.bucket_ops", bucket_ops);
+    coalesce_stats::counter!("cliquetree.nodes", cliques.len() as u64);
 
     CliqueForest {
         visit_order,

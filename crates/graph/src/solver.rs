@@ -231,6 +231,20 @@ impl ExactSolver {
         if k == 0 {
             return None;
         }
+        // Report search effort to the per-pass sink as deltas, so nested
+        // queries on one solver are counted exactly once.
+        let before = self.stats;
+        let result = self.solve_dense_inner(dense, k);
+        coalesce_stats::counter!(
+            "solver.nodes",
+            self.stats.nodes_expanded - before.nodes_expanded
+        );
+        coalesce_stats::counter!("solver.memo_hits", self.stats.memo_hits - before.memo_hits);
+        result
+    }
+
+    fn solve_dense_inner(&mut self, dense: &Graph, k: usize) -> Option<Coloring> {
+        let n = dense.num_vertices();
         let mut coloring = Coloring::new(n);
         let components = if self.config.decompose_components {
             dense.connected_components()

@@ -185,6 +185,9 @@ fn evict_furthest(w: &mut Vec<Resident>, protect: &[Var]) -> Option<Resident> {
             best = Some(j);
         }
     }
+    if best.is_some() {
+        coalesce_stats::counter!("belady.evictions");
+    }
     best.map(|j| w.swap_remove(j))
 }
 
@@ -206,6 +209,7 @@ fn evict_furthest(w: &mut Vec<Resident>, protect: &[Var]) -> Option<Resident> {
 /// at that single point.  `tests/ir_backend.rs` pins the resulting
 /// contract: `maxlive_precise ≤ max(k + 1, the pass's own k = 0 floor)`.
 pub fn spill_belady(f: &mut Function, k: usize) -> SpillResult {
+    let _span = coalesce_stats::span!("ir/spill/belady");
     let decisions = belady_decisions(f, k);
     rewrite_spilled(f, decisions)
 }

@@ -184,6 +184,7 @@ impl Liveness {
     /// approximation of postorder for the structured CFGs the generators
     /// emit, so most blocks converge in one visit).
     pub fn compute(f: &Function) -> Self {
+        let _span = coalesce_stats::span!("ir/liveness");
         let n = f.num_blocks();
         let mut live = Liveness {
             live_in: vec![VarSet::new(f.num_vars()); n],
@@ -215,7 +216,11 @@ impl Liveness {
         // block's live-out, `flow` stages each successor's contribution.
         let mut out = VarSet::new(f.num_vars());
         let mut flow = VarSet::new(f.num_vars());
+        // Local tally, reported once after the fixpoint: the worklist loop
+        // is the hottest path in the analysis.
+        let mut iterations: u64 = 0;
         while let Some(b) = queue.pop_front() {
+            iterations += 1;
             queued[b.index()] = false;
             // live-out(b) = ∪_{s ∈ succ(b)} (live-in(s) \ phidefs(s)) ∪ phiuses(s from b)
             out.clear();
@@ -259,6 +264,7 @@ impl Liveness {
                 }
             }
         }
+        coalesce_stats::counter!("liveness.worklist_iterations", iterations);
     }
 
     /// Variables live at the entry of `b` (φ results excluded — they are

@@ -208,6 +208,7 @@ fn block_spill_stats(
 /// Variables that are already "short-lived" (live at only one point, e.g.
 /// reload temporaries) are never selected, which guarantees termination.
 pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
+    let _span = coalesce_stats::span!("ir/spill/pressure");
     let mut result = SpillResult::default();
     let mut not_spillable: BTreeSet<Var> = BTreeSet::new();
     // One full fixpoint up front; every later iteration patches it in
@@ -275,6 +276,10 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
     let mut affected_stamp: Vec<u32> = vec![0; f.num_blocks()];
     let mut affected_epoch: u32 = 0;
     let mut affected: Vec<usize> = Vec::new();
+    // Pass totals, reported once on exit: accepted victims and how many
+    // block statistics their rewrites forced us to rebuild.
+    let mut victims: u64 = 0;
+    let mut blocks_rebuilt: u64 = 0;
 
     loop {
         // Re-find the global Maxlive: per-block pressures retracted since
@@ -392,7 +397,11 @@ pub fn spill_to_pressure(f: &mut Function, k: usize) -> SpillResult {
         not_spillable.insert(victim);
         not_spillable.extend((vars_before..f.num_vars()).map(Var::new));
         result.spilled.push(victim);
+        victims += 1;
+        blocks_rebuilt += affected.len() as u64;
     }
+    coalesce_stats::counter!("spill.victims", victims);
+    coalesce_stats::counter!("spill.blocks_rebuilt", blocks_rebuilt);
     result
 }
 
@@ -493,6 +502,7 @@ impl SpillerKind {
 /// no cost/benefit choice — it is the strawman the loop-aware incremental
 /// spiller and the Belady spiller are measured against in E17.
 pub fn spill_all_candidates(f: &mut Function, k: usize) -> SpillResult {
+    let _span = coalesce_stats::span!("ir/spill/everywhere");
     let mut result = SpillResult::default();
     let mut not_spillable: BTreeSet<Var> = BTreeSet::new();
     let mut birth: Vec<u32> = Vec::new();
@@ -521,6 +531,7 @@ pub fn spill_all_candidates(f: &mut Function, k: usize) -> SpillResult {
         if victims.is_empty() {
             break;
         }
+        coalesce_stats::counter!("spill.victims", victims.len() as u64);
         for victim in victims {
             let vars_before = f.num_vars();
             spill_everywhere(f, victim, &mut result);

@@ -1,0 +1,351 @@
+//! Per-pass statistics for the coalescing pipeline: deterministic named
+//! **counters**, hierarchical wall-clock **spans**, and exporters.
+//!
+//! The design follows the LLVM `-stats` / `-time-passes` split the
+//! experiments need:
+//!
+//! * **Counters** ([`counter!`], [`bump`]) are *deterministic*: they count
+//!   algorithmic events (worklist iterations, spill victims, solver nodes),
+//!   never wall clock, so for a fixed seed the collected values are
+//!   byte-identical across runs, machines, and `--jobs` fan-outs.  They are
+//!   gathered per work unit with [`collect`], which activates a frame on
+//!   the *calling thread's* sink for the dynamic extent of a closure —
+//!   outside any frame (or at [`Level::Off`]) the macro is a no-op that
+//!   never touches, let alone grows, the sink.
+//! * **Spans** ([`span!`], [`trace`]) record a wall-clock tree.  Timings
+//!   are *never* deterministic, so spans are kept strictly out of the
+//!   byte-compared report path: they only surface on stderr and in the
+//!   `--trace-out` chrome://tracing sidecar.
+//!
+//! The level is resolved per thread (an explicit thread override via
+//! [`with_level`], else the process-wide default): tests can suppress or
+//! enable instrumentation on their own thread without racing the rest of a
+//! concurrently running test binary.
+
+#![warn(missing_docs)]
+
+pub mod trace;
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much instrumentation is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is recorded; [`bump`] and [`span!`] return immediately and
+    /// the counter sink is never touched.
+    Off,
+    /// Counters are recorded inside [`collect`] frames; spans are off.
+    /// This is the default: counters are deterministic and cheap (local
+    /// accumulation in the passes, one sink write per pass), so the
+    /// experiment reports can always embed them.
+    Counters,
+    /// Counters plus wall-clock spans (the `--trace-out` mode).
+    Trace,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            2 => Level::Trace,
+            _ => Level::Counters,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Level::Off => 0,
+            Level::Counters => 1,
+            Level::Trace => 2,
+        }
+    }
+}
+
+/// Process-wide default level; threads without an override resolve to it.
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(1);
+
+const THREAD_LEVEL_UNSET: u8 = u8::MAX;
+
+thread_local! {
+    /// Per-thread level override (`u8::MAX` = unset, fall back to default).
+    static THREAD_LEVEL: Cell<u8> = const { Cell::new(THREAD_LEVEL_UNSET) };
+    /// Number of active [`collect`] frames on this thread.  Kept in a
+    /// plain `Cell` so the [`bump`] fast path is one thread-local read.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// The frame stack itself: each frame accumulates `(name, value)`
+    /// pairs in first-bump order (sorted on collection).
+    static FRAMES: RefCell<Vec<Vec<(&'static str, u64)>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide default level (what threads without an override use).
+pub fn default_level() -> Level {
+    Level::from_u8(DEFAULT_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Sets the process-wide default level.  Worker threads spawned after (or
+/// running through) this call resolve to the new default unless they carry
+/// a [`with_level`] override.
+pub fn set_default_level(level: Level) {
+    DEFAULT_LEVEL.store(level.as_u8(), Ordering::Relaxed);
+}
+
+/// The level in effect on the calling thread.
+pub fn level() -> Level {
+    let local = THREAD_LEVEL.with(Cell::get);
+    if local == THREAD_LEVEL_UNSET {
+        default_level()
+    } else {
+        Level::from_u8(local)
+    }
+}
+
+/// Runs `f` with `level` in force on the calling thread, restoring the
+/// previous state afterwards (panic-safe).  The override is thread-local:
+/// concurrently running tests and worker threads are unaffected.
+pub fn with_level<R>(level: Level, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LEVEL.with(|l| l.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_LEVEL.with(|l| l.replace(level.as_u8())));
+    f()
+}
+
+/// Adds `n` to the named counter of the innermost active [`collect`] frame
+/// on this thread.
+///
+/// Outside any frame, or when the thread's level is [`Level::Off`], this
+/// returns after one thread-local read without touching the sink — the
+/// no-op path the hot passes rely on.  `name` should be a stable
+/// `pass.event` identifier (e.g. `"spill.victims"`); it becomes a JSON key
+/// in the experiment reports.
+#[inline]
+pub fn bump(name: &'static str, n: u64) {
+    if DEPTH.with(Cell::get) == 0 || level() == Level::Off {
+        return;
+    }
+    FRAMES.with_borrow_mut(|frames| {
+        let frame = frames.last_mut().expect("DEPTH > 0 implies a frame");
+        match frame.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => frame.push((name, n)),
+        }
+    });
+}
+
+/// Test hook: the number of active [`collect`] frames on this thread.
+pub fn sink_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// Runs `f` with a fresh counter frame on the calling thread and returns
+/// its result together with the counters the extent recorded.
+///
+/// Frames nest: an inner `collect` folds its totals into the enclosing
+/// frame as it closes, so an outer scope sees the sum of everything that
+/// happened inside it.  At [`Level::Off`] the closure runs without a frame
+/// and the returned [`Counters`] are empty.
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Counters) {
+    if level() == Level::Off {
+        return (f(), Counters::default());
+    }
+    // Panic safety: the guard pops the frame (and repairs DEPTH) even when
+    // `f` unwinds, so a caught panic in a worker cannot corrupt the sink.
+    struct FrameGuard {
+        armed: bool,
+    }
+    impl Drop for FrameGuard {
+        fn drop(&mut self) {
+            if self.armed {
+                FRAMES.with_borrow_mut(|frames| {
+                    frames.pop();
+                });
+                DEPTH.with(|d| d.set(d.get() - 1));
+            }
+        }
+    }
+    FRAMES.with_borrow_mut(|frames| frames.push(Vec::new()));
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let mut guard = FrameGuard { armed: true };
+    let result = f();
+    guard.armed = false;
+    DEPTH.with(|d| d.set(d.get() - 1));
+    let mut entries = FRAMES.with_borrow_mut(|frames| {
+        let frame = frames.pop().expect("collect frame present");
+        // Fold into the parent frame so nested scopes aggregate upward.
+        if let Some(parent) = frames.last_mut() {
+            for &(name, value) in &frame {
+                match parent.iter_mut().find(|(k, _)| *k == name) {
+                    Some((_, v)) => *v += value,
+                    None => parent.push((name, value)),
+                }
+            }
+        }
+        frame
+    });
+    entries.sort_unstable_by_key(|&(name, _)| name);
+    (result, Counters { entries })
+}
+
+/// A set of named counter totals, sorted by name — the deterministic
+/// object the experiment rows embed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// The `(name, value)` pairs in ascending name order.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+
+    /// The value of one counter (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .binary_search_by(|&(k, _)| k.cmp(name))
+            .map_or(0, |i| self.entries[i].1)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds every counter of `other` into `self` (name-wise sums); the
+    /// result stays sorted.  Merging is commutative and associative, so
+    /// aggregates are independent of merge order — but callers merge in
+    /// row order anyway to keep the code path itself deterministic.
+    pub fn merge(&mut self, other: &Counters) {
+        for &(name, value) in &other.entries {
+            match self.entries.binary_search_by(|&(k, _)| k.cmp(name)) {
+                Ok(i) => self.entries[i].1 += value,
+                Err(i) => self.entries.insert(i, (name, value)),
+            }
+        }
+    }
+}
+
+/// Adds to a named counter of the active [`collect`] frame:
+/// `counter!("spill.victims")` bumps by 1, `counter!("spill.victims", n)`
+/// by `n`.  A no-op (sink untouched) outside any frame or at
+/// [`Level::Off`].
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {
+        $crate::bump($name, 1)
+    };
+    ($name:literal, $n:expr) => {
+        $crate::bump($name, $n as u64)
+    };
+}
+
+/// Opens a wall-clock span: `let _span = span!("e16/function");`.  The
+/// span closes (and records a trace event) when the guard drops.  Inactive
+/// unless the thread's level is [`Level::Trace`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_outside_a_frame_is_a_no_op() {
+        assert_eq!(sink_depth(), 0);
+        bump("test.orphan", 7);
+        let ((), counters) = collect(|| {});
+        assert!(counters.is_empty(), "orphan bump must not leak into frames");
+    }
+
+    #[test]
+    fn collect_gathers_sorted_counters() {
+        let (value, counters) = collect(|| {
+            counter!("z.last");
+            counter!("a.first", 2);
+            counter!("z.last", 4);
+            42
+        });
+        assert_eq!(value, 42);
+        assert_eq!(counters.entries(), &[("a.first", 2), ("z.last", 5)]);
+        assert_eq!(counters.get("z.last"), 5);
+        assert_eq!(counters.get("missing"), 0);
+    }
+
+    #[test]
+    fn nested_frames_fold_into_the_parent() {
+        let ((), outer) = collect(|| {
+            counter!("outer.only");
+            let ((), inner) = collect(|| counter!("shared", 3));
+            assert_eq!(inner.entries(), &[("shared", 3)]);
+            counter!("shared", 1);
+        });
+        assert_eq!(outer.get("outer.only"), 1);
+        assert_eq!(outer.get("shared"), 4, "inner totals fold upward");
+    }
+
+    #[test]
+    fn off_level_suppresses_collection_on_this_thread_only() {
+        let ((), counters) = with_level(Level::Off, || {
+            assert_eq!(level(), Level::Off);
+            collect(|| counter!("suppressed"))
+        });
+        assert!(counters.is_empty());
+        assert_eq!(level(), default_level());
+        // A sibling thread is unaffected by the (dropped) override.
+        let handle = std::thread::spawn(|| collect(|| counter!("alive")).1);
+        assert_eq!(handle.join().unwrap().get("alive"), 1);
+    }
+
+    #[test]
+    fn with_level_restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_level(Level::Off, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(level(), default_level());
+    }
+
+    #[test]
+    fn collect_survives_a_panicking_closure() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = collect(|| {
+                counter!("doomed");
+                panic!("boom");
+            });
+        });
+        assert!(result.is_err());
+        assert_eq!(sink_depth(), 0, "frame must be popped on unwind");
+        let ((), counters) = collect(|| counter!("after"));
+        assert_eq!(counters.entries(), &[("after", 1)]);
+    }
+
+    #[test]
+    fn merge_sums_name_wise_and_stays_sorted() {
+        let ((), mut a) = collect(|| {
+            counter!("m.x", 1);
+            counter!("m.z", 10);
+        });
+        let ((), b) = collect(|| {
+            counter!("m.x", 2);
+            counter!("m.y", 5);
+        });
+        a.merge(&b);
+        assert_eq!(a.entries(), &[("m.x", 3), ("m.y", 5), ("m.z", 10)]);
+    }
+
+    #[test]
+    fn levels_order_and_default() {
+        assert!(Level::Off < Level::Counters);
+        assert!(Level::Counters < Level::Trace);
+        assert_eq!(Level::from_u8(Level::Trace.as_u8()), Level::Trace);
+        assert_eq!(Level::from_u8(Level::Off.as_u8()), Level::Off);
+    }
+}

@@ -1,0 +1,71 @@
+//! Off-level fast-path guarantee: the disabled macro paths perform no
+//! heap allocation and never touch the counter sink.
+//!
+//! Uses a counting global allocator with a *thread-local* tally so the
+//! assertion is immune to concurrent test threads allocating.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+#[test]
+fn disabled_counter_and_span_paths_do_not_allocate() {
+    coalesce_stats::with_level(coalesce_stats::Level::Off, || {
+        // Warm up the thread-locals outside the measured window.
+        coalesce_stats::bump("noalloc.warmup", 1);
+        assert!(coalesce_stats::trace::span("noalloc/warmup").is_none());
+
+        let n = allocations_during(|| {
+            for _ in 0..10_000 {
+                coalesce_stats::counter!("noalloc.bump");
+                coalesce_stats::counter!("noalloc.bump_n", 3);
+                let _span = coalesce_stats::span!("noalloc/span");
+            }
+        });
+        assert_eq!(n, 0, "Off-level counter/span paths must not allocate");
+        assert_eq!(coalesce_stats::sink_depth(), 0, "sink must stay untouched");
+    });
+}
+
+#[test]
+fn bump_outside_any_frame_does_not_allocate_even_at_counters_level() {
+    coalesce_stats::with_level(coalesce_stats::Level::Counters, || {
+        coalesce_stats::bump("noalloc.warmup2", 1);
+        let n = allocations_during(|| {
+            for _ in 0..10_000 {
+                coalesce_stats::counter!("noalloc.orphan");
+            }
+        });
+        assert_eq!(n, 0, "bump with no collect frame must not allocate");
+    });
+}

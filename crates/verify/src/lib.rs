@@ -376,12 +376,17 @@ pub fn verify(cx: &VerifyCtx<'_>) -> Vec<Violation> {
     if !cx.level.is_on() {
         return out;
     }
+    let _span = coalesce_stats::span!("verify/suite");
+    let mut checks_run: u64 = 0;
     for checker in checks::standard_suite() {
         checker.run(cx, &mut out);
+        checks_run += 1;
         if checker.name() == "cfg" && out.iter().any(|v| v.rule == rules::CFG_BLOCK_RANGES.id) {
-            return out;
+            break;
         }
     }
+    coalesce_stats::counter!("verify.checks_run", checks_run);
+    coalesce_stats::counter!("verify.violations", out.len() as u64);
     out
 }
 

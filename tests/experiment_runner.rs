@@ -26,6 +26,23 @@ fn mask_timing(s: &str) -> String {
         .join("\n")
 }
 
+/// Removes every `"stats"` pass-counter object, recursively, so a run
+/// with the counter sink disabled (empty objects) can be compared to a
+/// default-level run on all the *other* deterministic fields.
+fn strip_stats(json: &Json) -> Json {
+    match json {
+        Json::Object(pairs) => Json::Object(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "stats")
+                .map(|(k, v)| (k.clone(), strip_stats(v)))
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(strip_stats).collect()),
+        other => other.clone(),
+    }
+}
+
 /// `run-experiments --experiment e1 --seed 42` must reproduce the
 /// committed fixture byte-for-byte.  If this fails because the E1 report
 /// format deliberately changed, regenerate the fixture with
@@ -506,6 +523,134 @@ fn guarded_experiments_declare_their_budget_in_the_summary() {
             .and_then(|(_, v)| v.as_u64());
         assert_eq!(embedded, declared, "{}", report.id);
     }
+}
+
+/// The tentpole guarantee of `coalesce-stats`: every E13–E17 row and
+/// summary embeds a non-empty `"stats"` pass-counter object, so the
+/// per-pass work (spill victims, solver nodes, MCS bucket operations,
+/// liveness worklist iterations, coalescing decisions) is visible in every
+/// experiment artifact.
+#[test]
+fn e13_to_e17_rows_and_summaries_carry_pass_counters() {
+    let ids = [
+        ExperimentId::E13,
+        ExperimentId::E14,
+        ExperimentId::E15,
+        ExperimentId::E16,
+        ExperimentId::E17,
+    ];
+    for id in ids {
+        let report = serial_sweep().iter().find(|r| r.id == id).unwrap();
+        for (i, row) in report.rows.iter().enumerate() {
+            let Some(Json::Object(stats)) = row.get("stats") else {
+                panic!("{id} row {i}: missing `stats` counter object");
+            };
+            assert!(!stats.is_empty(), "{id} row {i}: empty `stats` object");
+        }
+        let Some((_, Json::Object(stats))) = report.summary.iter().find(|(k, _)| k == "stats")
+        else {
+            panic!("{id} summary: missing `stats` counter object");
+        };
+        assert!(!stats.is_empty(), "{id} summary: empty `stats` object");
+        // Timing never leaks into the deterministic counter objects.
+        for (key, _) in stats {
+            assert!(
+                !key.ends_with("_ns") && !key.ends_with("_us") && !key.ends_with("_ms"),
+                "{id}: timing field `{key}` inside the stats object"
+            );
+        }
+    }
+}
+
+/// The embedded pass counters must be byte-identical for any `--jobs`
+/// value: each work unit collects its counters on whichever worker thread
+/// runs it, and the results come back in input order, so the fan-out width
+/// can never change a single count.  `--jobs 4` is covered by the
+/// per-experiment identity tests above; this pushes the counter-bearing
+/// experiments through `--jobs 8` as well.
+#[test]
+fn pass_counters_are_byte_identical_across_jobs_1_4_8() {
+    let ids = [
+        ExperimentId::E13,
+        ExperimentId::E14,
+        ExperimentId::E15,
+        ExperimentId::E16,
+        ExperimentId::E17,
+    ];
+    for id in ids {
+        let serial = serial_sweep()
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap()
+            .to_json()
+            .to_pretty_string();
+        let jobs8 = coalesce_bench::run_experiment_with_jobs(id, 42, 8)
+            .to_json()
+            .to_pretty_string();
+        assert_eq!(
+            mask_timing(&serial),
+            mask_timing(&jobs8),
+            "{id}: --jobs 8 changed a deterministic field (counters included)"
+        );
+    }
+}
+
+/// Repeated runs of the same experiment in one process must agree byte for
+/// byte, counters included — the counter sink is per-collect-frame, so no
+/// state can leak from one run into the next.
+#[test]
+fn pass_counters_are_byte_identical_across_repeated_runs() {
+    let first = run_experiment(ExperimentId::E13, 42)
+        .to_json()
+        .to_pretty_string();
+    let second = run_experiment(ExperimentId::E13, 42)
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(first, second);
+}
+
+/// The `Level::Off` fast path: with the sink disabled the whole E16 module
+/// pipeline must still meet its declared wall-clock budget (the counter
+/// macros collapse to a single early-return), the counter objects come
+/// back empty, and every *other* deterministic field is byte-identical to
+/// the default-level run — proving the counters observe the passes without
+/// steering them.
+#[test]
+fn e16_with_stats_off_meets_the_budget_and_changes_nothing_else() {
+    let start = Instant::now();
+    // `--jobs 1` keeps the work on this thread, where the thread-local
+    // Off override is in force; the dispatch wrapper appends `budget_ms`
+    // exactly like the sweep does.
+    let report = coalesce_stats::with_level(coalesce_stats::Level::Off, || {
+        coalesce_bench::run_experiment_with_jobs(ExperimentId::E16, 42, 1)
+    });
+    let elapsed = start.elapsed();
+    let budget = Duration::from_millis(ExperimentId::E16.budget_ms().unwrap());
+    assert!(
+        elapsed < budget,
+        "E16 with stats Off took {elapsed:?} (budget: {budget:?}) — the \
+         disabled counter path must stay off the hot loops"
+    );
+    for (i, row) in report.rows.iter().enumerate() {
+        let Some(Json::Object(stats)) = row.get("stats") else {
+            panic!("row {i}: missing `stats` object");
+        };
+        assert!(stats.is_empty(), "row {i}: Off-level run still counted");
+    }
+    let off = strip_stats(&report.to_json()).to_pretty_string();
+    let on = strip_stats(
+        &serial_sweep()
+            .iter()
+            .find(|r| r.id == ExperimentId::E16)
+            .unwrap()
+            .to_json(),
+    )
+    .to_pretty_string();
+    assert_eq!(
+        mask_timing(&off),
+        mask_timing(&on),
+        "disabling the counter sink changed a deterministic report field"
+    );
 }
 
 /// The E4 perf-regression budget: all 6 reduction rows of the acceptance
