@@ -1,4 +1,4 @@
-//! `run-experiments` — deterministic CLI driver for the E1–E17 experiments
+//! `run-experiments` — deterministic CLI driver for the E1–E18 experiments
 //! and the streaming corpus analyzer.
 //!
 //! ```text
@@ -47,7 +47,7 @@ const FLAGS: &[FlagSpec] = &[
         short: Some("-e"),
         metavar: Some("<ID>"),
         help: &[
-            "Experiment to run: e1..e17, or `all` (default: all);",
+            "Experiment to run: e1..e18, or `all` (default: all);",
             "repeatable",
         ],
     },
@@ -134,6 +134,19 @@ const FLAGS: &[FlagSpec] = &[
         ],
     },
     FlagSpec {
+        long: "--timeout-ms",
+        short: None,
+        metavar: Some("<MS>"),
+        help: &[
+            "Per-experiment wall-clock ceiling.  An experiment",
+            "still running after MS milliseconds is abandoned and",
+            "its report is replaced by a deterministic stub whose",
+            "summary carries `timed_out: true` and the ceiling, so",
+            "archived JSON stays diffable even when a run is cut",
+            "short",
+        ],
+    },
+    FlagSpec {
         long: "--quiet",
         short: Some("-q"),
         metavar: None,
@@ -157,7 +170,7 @@ const FLAGS: &[FlagSpec] = &[
 /// the parser because both read the same table.
 fn usage() -> String {
     let mut out = String::from(
-        "run-experiments: run the E1-E17 coalescing experiments deterministically\n\
+        "run-experiments: run the E1-E18 coalescing experiments deterministically\n\
          \n\
          USAGE:\n\
          \x20   run-experiments [OPTIONS]\n\
@@ -197,6 +210,7 @@ struct Options {
     verify: VerifyLevel,
     stats: bool,
     trace_out: Option<String>,
+    timeout_ms: Option<u64>,
     quiet: bool,
 }
 
@@ -211,6 +225,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut verify = VerifyLevel::Off;
     let mut stats = false;
     let mut trace_out: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
     let mut quiet = false;
 
     let mut iter = args.iter();
@@ -295,6 +310,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--verify" => verify = value(()).parse()?,
             "--stats" => stats = true,
             "--trace-out" => trace_out = Some(value(())),
+            "--timeout-ms" => {
+                let value = value(());
+                timeout_ms = Some(value.parse().ok().filter(|&n: &u64| n >= 1).ok_or(format!(
+                    "--timeout-ms expects a positive integer, got `{value}`"
+                ))?);
+            }
             "--quiet" => quiet = true,
             other => unreachable!("flag `{other}` is in FLAGS but not dispatched"),
         }
@@ -309,8 +330,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if corpus.is_empty() && batch_size.is_some() {
         return Err("--batch only applies to --corpus mode".into());
     }
-    if !corpus.is_empty() && (stats || trace_out.is_some()) {
-        return Err("--stats and --trace-out only apply to experiment mode".into());
+    if !corpus.is_empty() && (stats || trace_out.is_some() || timeout_ms.is_some()) {
+        return Err("--stats, --trace-out and --timeout-ms only apply to experiment mode".into());
     }
 
     // Dedupe while preserving first-occurrence order, so mixes of `all`
@@ -350,6 +371,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         verify,
         stats,
         trace_out,
+        timeout_ms,
         quiet,
     }))
 }
@@ -437,6 +459,55 @@ fn run_corpus_mode(options: &Options) -> ExitCode {
     }
 }
 
+/// The deterministic stand-in for an experiment that blew its
+/// `--timeout-ms` ceiling: no rows, and a summary that says so.  The
+/// bytes depend only on the id, seed and ceiling, so archived runs with
+/// timeouts still diff cleanly.
+fn timed_out_report(id: ExperimentId, base_seed: u64, timeout_ms: u64) -> ExperimentReport {
+    ExperimentReport {
+        id,
+        title: id.title(),
+        base_seed,
+        rows: Vec::new(),
+        summary: vec![
+            ("timed_out".into(), Json::Bool(true)),
+            ("timeout_ms".into(), Json::from(timeout_ms)),
+        ],
+    }
+}
+
+/// Runs each selected experiment on its own thread and waits at most
+/// `timeout_ms` for it.  A laggard is abandoned — its thread keeps
+/// computing detached, since arbitrary compute can't be cancelled safely
+/// — and its slot is filled by [`timed_out_report`].  A worker that dies
+/// (panics) is reported the same way rather than taking the driver down.
+fn run_reports_with_timeout(options: &Options, timeout_ms: u64) -> Vec<ExperimentReport> {
+    options
+        .experiments
+        .iter()
+        .map(|&id| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let seed = options.seed;
+            let jobs = options.jobs;
+            let profiles = options.profiles.clone();
+            std::thread::spawn(move || {
+                let report = run_reports_filtered(&[id], seed, jobs, &profiles);
+                let _ = tx.send(report);
+            });
+            match rx.recv_timeout(std::time::Duration::from_millis(timeout_ms)) {
+                Ok(mut reports) => reports.remove(0),
+                Err(_) => {
+                    eprintln!(
+                        "warning: {} exceeded --timeout-ms {timeout_ms}; emitting stub report",
+                        id.as_str()
+                    );
+                    timed_out_report(id, seed, timeout_ms)
+                }
+            }
+        })
+        .collect()
+}
+
 /// Prints each report's summary `"stats"` counter object as a stderr
 /// table — the human exporter of the pass-counter machinery.
 fn print_stats_tables(reports: &[ExperimentReport]) {
@@ -481,12 +552,15 @@ fn main() -> ExitCode {
         coalesce_stats::set_default_level(coalesce_stats::Level::Trace);
     }
 
-    let reports = run_reports_filtered(
-        &options.experiments,
-        options.seed,
-        options.jobs,
-        &options.profiles,
-    );
+    let reports = match options.timeout_ms {
+        Some(timeout_ms) => run_reports_with_timeout(&options, timeout_ms),
+        None => run_reports_filtered(
+            &options.experiments,
+            options.seed,
+            options.jobs,
+            &options.profiles,
+        ),
+    };
 
     if !options.quiet {
         for report in &reports {
@@ -642,5 +716,47 @@ mod tests {
     fn value_flags_require_a_value() {
         let err = opts(&["--trace-out"]).unwrap_err();
         assert!(err.contains("--trace-out requires a value"));
+    }
+
+    #[test]
+    fn timeout_ms_parses_and_is_experiment_mode_only() {
+        let options = opts(&["--timeout-ms", "5000"]).unwrap().unwrap();
+        assert_eq!(options.timeout_ms, Some(5000));
+        assert!(opts(&[]).unwrap().unwrap().timeout_ms.is_none());
+        let err = opts(&["--timeout-ms", "0"]).unwrap_err();
+        assert!(err.contains("positive integer"));
+        let err = opts(&["--corpus", "dir", "--timeout-ms", "10"]).unwrap_err();
+        assert!(err.contains("experiment mode"));
+    }
+
+    #[test]
+    fn timed_out_stub_reports_are_deterministic() {
+        let a = timed_out_report(ExperimentId::E18, 42, 7)
+            .to_json()
+            .to_pretty_string();
+        let b = timed_out_report(ExperimentId::E18, 42, 7)
+            .to_json()
+            .to_pretty_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"timed_out\": true"));
+        assert!(a.contains("\"timeout_ms\": 7"));
+        assert!(a.contains("\"rows\": []"));
+    }
+
+    #[test]
+    fn an_over_budget_experiment_is_replaced_by_the_stub() {
+        // A 1ms ceiling trips before any experiment can answer; the stub
+        // must fill its slot so the report count (and order) still match
+        // the request.
+        let options = opts(&["-e", "e16", "--timeout-ms", "1", "-q"])
+            .unwrap()
+            .unwrap();
+        let reports = run_reports_with_timeout(&options, 1);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, ExperimentId::E16);
+        assert!(reports[0]
+            .summary
+            .iter()
+            .any(|(k, v)| k == "timed_out" && *v == Json::Bool(true)));
     }
 }

@@ -1,4 +1,4 @@
-//! The E1–E17 experiments of the reproduction, as reusable library code.
+//! The E1–E18 experiments of the reproduction, as reusable library code.
 //!
 //! Each experiment is a function from a *base seed* to an
 //! [`ExperimentReport`]; base seed 0 reproduces the tables the original
@@ -11,6 +11,7 @@ pub mod module;
 pub mod reductions;
 pub mod regalloc;
 pub mod scaling;
+pub mod soak;
 pub mod spillers;
 pub mod strategies;
 pub mod structure;
@@ -68,11 +69,15 @@ pub enum ExperimentId {
     /// Belady MIN over the E13 workload grid and an E16 module slice,
     /// reporting loop-weighted spill weight and wall clock per spiller.
     E17,
+    /// Chaos soak of the allocation service: a seeded fault-injected
+    /// request trace through the `coalesce-serve` worker pool, asserting
+    /// the zero-crash invariant.
+    E18,
 }
 
 impl ExperimentId {
     /// Every experiment, in order.
-    pub const ALL: [ExperimentId; 17] = [
+    pub const ALL: [ExperimentId; 18] = [
         ExperimentId::E1,
         ExperimentId::E2,
         ExperimentId::E3,
@@ -90,6 +95,7 @@ impl ExperimentId {
         ExperimentId::E15,
         ExperimentId::E16,
         ExperimentId::E17,
+        ExperimentId::E18,
     ];
 
     /// The wall-clock budget (milliseconds) the experiment's hot path must
@@ -105,6 +111,7 @@ impl ExperimentId {
             ExperimentId::E15 => Some(5_000),
             ExperimentId::E16 => Some(10_000),
             ExperimentId::E17 => Some(10_000),
+            ExperimentId::E18 => Some(10_000),
             _ => None,
         }
     }
@@ -158,6 +165,9 @@ impl ExperimentId {
             ExperimentId::E17 => {
                 "rival spillers: everywhere vs pressure-greedy vs Belady (weight / wall clock)"
             }
+            ExperimentId::E18 => {
+                "chaos soak: fault-injected request trace through the allocation service"
+            }
         }
     }
 
@@ -181,6 +191,7 @@ impl ExperimentId {
             ExperimentId::E15 => "e15",
             ExperimentId::E16 => "e16",
             ExperimentId::E17 => "e17",
+            ExperimentId::E18 => "e18",
         }
     }
 }
@@ -265,6 +276,7 @@ pub fn run_experiment_filtered(
         ExperimentId::E15 => scaling::e15_report_with_jobs(base_seed, jobs),
         ExperimentId::E16 => module::e16_report_with_jobs(base_seed, jobs),
         ExperimentId::E17 => spillers::e17_report_with_jobs(base_seed, jobs),
+        ExperimentId::E18 => soak::e18_report_with_jobs(base_seed, jobs),
     };
     // Experiments with a wall-clock regression guard carry their declared
     // budget in the summary so `bench-diff` can cross-check it against the
@@ -326,7 +338,7 @@ mod tests {
                 id
             );
         }
-        assert!("e18".parse::<ExperimentId>().is_err());
+        assert!("e19".parse::<ExperimentId>().is_err());
         assert!("".parse::<ExperimentId>().is_err());
     }
 

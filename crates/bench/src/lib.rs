@@ -20,11 +20,11 @@
 
 pub mod corpus;
 pub mod experiments;
-pub mod json;
 pub mod par;
 pub mod report;
 pub mod verify;
 
+pub use coalesce_stats::json;
 pub use corpus::{run_corpus, CorpusConfig, CorpusSummary};
 pub use experiments::{
     run_experiment, run_experiment_filtered, run_experiment_with_jobs, run_reports,

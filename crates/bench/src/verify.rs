@@ -68,8 +68,44 @@ pub fn verify_experiment(
         ExperimentId::E15 => verify_e15(base_seed, level, jobs),
         ExperimentId::E16 => verify_e16(base_seed, level, jobs),
         ExperimentId::E17 => verify_e17(base_seed, level, jobs),
+        ExperimentId::E18 => verify_e18(base_seed, jobs),
         _ => Vec::new(),
     }
+}
+
+/// E18: replay the chaos soak (which re-verifies every answer at the
+/// `boundaries` level inside the service) and turn its two pinned
+/// invariants — zero verification failures, zero worker deaths — into
+/// violations.
+fn verify_e18(base_seed: u64, jobs: usize) -> Vec<Violation> {
+    let report = crate::experiments::soak::e18_report_with_jobs(base_seed, jobs);
+    let summary_u64 = |key: &str| {
+        report
+            .summary
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+    let mut violations = Vec::new();
+    let failures = summary_u64("verify_failures");
+    if failures > 0 {
+        violations.push(Violation::new(
+            coalesce_verify::rules::SERVE_RESPONSE_UNVERIFIED,
+            "e18",
+            format!("{failures} service response(s) failed boundary re-verification"),
+        ));
+    }
+    let workers = summary_u64("workers");
+    let clean = summary_u64("clean_worker_exits");
+    if clean != workers {
+        violations.push(Violation::new(
+            coalesce_verify::rules::SERVE_WORKER_DIED,
+            "e18",
+            format!("{clean}/{workers} workers exited cleanly under fault injection"),
+        ));
+    }
+    violations
 }
 
 /// The full SSA-input audit of one function: CFG, SSA, liveness,

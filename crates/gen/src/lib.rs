@@ -22,7 +22,9 @@
 //!   context where the local Briggs/George rules fail;
 //! * [`challenge`] — "coalescing challenge"-style instances: interference
 //!   graphs of generated programs after spilling to `Maxlive ≤ k` and
-//!   translating out of SSA, carrying many parallel-copy affinities.
+//!   translating out of SSA, carrying many parallel-copy affinities;
+//! * [`trace`] — seeded mixed-workload JSONL request traces for the
+//!   allocation service (`coalesce-serve`) and its E18 chaos soak.
 //!
 //! All generators take an explicit seed and are fully deterministic.
 
@@ -36,6 +38,7 @@ pub mod graphs;
 pub mod module;
 pub mod permutation;
 pub mod programs;
+pub mod trace;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

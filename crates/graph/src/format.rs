@@ -30,6 +30,17 @@
 use crate::graph::{Graph, VertexId};
 use std::fmt;
 
+/// What class of problem a [`ParseError`] reports — servers use this to
+/// map parse failures onto distinct protocol error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The input is syntactically or semantically malformed.
+    Malformed,
+    /// The input is well-formed but declares an instance larger than the
+    /// caller's [`ParseLimits`] allow.
+    TooLarge,
+}
+
 /// An error produced while parsing a DIMACS or challenge file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -37,6 +48,8 @@ pub struct ParseError {
     pub line: usize,
     /// Human-readable description of the problem.
     pub message: String,
+    /// Whether the input was malformed or merely over the size limits.
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -51,6 +64,86 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         message: message.into(),
+        kind: ParseErrorKind::Malformed,
+    }
+}
+
+fn err_large(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+        kind: ParseErrorKind::TooLarge,
+    }
+}
+
+/// Caps on the instance sizes the parsers will *allocate for*.
+///
+/// Both parsers size the vertex arena from the file's own problem line, so
+/// without a cap a one-line hostile input (`p edge 999999999999 0`) forces
+/// a terabyte-scale allocation — an abort, not an `Err` — before a single
+/// edge is read.  The declared counts are checked against these limits
+/// first; exceeding them is a typed [`ParseErrorKind::TooLarge`] error.
+///
+/// [`ParseLimits::default`] is generous (far beyond every corpus and
+/// generated workload in this repository, ~hundreds of MB of arena at the
+/// extreme) but finite.  Servers facing untrusted input should pass
+/// something much stricter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum declared vertex count.
+    pub max_vertices: usize,
+    /// Maximum declared edge (interference) count.
+    pub max_edges: usize,
+    /// Maximum declared affinity count.
+    pub max_affinities: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_vertices: 4_000_000,
+            max_edges: 100_000_000,
+            max_affinities: 10_000_000,
+        }
+    }
+}
+
+impl ParseLimits {
+    fn check(
+        &self,
+        lineno: usize,
+        n: usize,
+        edges: usize,
+        affinities: usize,
+    ) -> Result<(), ParseError> {
+        if n > self.max_vertices {
+            return Err(err_large(
+                lineno,
+                format!(
+                    "declared vertex count {n} exceeds limit {}",
+                    self.max_vertices
+                ),
+            ));
+        }
+        if edges > self.max_edges {
+            return Err(err_large(
+                lineno,
+                format!(
+                    "declared edge count {edges} exceeds limit {}",
+                    self.max_edges
+                ),
+            ));
+        }
+        if affinities > self.max_affinities {
+            return Err(err_large(
+                lineno,
+                format!(
+                    "declared affinity count {affinities} exceeds limit {}",
+                    self.max_affinities
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -100,8 +193,19 @@ pub fn to_dimacs(g: &Graph) -> String {
 /// malformed, a vertex number is out of range or zero, an edge is a
 /// self-loop, the number of `e` lines does not match the declared edge
 /// count (truncated or padded file), or an unknown line type is
-/// encountered.
+/// encountered.  Declared sizes are bounded by [`ParseLimits::default`];
+/// use [`from_dimacs_limited`] to tighten or loosen the caps.
 pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
+    from_dimacs_limited(input, &ParseLimits::default())
+}
+
+/// [`from_dimacs`] with caller-chosen [`ParseLimits`].
+///
+/// # Errors
+///
+/// As [`from_dimacs`], plus [`ParseErrorKind::TooLarge`] when the problem
+/// line declares more vertices or edges than `limits` allow.
+pub fn from_dimacs_limited(input: &str, limits: &ParseLimits) -> Result<Graph, ParseError> {
     let mut graph: Option<Graph> = None;
     let mut declared_edges = 0usize;
     let mut edge_lines = 0usize;
@@ -128,6 +232,7 @@ pub fn from_dimacs(input: &str) -> Result<Graph, ParseError> {
                 }
                 let n: usize = parse_field(parts.next(), lineno, "vertex count")?;
                 declared_edges = parse_field(parts.next(), lineno, "edge count")?;
+                limits.check(lineno, n, declared_edges, 0)?;
                 graph = Some(Graph::new(n));
             }
             Some("e") => {
@@ -186,8 +291,23 @@ pub fn to_challenge(file: &ChallengeFile) -> String {
 /// line, vertex numbers out of range, self-loop interferences, affinities
 /// between identical vertices, interference/affinity line counts that do
 /// not match the declared counts (truncated or padded file), or unknown
-/// line types.
+/// line types.  Declared sizes are bounded by [`ParseLimits::default`];
+/// use [`from_challenge_limited`] to tighten or loosen the caps.
 pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
+    from_challenge_limited(input, &ParseLimits::default())
+}
+
+/// [`from_challenge`] with caller-chosen [`ParseLimits`].
+///
+/// # Errors
+///
+/// As [`from_challenge`], plus [`ParseErrorKind::TooLarge`] when the
+/// problem line declares more vertices, interferences or affinities than
+/// `limits` allow.
+pub fn from_challenge_limited(
+    input: &str,
+    limits: &ParseLimits,
+) -> Result<ChallengeFile, ParseError> {
     let mut graph: Option<Graph> = None;
     let mut affinities: Vec<(VertexId, VertexId, u64)> = Vec::new();
     let mut registers = None;
@@ -218,6 +338,7 @@ pub fn from_challenge(input: &str) -> Result<ChallengeFile, ParseError> {
                 let n: usize = parse_field(parts.next(), lineno, "vertex count")?;
                 declared_edges = parse_field(parts.next(), lineno, "interference count")?;
                 declared_affinities = parse_field(parts.next(), lineno, "affinity count")?;
+                limits.check(lineno, n, declared_edges, declared_affinities)?;
                 graph = Some(Graph::new(n));
             }
             Some("k") => {
@@ -441,6 +562,39 @@ mod tests {
         assert!(e.message.contains("interference"), "{e}");
         let e = from_challenge("p coalesce 3 0 2\na 1 2 4\n").unwrap_err();
         assert!(e.message.contains("affinity"), "{e}");
+    }
+
+    #[test]
+    fn hostile_declared_counts_are_too_large_errors_not_allocations() {
+        // A one-line file must never size a terabyte arena from its own
+        // problem line; the declared count is checked *before* allocation.
+        let e = from_dimacs("p edge 999999999999 0\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge, "{e}");
+        assert!(e.message.contains("exceeds limit"), "{e}");
+        let e = from_challenge("p coalesce 999999999999 0 0\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge, "{e}");
+        // Declared edge / affinity floods are classified the same way.
+        let e = from_dimacs("p edge 4 999999999999\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge, "{e}");
+        let e = from_challenge("p coalesce 4 0 999999999999\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge, "{e}");
+        // Malformed input keeps its own kind.
+        let e = from_dimacs("p edge two 0\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Malformed, "{e}");
+    }
+
+    #[test]
+    fn custom_limits_tighten_the_caps() {
+        let strict = ParseLimits {
+            max_vertices: 8,
+            max_edges: 8,
+            max_affinities: 2,
+        };
+        assert!(from_dimacs_limited("p edge 8 1\ne 1 2\n", &strict).is_ok());
+        let e = from_dimacs_limited("p edge 9 0\n", &strict).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
+        let e = from_challenge_limited("p coalesce 4 0 3\n", &strict).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
     }
 
     #[test]

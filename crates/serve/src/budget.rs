@@ -1,0 +1,128 @@
+//! Per-request deadlines and deterministic work budgets.
+//!
+//! Every request runs under two independent limits:
+//!
+//! * a **wall-clock deadline** (`deadline_ms`), measured from the moment a
+//!   worker picks the request up.  Wall clock is inherently
+//!   nondeterministic, so deterministic replays (the E18 soak) only ever
+//!   use `deadline_ms: 0` — "already expired at pickup" — which triggers
+//!   identically on every run;
+//! * a **work budget** in *counter units*: the deterministic algorithmic
+//!   event counts the passes already report through `coalesce-stats`
+//!   (`solver.nodes`, `spill.victims`, liveness iterations, ...).  Rungs
+//!   charge what they measured (or a structural proxy where a cache would
+//!   make the measured value schedule-dependent), so for a fixed request
+//!   the point of exhaustion — and therefore the degradation decision —
+//!   is bit-for-bit reproducible.
+
+use std::time::Instant;
+
+/// Which limit ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhausted {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The deterministic work budget is spent.
+    Work,
+}
+
+impl Exhausted {
+    /// The `degrade_reason` wire label.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Exhausted::Deadline => "deadline",
+            Exhausted::Work => "budget",
+        }
+    }
+}
+
+/// The live budget of one request.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    /// Remaining work units; `None` = unlimited.
+    remaining: Option<u64>,
+}
+
+impl Budget {
+    /// Creates a budget.  `deadline_ms` counts from `start` (the pickup
+    /// instant); `work` is the total unit allowance.
+    pub fn new(start: Instant, deadline_ms: Option<u64>, work: Option<u64>) -> Self {
+        Budget {
+            deadline: deadline_ms
+                .map(|ms| start + std::time::Duration::from_millis(ms.min(86_400_000))),
+            remaining: work,
+        }
+    }
+
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            remaining: None,
+        }
+    }
+
+    /// Consumes `units` of work (saturating at zero).
+    pub fn charge(&mut self, units: u64) {
+        if let Some(rem) = &mut self.remaining {
+            *rem = rem.saturating_sub(units);
+        }
+    }
+
+    /// Checks both limits.  The work check is deterministic; the deadline
+    /// check reads the wall clock and is reported first (a request that is
+    /// both out of time and out of budget degrades for the deadline).
+    pub fn check(&self) -> Result<(), Exhausted> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Exhausted::Deadline);
+            }
+        }
+        if self.remaining == Some(0) {
+            return Err(Exhausted::Work);
+        }
+        Ok(())
+    }
+
+    /// True when at least `units` of work remain (always true when
+    /// unlimited).  Rungs gate on their deterministic cost estimate before
+    /// running, so a too-small budget degrades *before* burning the work.
+    pub fn affords(&self, units: u64) -> bool {
+        self.remaining.is_none_or(|rem| rem >= units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_budget_is_deterministic() {
+        let mut b = Budget::new(Instant::now(), None, Some(100));
+        assert!(b.check().is_ok());
+        assert!(b.affords(100));
+        assert!(!b.affords(101));
+        b.charge(60);
+        assert!(b.affords(40));
+        assert!(!b.affords(41));
+        b.charge(1_000);
+        assert_eq!(b.check(), Err(Exhausted::Work));
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_pickup() {
+        let b = Budget::new(Instant::now(), Some(0), None);
+        assert_eq!(b.check(), Err(Exhausted::Deadline));
+        assert_eq!(Exhausted::Deadline.reason(), "deadline");
+        assert_eq!(Exhausted::Work.reason(), "budget");
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut b = Budget::unlimited();
+        b.charge(u64::MAX);
+        assert!(b.check().is_ok());
+        assert!(b.affords(u64::MAX));
+    }
+}

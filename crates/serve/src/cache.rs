@@ -1,0 +1,140 @@
+//! Bounded LRU caches for the server's hot state.
+//!
+//! Long-lived servers must cap memory: prepared chordal sessions (clique
+//! trees) and interned module corpora are cached per graph/seed
+//! fingerprint in a strict least-recently-used structure with a fixed
+//! capacity.  Eviction affects only *latency*, never *answers* — every
+//! cached value is a pure function of its key — so worker scheduling (and
+//! therefore hit/miss patterns) cannot leak into response bytes.
+
+use coalesce_graph::Graph;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A small bounded LRU map.
+///
+/// Operations are O(capacity) in the worst case (the recency list is a
+/// plain vector); capacities here are double digits, where that beats
+/// pointer-chasing.
+#[derive(Debug)]
+pub struct Lru<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    /// Keys from least- to most-recently used.
+    recency: Vec<K>,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// Creates a cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Lru {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            recency: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if !self.map.contains_key(key) {
+            return None;
+        }
+        self.touch(key);
+        self.map.get(key)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return;
+        }
+        if self.recency.len() == self.capacity {
+            let evicted = self.recency.remove(0);
+            self.map.remove(&evicted);
+        }
+        self.recency.push(key);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            let k = self.recency.remove(pos);
+            self.recency.push(k);
+        }
+    }
+}
+
+/// A structural fingerprint of a graph (FNV-1a over the vertex count and
+/// the sorted edge list): the key prepared-chordal sessions are cached
+/// under.  Not cryptographic — a collision would at worst serve a wrong
+/// *cached* clique tree, so the engine stores the `(capacity, num_edges)`
+/// pair alongside and rebuilds on mismatch.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(g.capacity() as u64);
+    for (u, v) in g.edges() {
+        mix(u.index() as u64);
+        mix(v.index() as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalesce_graph::VertexId;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.get(&1), Some(&"a")); // 1 becomes most recent
+        lru.insert(3, "c"); // evicts 2
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(1, "b");
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), Some(&"b"));
+        assert!(!lru.is_empty());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structure() {
+        let v = VertexId::new;
+        let a = Graph::with_edges(3, [(v(0), v(1))]);
+        let b = Graph::with_edges(3, [(v(0), v(2))]);
+        let c = Graph::with_edges(4, [(v(0), v(1))]);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a.clone()));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&c));
+    }
+}

@@ -1,0 +1,545 @@
+//! The JSONL wire protocol: one request object per line in, one response
+//! object per line out.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"id":1,"kind":"dimacs","text":"p edge 3 2\ne 1 2\ne 2 3\n","k":2}
+//! {"id":2,"kind":"challenge","text":"p coalesce 4 2 1\n...","deadline_ms":50}
+//! {"id":3,"kind":"cfg","profile":"fp-loopnest","pressure":"high","seed":7,"budget":5000}
+//! {"id":4,"kind":"module_slice","seed":42,"start":10,"count":4}
+//! ```
+//!
+//! `id` is echoed on the response.  `deadline_ms` is a wall-clock deadline
+//! from the moment a worker picks the request up; `budget` is a
+//! deterministic work budget in counter units (see [`crate::budget`]).
+//! Both are optional; the server may impose defaults.
+//!
+//! # Responses
+//!
+//! Success: `{"id":N,"status":"ok","rung":"exact","degraded":false,...}`.
+//! Failure: `{"id":N,"status":"error","code":"parse_error","message":"..."}`.
+//! Queue-full backpressure: `{"id":N,"status":"overloaded","code":"overloaded",
+//! "retry_after_ms":M}`.  A caught worker panic:
+//! `{"id":N,"status":"internal_error","code":"internal_error","message":"...",
+//! "request":"<the offending line, echoed for replay>"}`.
+
+use coalesce_gen::cfg::{PressureLevel, ShapeProfile};
+use coalesce_stats::json::Json;
+use std::fmt;
+
+/// Machine-readable error classes, mirrored as `code` fields on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line or an embedded instance text failed to parse.
+    ParseError,
+    /// The request parsed but is semantically invalid (unknown kind,
+    /// missing fields, out-of-range slice, affinity between interfering
+    /// vertices, ...).
+    InvalidRequest,
+    /// The instance declares sizes above the server's limits.
+    TooLarge,
+    /// The bounded request queue is full; retry after `retry_after_ms`.
+    Overloaded,
+    /// The wall-clock deadline expired before any ladder rung could
+    /// produce an answer.
+    DeadlineExceeded,
+    /// A worker panicked while serving the request (caught; the pool
+    /// keeps serving).
+    InternalError,
+    /// The request kind is recognised but disabled on this server (e.g.
+    /// `panic` outside chaos mode).
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// The stable wire identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::InternalError => "internal_error",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The rung of the degradation ladder that produced an answer, ordered
+/// from most to least precise.
+///
+/// The three rungs follow the ladder declared in the experiment design:
+/// *exact* (optimal search), *chordal/IRC* (the paper's polynomial chordal
+/// machinery plus iterated-register-coalescing-style conservatism), and
+/// *greedy* (pressure-greedy / spill-everywhere — always terminates, never
+/// better, never wrong).  For CFG workloads the rungs map onto the rival
+/// spiller zoo: Belady MIN, pressure-greedy, spill-everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Optimal search (exact solver / Belady MIN spiller).
+    Exact,
+    /// Chordal machinery + IRC (pressure-greedy spiller for CFG work).
+    ChordalIrc,
+    /// Greedy coloring / spill-everywhere.
+    Greedy,
+}
+
+impl Rung {
+    /// All rungs, most precise first — the order the engine walks.
+    pub const LADDER: [Rung; 3] = [Rung::Exact, Rung::ChordalIrc, Rung::Greedy];
+
+    /// The stable wire identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rung::Exact => "exact",
+            Rung::ChordalIrc => "chordal_irc",
+            Rung::Greedy => "greedy",
+        }
+    }
+}
+
+/// What kind of work a request asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Color a DIMACS `.col` interference graph.
+    Dimacs {
+        /// The DIMACS text, inline.
+        text: String,
+    },
+    /// Allocate a challenge-format coalescing instance.
+    Challenge {
+        /// The challenge text, inline.
+        text: String,
+    },
+    /// Spill a generated CFG workload function.
+    Cfg {
+        /// Shape profile (see [`ShapeProfile::name`]).
+        profile: ShapeProfile,
+        /// Pressure level (`low` / `medium` / `high`).
+        pressure: PressureLevel,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// Spill a contiguous slice of the deterministic module workload.
+    ModuleSlice {
+        /// Module seed (the whole module derives from it).
+        seed: u64,
+        /// First function index.
+        start: usize,
+        /// Number of functions (bounded by the server).
+        count: usize,
+    },
+    /// Deliberately panic in the worker — only honoured in chaos mode,
+    /// where it exists to prove panic isolation end to end.
+    Panic,
+}
+
+impl RequestKind {
+    /// The stable wire identifier, used by reports to bucket outcomes.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RequestKind::Dimacs { .. } => "dimacs",
+            RequestKind::Challenge { .. } => "challenge",
+            RequestKind::Cfg { .. } => "cfg",
+            RequestKind::ModuleSlice { .. } => "module_slice",
+            RequestKind::Panic => "panic",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen identifier, echoed on the response.
+    pub id: u64,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Optional register target (`k`).  Defaults per kind.
+    pub k: Option<usize>,
+    /// Wall-clock deadline in milliseconds, measured from pickup.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic work budget in counter units.
+    pub budget: Option<u64>,
+}
+
+/// A request that failed to parse or validate, with the protocol error
+/// code it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The id, when the line got far enough to reveal one.
+    pub id: Option<u64>,
+    /// The protocol error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(id: Option<u64>, code: ErrorCode, message: impl Into<String>) -> Self {
+        RequestError {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Hard cap on accepted request-line length (bytes).  Lines above it are
+/// rejected as [`ErrorCode::TooLarge`] before JSON parsing, bounding both
+/// parser work and echo-buffer memory per request.
+pub const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// Parses one JSONL request line.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] carrying the protocol [`ErrorCode`] the
+/// response must use; the `id` is recovered whenever the line parsed far
+/// enough to contain one, so even malformed requests can usually be
+/// correlated by the client.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(RequestError::new(
+            None,
+            ErrorCode::TooLarge,
+            format!(
+                "request line of {} bytes exceeds {MAX_REQUEST_BYTES}",
+                line.len()
+            ),
+        ));
+    }
+    let doc = Json::parse(line)
+        .map_err(|e| RequestError::new(None, ErrorCode::ParseError, e.to_string()))?;
+    let id = doc.get("id").and_then(Json::as_u64);
+    if id.is_none() {
+        return Err(RequestError::new(
+            None,
+            ErrorCode::InvalidRequest,
+            "missing or non-integer `id`",
+        ));
+    }
+    let kind_name = doc.get("kind").and_then(Json::as_str).ok_or_else(|| {
+        RequestError::new(
+            id,
+            ErrorCode::InvalidRequest,
+            "missing or non-string `kind`",
+        )
+    })?;
+    let get_u64 = |key: &str| doc.get(key).and_then(Json::as_u64);
+    let get_usize = |key: &str| get_u64(key).map(|v| usize::try_from(v).unwrap_or(usize::MAX));
+    let get_text = |key: &str| -> Result<String, RequestError> {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                RequestError::new(
+                    id,
+                    ErrorCode::InvalidRequest,
+                    format!("missing or non-string `{key}`"),
+                )
+            })
+    };
+    let kind = match kind_name {
+        "dimacs" => RequestKind::Dimacs {
+            text: get_text("text")?,
+        },
+        "challenge" => RequestKind::Challenge {
+            text: get_text("text")?,
+        },
+        "cfg" => {
+            let profile_name = doc.get("profile").and_then(Json::as_str).unwrap_or("");
+            let profile: ShapeProfile = profile_name.parse().map_err(|_| {
+                RequestError::new(
+                    id,
+                    ErrorCode::InvalidRequest,
+                    format!("unknown profile `{profile_name}`"),
+                )
+            })?;
+            let pressure_name = doc.get("pressure").and_then(Json::as_str).unwrap_or("");
+            let pressure = parse_pressure(pressure_name).ok_or_else(|| {
+                RequestError::new(
+                    id,
+                    ErrorCode::InvalidRequest,
+                    format!("unknown pressure `{pressure_name}`"),
+                )
+            })?;
+            let seed = get_u64("seed").ok_or_else(|| {
+                RequestError::new(id, ErrorCode::InvalidRequest, "missing `seed`")
+            })?;
+            RequestKind::Cfg {
+                profile,
+                pressure,
+                seed,
+            }
+        }
+        "module_slice" => {
+            let seed = get_u64("seed").ok_or_else(|| {
+                RequestError::new(id, ErrorCode::InvalidRequest, "missing `seed`")
+            })?;
+            let start = get_usize("start").ok_or_else(|| {
+                RequestError::new(id, ErrorCode::InvalidRequest, "missing `start`")
+            })?;
+            let count = get_usize("count").ok_or_else(|| {
+                RequestError::new(id, ErrorCode::InvalidRequest, "missing `count`")
+            })?;
+            RequestKind::ModuleSlice { seed, start, count }
+        }
+        "panic" => RequestKind::Panic,
+        other => {
+            return Err(RequestError::new(
+                id,
+                ErrorCode::InvalidRequest,
+                format!("unknown kind `{other}`"),
+            ));
+        }
+    };
+    Ok(Request {
+        id: id.unwrap_or(0),
+        kind,
+        k: get_usize("k"),
+        deadline_ms: get_u64("deadline_ms"),
+        budget: get_u64("budget"),
+    })
+}
+
+/// `PressureLevel` has no `FromStr` upstream; the wire names mirror
+/// [`PressureLevel::name`].
+fn parse_pressure(name: &str) -> Option<PressureLevel> {
+    PressureLevel::ALL.into_iter().find(|p| p.name() == name)
+}
+
+/// A response, exactly one per accepted line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request was answered by some ladder rung.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// Request kind (for report bucketing).
+        kind: &'static str,
+        /// The rung that produced the answer.
+        rung: Rung,
+        /// True when a budget/deadline pushed the answer below the best
+        /// rung the request was eligible for.
+        degraded: bool,
+        /// Why the answer degraded (`"budget"` or `"deadline"`), if it did.
+        degrade_reason: Option<&'static str>,
+        /// `Some(outcome)` when the server re-verified the answer at
+        /// `--verify boundaries` or stricter.
+        verified: Option<bool>,
+        /// Kind-specific result fields.
+        payload: Vec<(String, Json)>,
+    },
+    /// The request was rejected or failed.
+    Error {
+        /// Echoed request id, when recoverable.
+        id: Option<u64>,
+        /// The protocol error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Backpressure: the bounded queue was full at submission.
+    Overloaded {
+        /// Echoed request id, when recoverable.
+        id: Option<u64>,
+        /// Suggested client retry delay.
+        retry_after_ms: u64,
+    },
+    /// A worker panicked while serving this request; caught and isolated.
+    InternalError {
+        /// Echoed request id, when recoverable.
+        id: Option<u64>,
+        /// The panic payload, stringified.
+        message: String,
+        /// The offending request line, echoed verbatim for offline replay.
+        request: String,
+    },
+}
+
+impl Response {
+    /// Builds the error response for a failed parse/validation.
+    pub fn from_request_error(e: RequestError) -> Response {
+        Response::Error {
+            id: e.id,
+            code: e.code,
+            message: e.message,
+        }
+    }
+
+    /// The `status` wire field.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Response::Ok { .. } => "ok",
+            Response::Error { .. } => "error",
+            Response::Overloaded { .. } => "overloaded",
+            Response::InternalError { .. } => "internal_error",
+        }
+    }
+
+    /// A stable label for outcome bucketing in reports: `"ok"`,
+    /// `"degraded"`, or the error code.
+    pub fn outcome(&self) -> &'static str {
+        match self {
+            Response::Ok {
+                degraded: false, ..
+            } => "ok",
+            Response::Ok { degraded: true, .. } => "degraded",
+            Response::Error { code, .. } => code.as_str(),
+            Response::Overloaded { .. } => ErrorCode::Overloaded.as_str(),
+            Response::InternalError { .. } => ErrorCode::InternalError.as_str(),
+        }
+    }
+
+    /// Serializes the response as one compact JSON line (no newline).
+    pub fn to_json(&self) -> Json {
+        let id_json = |id: &Option<u64>| id.map_or(Json::Null, Json::UInt);
+        match self {
+            Response::Ok {
+                id,
+                kind,
+                rung,
+                degraded,
+                degrade_reason,
+                verified,
+                payload,
+            } => {
+                let mut pairs = vec![
+                    ("id".to_string(), Json::UInt(*id)),
+                    ("status".to_string(), Json::from("ok")),
+                    ("kind".to_string(), Json::from(*kind)),
+                    ("rung".to_string(), Json::from(rung.as_str())),
+                    ("degraded".to_string(), Json::Bool(*degraded)),
+                ];
+                if let Some(reason) = degrade_reason {
+                    pairs.push(("degrade_reason".to_string(), Json::from(*reason)));
+                }
+                if let Some(v) = verified {
+                    pairs.push(("verified".to_string(), Json::Bool(*v)));
+                }
+                pairs.extend(payload.iter().cloned());
+                Json::Object(pairs)
+            }
+            Response::Error { id, code, message } => Json::object([
+                ("id", id_json(id)),
+                ("status", Json::from("error")),
+                ("code", Json::from(code.as_str())),
+                ("message", Json::from(message.as_str())),
+            ]),
+            Response::Overloaded { id, retry_after_ms } => Json::object([
+                ("id", id_json(id)),
+                ("status", Json::from("overloaded")),
+                ("code", Json::from(ErrorCode::Overloaded.as_str())),
+                ("retry_after_ms", Json::UInt(*retry_after_ms)),
+            ]),
+            Response::InternalError {
+                id,
+                message,
+                request,
+            } => Json::object([
+                ("id", id_json(id)),
+                ("status", Json::from("internal_error")),
+                ("code", Json::from(ErrorCode::InternalError.as_str())),
+                ("message", Json::from(message.as_str())),
+                ("request", Json::from(request.as_str())),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_kind() {
+        let r = parse_request(r#"{"id":1,"kind":"dimacs","text":"p edge 2 1\ne 1 2\n","k":2}"#)
+            .unwrap();
+        assert_eq!(r.id, 1);
+        assert_eq!(r.k, Some(2));
+        assert!(matches!(r.kind, RequestKind::Dimacs { .. }));
+
+        let r = parse_request(
+            r#"{"id":2,"kind":"cfg","profile":"fp-loopnest","pressure":"high","seed":7,"budget":10}"#,
+        )
+        .unwrap();
+        assert_eq!(r.budget, Some(10));
+        assert!(matches!(r.kind, RequestKind::Cfg { seed: 7, .. }));
+
+        let r = parse_request(r#"{"id":3,"kind":"module_slice","seed":42,"start":5,"count":2}"#)
+            .unwrap();
+        assert!(matches!(
+            r.kind,
+            RequestKind::ModuleSlice {
+                seed: 42,
+                start: 5,
+                count: 2
+            }
+        ));
+
+        let r = parse_request(r#"{"id":4,"kind":"panic","deadline_ms":0}"#).unwrap();
+        assert_eq!(r.kind, RequestKind::Panic);
+        assert_eq!(r.deadline_ms, Some(0));
+    }
+
+    #[test]
+    fn malformed_lines_map_to_protocol_codes() {
+        let e = parse_request("not json").unwrap_err();
+        assert_eq!(e.code, ErrorCode::ParseError);
+        let e = parse_request(r#"{"kind":"dimacs","text":""}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::InvalidRequest);
+        let e = parse_request(r#"{"id":9,"kind":"warp"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::InvalidRequest);
+        assert_eq!(e.id, Some(9), "id is recovered for correlation");
+        let e = parse_request(r#"{"id":9,"kind":"cfg","profile":"x","pressure":"high","seed":1}"#)
+            .unwrap_err();
+        assert_eq!(e.code, ErrorCode::InvalidRequest);
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let e = parse_request(&deep).unwrap_err();
+        assert_eq!(
+            e.code,
+            ErrorCode::ParseError,
+            "deep nesting is an error, not an abort"
+        );
+        let huge = format!(
+            r#"{{"id":1,"kind":"dimacs","text":"{}"}}"#,
+            "x".repeat(MAX_REQUEST_BYTES)
+        );
+        let e = parse_request(&huge).unwrap_err();
+        assert_eq!(e.code, ErrorCode::TooLarge);
+    }
+
+    #[test]
+    fn responses_serialize_with_stable_fields() {
+        let ok = Response::Ok {
+            id: 7,
+            kind: "dimacs",
+            rung: Rung::ChordalIrc,
+            degraded: true,
+            degrade_reason: Some("budget"),
+            verified: Some(true),
+            payload: vec![("colors".to_string(), Json::from(3usize))],
+        };
+        assert_eq!(
+            ok.to_json().to_compact_string(),
+            r#"{"id":7,"status":"ok","kind":"dimacs","rung":"chordal_irc","degraded":true,"degrade_reason":"budget","verified":true,"colors":3}"#
+        );
+        assert_eq!(ok.outcome(), "degraded");
+        let over = Response::Overloaded {
+            id: None,
+            retry_after_ms: 25,
+        };
+        assert_eq!(
+            over.to_json().to_compact_string(),
+            r#"{"id":null,"status":"overloaded","code":"overloaded","retry_after_ms":25}"#
+        );
+    }
+}

@@ -44,7 +44,7 @@ impl Json {
     /// summaries embed.  Counters are seed-deterministic (never wall
     /// clock), so the field is byte-identical across runs and `--jobs`
     /// values and is pinned by the golden fixtures.
-    pub fn counters(c: &coalesce_stats::Counters) -> Json {
+    pub fn counters(c: &crate::Counters) -> Json {
         Json::Object(
             c.entries()
                 .iter()
@@ -54,7 +54,7 @@ impl Json {
     }
 
     /// Appends a `"stats"` counters field to an object row.
-    pub fn push_counters(&mut self, c: &coalesce_stats::Counters) {
+    pub fn push_counters(&mut self, c: &crate::Counters) {
         if let Json::Object(pairs) = self {
             pairs.push(("stats".to_string(), Json::counters(c)));
         }
@@ -84,6 +84,7 @@ impl Json {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_whitespace();
         let value = parser.value()?;
@@ -194,9 +195,17 @@ impl fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// Maximum container nesting [`Json::parse`] accepts.  The parser recurses
+/// per nesting level, so without a cap a hostile document of a few hundred
+/// thousand `[` bytes overflows the thread stack — an *uncatchable* abort,
+/// not an `Err`.  128 levels is far beyond anything the writers in this
+/// workspace produce.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -252,12 +261,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error("document nests too deeply"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -268,6 +287,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.error("expected `,` or `]`")),
@@ -276,11 +296,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(pairs));
         }
         loop {
@@ -296,6 +318,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(pairs));
                 }
                 _ => return Err(self.error("expected `,` or `}`")),
@@ -556,6 +579,24 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting_instead_of_overflowing_the_stack() {
+        // One level under the cap still parses...
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        // ...but a pathological document (think: hostile request line) is a
+        // typed error, not a stack-overflow abort.
+        let deep = "[".repeat(100_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deeply"), "{err}");
+        let mixed = "[{\"k\":".repeat(50_000);
+        assert!(Json::parse(&mixed).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod trace;
 
 use std::cell::{Cell, RefCell};
@@ -213,6 +214,14 @@ impl Counters {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The sum of every counter — the scalar "work units" figure the
+    /// serve-path budgets charge.  Counters are algorithmic-event counts
+    /// (never wall clock), so a budget fed by this total degrades
+    /// deterministically for a fixed request.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
     }
 
     /// Adds every counter of `other` into `self` (name-wise sums); the

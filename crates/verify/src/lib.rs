@@ -200,9 +200,19 @@ pub mod rules {
         id: "cert-clique-invalid",
         summary: "an omega claim is witnessed by a clique of exactly that size",
     };
+    /// A service response failed its own boundary re-verification.
+    pub const SERVE_RESPONSE_UNVERIFIED: Rule = Rule {
+        id: "serve-response-unverified",
+        summary: "every service answer passes its boundary re-verification",
+    };
+    /// A service worker died instead of isolating a fault.
+    pub const SERVE_WORKER_DIED: Rule = Rule {
+        id: "serve-worker-died",
+        summary: "every service worker survives fault injection to a clean exit",
+    };
 
     /// The full catalog, in boundary order.
-    pub const CATALOG: [Rule; 18] = [
+    pub const CATALOG: [Rule; 20] = [
         CFG_ENTRY_REACHABLE,
         CFG_TERMINATOR_EDGES,
         CFG_BLOCK_RANGES,
@@ -221,6 +231,8 @@ pub mod rules {
         ALLOC_BOGUS_COALESCE,
         CERT_PEO_INVALID,
         CERT_CLIQUE_INVALID,
+        SERVE_RESPONSE_UNVERIFIED,
+        SERVE_WORKER_DIED,
     ];
 }
 

@@ -517,6 +517,154 @@ pub fn verify_clean_sample() -> Vec<Violation> {
     out
 }
 
+/// Deterministic *textual* fault injectors for wire-format instances
+/// (DIMACS / challenge files, JSONL request lines).
+///
+/// Where [`Fault`] corrupts in-memory pipeline artifacts to exercise the
+/// verifier, `TextFault` corrupts the *bytes a server receives* to
+/// exercise the parsers and the request path: every variant must turn into
+/// a typed parse/validation error (or a structured protocol error), never
+/// a panic or an allocation blow-up.  The E18 chaos soak injects these
+/// into its request trace at a configurable rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextFault {
+    /// Cut the text roughly in half mid-line (a truncated upload).
+    TruncateTail,
+    /// Multiply a declared count on the problem line (count mismatch).
+    InflateDeclaredCount,
+    /// Declare an absurd vertex count (hostile allocation-sizing input).
+    HugeDeclaredCount,
+    /// Rewrite the first edge to reference an out-of-range vertex.
+    OutOfRangeVertex,
+    /// Rewrite the first edge into a self-loop.
+    SelfLoop,
+    /// Replace a numeric field with a non-numeric token.
+    NonNumericField,
+    /// Append a line with an unknown type marker.
+    UnknownLineType,
+    /// Splice raw non-format bytes into the middle of the text.
+    GarbageBytes,
+}
+
+impl TextFault {
+    /// Every textual fault, in a stable order (index with a seeded draw).
+    pub const ALL: [TextFault; 8] = [
+        TextFault::TruncateTail,
+        TextFault::InflateDeclaredCount,
+        TextFault::HugeDeclaredCount,
+        TextFault::OutOfRangeVertex,
+        TextFault::SelfLoop,
+        TextFault::NonNumericField,
+        TextFault::UnknownLineType,
+        TextFault::GarbageBytes,
+    ];
+
+    /// A stable identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TextFault::TruncateTail => "truncate-tail",
+            TextFault::InflateDeclaredCount => "inflate-declared-count",
+            TextFault::HugeDeclaredCount => "huge-declared-count",
+            TextFault::OutOfRangeVertex => "out-of-range-vertex",
+            TextFault::SelfLoop => "self-loop",
+            TextFault::NonNumericField => "non-numeric-field",
+            TextFault::UnknownLineType => "unknown-line-type",
+            TextFault::GarbageBytes => "garbage-bytes",
+        }
+    }
+
+    /// Applies the fault to a DIMACS/challenge-style instance text.
+    ///
+    /// Deterministic: the output depends only on `self` and `text`.  The
+    /// result is guaranteed to differ from well-formed input (each variant
+    /// introduces a violation the parsers are specified to reject), though
+    /// on degenerate inputs (e.g. empty text) some variants reduce to
+    /// appending garbage — still a guaranteed parse error.
+    pub fn apply(self, text: &str) -> String {
+        match self {
+            TextFault::TruncateTail => {
+                let cut = text.len() / 2;
+                // Respect UTF-8 boundaries; instance text is ASCII anyway.
+                let mut cut = cut.min(text.len());
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                text.get(..cut).unwrap_or("").to_string()
+            }
+            TextFault::InflateDeclaredCount => rewrite_problem_line(text, |fields| {
+                if let Some(last) = fields.last_mut() {
+                    last.push('7');
+                }
+            }),
+            TextFault::HugeDeclaredCount => rewrite_problem_line(text, |fields| {
+                if let Some(first) = fields.first_mut() {
+                    *first = "999999999999".to_string();
+                }
+            }),
+            TextFault::OutOfRangeVertex => rewrite_first_edge(text, "e 1 999999"),
+            TextFault::SelfLoop => rewrite_first_edge(text, "e 1 1"),
+            TextFault::NonNumericField => rewrite_first_edge(text, "e one 2"),
+            TextFault::UnknownLineType => format!("{text}z 1 2\n"),
+            TextFault::GarbageBytes => {
+                let mid = {
+                    let mut m = text.len() / 2;
+                    while m > 0 && !text.is_char_boundary(m) {
+                        m -= 1;
+                    }
+                    m
+                };
+                format!("{}\u{1}\u{2}!!garbage!!{}", &text[..mid], &text[mid..])
+            }
+        }
+    }
+}
+
+/// Rewrites the numeric fields of the first `p ...` problem line.
+fn rewrite_problem_line(text: &str, edit: impl Fn(&mut Vec<String>)) -> String {
+    let mut done = false;
+    let mut out = String::new();
+    for line in text.lines() {
+        if !done && line.trim_start().starts_with('p') {
+            let mut tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            // Keep the `p <kind>` prefix, edit the numeric tail.
+            let mut tail: Vec<String> = tokens.split_off(2.min(tokens.len()));
+            edit(&mut tail);
+            tokens.extend(tail);
+            out.push_str(&tokens.join(" "));
+            done = true;
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    if !done {
+        // No problem line to corrupt: prepend a hostile one instead.
+        return format!("p edge 999999999999 0\n{out}");
+    }
+    out
+}
+
+/// Replaces the first `e ...` line with `replacement` (appends one when
+/// the text has no edge lines — a guaranteed count mismatch either way).
+fn rewrite_first_edge(text: &str, replacement: &str) -> String {
+    let mut done = false;
+    let mut out = String::new();
+    for line in text.lines() {
+        if !done && line.trim_start().starts_with('e') {
+            out.push_str(replacement);
+            done = true;
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    if !done {
+        out.push_str(replacement);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,6 +687,23 @@ mod tests {
                 violations.iter().any(|v| v.rule == expected),
                 "{fault:?}: expected rule {expected}, got {violations:#?}"
             );
+        }
+    }
+
+    #[test]
+    fn every_text_fault_breaks_a_valid_challenge_file() {
+        // A clean 4-vertex coalescing instance that both parsers accept.
+        let clean = "p coalesce 4 2 1\nk 3\ne 1 2\ne 3 4\na 1 3 5\n";
+        assert!(coalesce_graph::format::from_challenge(clean).is_ok());
+        for fault in TextFault::ALL {
+            let corrupted = fault.apply(clean);
+            assert!(
+                coalesce_graph::format::from_challenge(&corrupted).is_err(),
+                "{}: corrupted text must not parse:\n{corrupted}",
+                fault.name()
+            );
+            // Deterministic: same fault + text, same bytes.
+            assert_eq!(corrupted, fault.apply(clean), "{}", fault.name());
         }
     }
 

@@ -750,3 +750,147 @@ fn e15_cfg_spill_at_2k_blocks_stays_within_the_wall_clock_budget() {
         f.num_blocks()
     );
 }
+
+/// `run-experiments --experiment e18 --seed 42` must reproduce the
+/// committed fixture byte-for-byte on every deterministic field (the
+/// throughput and latency summary lines are masked on both sides — E18
+/// measures a live worker pool).  If this fails because the E18 report
+/// format deliberately changed, regenerate the fixture with
+/// `run-experiments --experiment e18 --seed 42 --quiet --json tests/fixtures/e18_seed42.json`.
+#[test]
+fn e18_seed_42_matches_the_golden_fixture() {
+    let fixture = mask_timing(include_str!("fixtures/e18_seed42.json"));
+    let current = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E18)
+        .expect("sweep contains e18")
+        .to_json()
+        .to_pretty_string();
+    assert_eq!(
+        mask_timing(&current),
+        fixture,
+        "E18 seed-42 JSON deviates from tests/fixtures/e18_seed42.json"
+    );
+}
+
+/// The E18 fixture parses and the chaos soak's acceptance invariants
+/// hold: every request kind answered, every request accounted for (the
+/// per-kind buckets plus the fault-labelled buckets cover the whole
+/// trace), the fault rate met its declared ≥ 5% floor, nothing failed
+/// re-verification, and the zero-crash invariant held — every worker
+/// exited cleanly despite the injected parser garbage and panic requests.
+#[test]
+fn the_e18_fixture_is_internally_consistent() {
+    let doc = Json::parse(include_str!("fixtures/e18_seed42.json")).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_array).unwrap();
+    // Fault lines are bucketed twice by design: once under the generic
+    // `fault` kind and once under their specific fault label, so the
+    // per-flavour outcomes stay visible without disturbing the per-kind
+    // accounting.
+    let kinds = ["dimacs", "challenge", "cfg", "module_slice", "fault"];
+    let mut kind_total = 0;
+    let mut fault_kind_total = 0;
+    let mut fault_label_total = 0;
+    for row in rows {
+        let bucket = row.get("bucket").and_then(Json::as_str).unwrap();
+        let count = row.get("count").and_then(Json::as_u64).unwrap();
+        assert!(count > 0, "{bucket}: empty buckets must not be emitted");
+        if kinds.contains(&bucket) {
+            kind_total += count;
+            if bucket == "fault" {
+                fault_kind_total += count;
+            }
+        } else {
+            fault_label_total += count;
+        }
+    }
+    for kind in kinds {
+        assert!(
+            rows.iter()
+                .any(|r| r.get("bucket").and_then(Json::as_str) == Some(kind)),
+            "trace must exercise the `{kind}` request kind"
+        );
+    }
+    let summary = doc.get("summary").unwrap();
+    let field = |k: &str| summary.get(k).and_then(Json::as_u64).unwrap();
+    let requests = field("requests");
+    assert_eq!(kind_total, requests, "every request bucketed exactly once");
+    assert_eq!(fault_kind_total, field("fault_lines"));
+    assert_eq!(
+        fault_label_total, fault_kind_total,
+        "labels re-bucket every fault line"
+    );
+    assert!(
+        field("fault_lines") * 100 >= requests * field("fault_percent_min"),
+        "fault injection below the declared floor"
+    );
+    assert_eq!(field("ok") + field("degraded") + field("errors"), requests);
+    assert_eq!(field("verify_failures"), 0);
+    assert!(field("verified_ok") > 0, "re-verification must have run");
+    assert_eq!(
+        summary.get("zero_crashes").and_then(Json::as_bool),
+        Some(true),
+        "the zero-crash invariant is E18's acceptance criterion"
+    );
+    assert_eq!(field("clean_worker_exits"), field("workers"));
+    assert_eq!(
+        summary.get("budget_ms").and_then(Json::as_u64),
+        ExperimentId::E18.budget_ms(),
+        "the report must embed the declared wall-clock budget"
+    );
+}
+
+/// E18's rows must not depend on `--jobs`: requests are submitted
+/// blocking and every engine decision is structural (budget estimates,
+/// size gates), so the bucket rows are byte-identical for any pool width.
+/// The summary is compared after masking the measured throughput/latency
+/// lines *and* the two fields that legitimately scale with the pool
+/// (`workers`, `clean_worker_exits`).
+#[test]
+fn e18_rows_are_byte_identical_for_any_jobs_value() {
+    let serial = serial_sweep()
+        .iter()
+        .find(|r| r.id == ExperimentId::E18)
+        .expect("sweep contains e18");
+    let parallel = coalesce_bench::run_experiment_with_jobs(ExperimentId::E18, 42, 4);
+    let rows = |r: &ExperimentReport| Json::Array(r.rows.clone()).to_pretty_string();
+    assert_eq!(
+        rows(serial),
+        rows(&parallel),
+        "bucket rows must not depend on --jobs"
+    );
+    let summary = |r: &ExperimentReport| {
+        Json::Object(
+            r.summary
+                .iter()
+                .filter(|(k, _)| k != "workers" && k != "clean_worker_exits")
+                .cloned()
+                .collect(),
+        )
+        .to_pretty_string()
+    };
+    assert_eq!(
+        mask_timing(&summary(serial)),
+        mask_timing(&summary(&parallel)),
+        "--jobs changed a deterministic E18 summary field"
+    );
+}
+
+/// The E18 wall-clock budget: replaying the full fault-injected trace
+/// through the live worker pool must finish within the declared 10-second
+/// budget even serially in debug (the measured runs take a fraction of
+/// it).  A stall here means a worker deadlocked or the backpressure path
+/// stopped draining.
+#[test]
+fn e18_chaos_soak_stays_within_the_wall_clock_budget() {
+    let start = Instant::now();
+    let report = coalesce_bench::experiments::soak::e18_report_with_jobs(42, 1);
+    let elapsed = start.elapsed();
+    assert!(!report.rows.is_empty());
+    let budget = Duration::from_millis(ExperimentId::E18.budget_ms().unwrap());
+    assert!(
+        elapsed < budget,
+        "the chaos soak took {elapsed:?} (budget: {budget:?}) — check the \
+         serving queue for a stall or a dead worker"
+    );
+}

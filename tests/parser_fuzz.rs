@@ -1,0 +1,147 @@
+//! Byte-level fuzz over every surface that ingests untrusted text: the
+//! DIMACS and challenge parsers in `coalesce_graph::format` and the
+//! serving protocol's JSONL request parser in `coalesce_serve`.
+//!
+//! The contract under test is **errors, never panics**: arbitrary byte
+//! soup and byte-mutated valid inputs must come back as `Ok` or a
+//! structured error.  A panic anywhere in a parser would take a serving
+//! worker down with the request, so this suite is the offline twin of the
+//! E18 chaos soak's fault injection.
+
+use coalesce_graph::format::{
+    from_challenge, from_challenge_limited, from_dimacs, from_dimacs_limited, ParseLimits,
+};
+use coalesce_serve::parse_request;
+use proptest::prelude::*;
+
+/// A small, definitely-valid DIMACS instance to mutate from.
+const DIMACS_BASE: &str =
+    "c fuzz base\np edge 6 7\ne 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 6\ne 1 6\ne 2 5\n";
+
+/// A small, definitely-valid challenge instance to mutate from.
+const CHALLENGE_BASE: &str =
+    "p coalesce 6 5 2\nk 3\ne 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 6\na 1 3 10\na 2 4 5\n";
+
+/// Valid JSONL request lines (one per request kind) to mutate from.
+const REQUEST_BASES: &[&str] = &[
+    "{\"id\":1,\"kind\":\"dimacs\",\"text\":\"p edge 3 2\\ne 1 2\\ne 2 3\",\"k\":2}",
+    "{\"id\":2,\"kind\":\"challenge\",\"text\":\"p coalesce 3 2 1\\nk 2\\ne 1 2\\ne 2 3\\na 1 3 7\"}",
+    "{\"id\":3,\"kind\":\"cfg\",\"profile\":\"int-branchy\",\"pressure\":\"medium\",\"seed\":7}",
+    "{\"id\":4,\"kind\":\"module_slice\",\"seed\":40,\"start\":0,\"count\":2}",
+];
+
+/// Applies a scripted sequence of byte mutations — overwrite, insert,
+/// delete, truncate — and re-decodes lossily, so the result is arbitrary
+/// (possibly invalid-structure) UTF-8 text near the valid base.
+fn mutate(base: &str, ops: &[(u8, usize, u8)]) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    for &(op, pos, byte) in ops {
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = pos % bytes.len();
+        match op % 4 {
+            0 => bytes[pos] = byte,
+            1 => bytes.insert(pos, byte),
+            2 => {
+                bytes.remove(pos);
+            }
+            _ => bytes.truncate(pos.max(1)),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Strategy: a short mutation script.
+fn mutation_ops() -> impl Strategy<Value = Vec<(u8, usize, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<usize>(), any::<u8>()), 1..8)
+}
+
+/// Strategy: raw byte soup, decoded lossily.
+fn byte_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// The strict limits a server facing untrusted input would use; small
+/// enough that mutated headers routinely trip them.
+fn strict_limits() -> ParseLimits {
+    ParseLimits {
+        max_vertices: 1_000,
+        max_edges: 10_000,
+        max_affinities: 1_000,
+    }
+}
+
+/// Sanity: the mutation bases themselves parse, so every fuzz case below
+/// really starts one byte-edit away from a valid input.
+#[test]
+fn the_fuzz_bases_are_valid() {
+    let g = from_dimacs(DIMACS_BASE).expect("DIMACS base must parse");
+    assert_eq!(g.num_vertices(), 6);
+    let file = from_challenge(CHALLENGE_BASE).expect("challenge base must parse");
+    assert_eq!(file.registers, Some(3));
+    assert_eq!(file.affinities.len(), 2);
+    for line in REQUEST_BASES {
+        parse_request(line).expect("request base must parse");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary byte soup through every parser: any outcome but a panic.
+    #[test]
+    fn byte_soup_never_panics_any_parser(text in byte_soup()) {
+        let _ = from_dimacs(&text);
+        let _ = from_challenge(&text);
+        let _ = parse_request(&text);
+    }
+
+    /// Byte-mutated DIMACS near a valid instance: `Ok` or error, never a
+    /// panic — and anything accepted under strict limits respects them.
+    #[test]
+    fn mutated_dimacs_errors_but_never_panics(ops in mutation_ops()) {
+        let text = mutate(DIMACS_BASE, &ops);
+        let _ = from_dimacs(&text);
+        if let Ok(g) = from_dimacs_limited(&text, &strict_limits()) {
+            prop_assert!(g.num_vertices() <= 1_000);
+            prop_assert!(g.num_edges() <= 10_000);
+        }
+    }
+
+    /// Byte-mutated challenge text: same contract, plus the declared
+    /// affinity cap.
+    #[test]
+    fn mutated_challenge_errors_but_never_panics(ops in mutation_ops()) {
+        let text = mutate(CHALLENGE_BASE, &ops);
+        let _ = from_challenge(&text);
+        if let Ok(file) = from_challenge_limited(&text, &strict_limits()) {
+            prop_assert!(file.graph.num_vertices() <= 1_000);
+            prop_assert!(file.affinities.len() <= 1_000);
+        }
+    }
+
+    /// Byte-mutated JSONL request lines (every request kind): the protocol
+    /// parser must return a request or a structured error, never panic.
+    #[test]
+    fn mutated_requests_error_but_never_panic(
+        which in 0usize..REQUEST_BASES.len(),
+        ops in mutation_ops(),
+    ) {
+        let text = mutate(REQUEST_BASES[which], &ops);
+        let _ = parse_request(&text);
+    }
+
+    /// Deep `[`/`{` nesting inside a request line must hit the JSON depth
+    /// cap as an error, not blow the stack.
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow(depth in 1usize..4_096) {
+        let line = format!(
+            "{{\"id\":1,\"kind\":\"dimacs\",\"text\":{}{}",
+            "[".repeat(depth),
+            "]".repeat(depth),
+        );
+        prop_assert!(parse_request(&line).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! The graceful-degradation ladder of the allocation service, tested
+//! end-to-end through the public engine API: every rung is reachable by
+//! budget alone, rung selection is deterministic (budgets are charged
+//! against *structural* cost estimates, never wall clock), shrinking the
+//! budget never climbs the ladder, and the answer from every rung still
+//! passes re-verification.
+
+use coalesce_serve::{parse_request, Engine, EngineConfig, Response, Rung};
+use coalesce_stats::json::Json;
+use coalesce_verify::VerifyLevel;
+use std::time::Instant;
+
+fn verifying_engine() -> Engine {
+    Engine::new(EngineConfig {
+        verify: VerifyLevel::Boundaries,
+        ..EngineConfig::default()
+    })
+}
+
+fn run(engine: &Engine, line: &str) -> Response {
+    let req = parse_request(line).expect("test request parses");
+    engine.execute(&req, Instant::now())
+}
+
+fn ok_fields(resp: &Response) -> (Rung, bool, Option<&'static str>) {
+    match resp {
+        Response::Ok {
+            rung,
+            degraded,
+            degrade_reason,
+            ..
+        } => (*rung, *degraded, *degrade_reason),
+        other => panic!("expected ok, got {other:?}"),
+    }
+}
+
+/// Two triangles joined at a path plus a pendant edge — chordal, with
+/// n = 6, m = 7, so the engine's structural estimates put the exact rung
+/// at 6·7 + 6 + 1 = 49 units and the chordal rung at 6 + 7 + 1 = 14.
+const DIMACS: &str = "p edge 6 7\\ne 1 2\\ne 2 3\\ne 1 3\\ne 3 4\\ne 4 5\\ne 3 5\\ne 5 6\\n";
+
+/// A 6-vertex path with two affinities: n = 6, m = 5, a = 2, so exact
+/// costs 6·5 + 2 + 1 = 33 units and chordal-IRC costs 6 + 5 + 2 + 1 = 14.
+const CHALLENGE: &str =
+    "p coalesce 6 5 2\\nk 3\\ne 1 2\\ne 2 3\\ne 3 4\\ne 4 5\\ne 5 6\\na 1 3 10\\na 2 4 5\\n";
+
+fn dimacs_line(id: u64, budget: Option<u64>) -> String {
+    match budget {
+        Some(b) => format!(r#"{{"id":{id},"kind":"dimacs","text":"{DIMACS}","k":3,"budget":{b}}}"#),
+        None => format!(r#"{{"id":{id},"kind":"dimacs","text":"{DIMACS}","k":3}}"#),
+    }
+}
+
+fn challenge_line(id: u64, budget: Option<u64>) -> String {
+    match budget {
+        Some(b) => format!(r#"{{"id":{id},"kind":"challenge","text":"{CHALLENGE}","budget":{b}}}"#),
+        None => format!(r#"{{"id":{id},"kind":"challenge","text":"{CHALLENGE}"}}"#),
+    }
+}
+
+/// Every rung of the graph-coloring ladder is reachable by budget alone,
+/// and each rung's answer re-verifies.
+#[test]
+fn every_dimacs_rung_is_reachable_and_verified() {
+    let engine = verifying_engine();
+    let cases = [
+        (None, Rung::Exact, false),
+        (Some(20), Rung::ChordalIrc, true),
+        (Some(2), Rung::Greedy, true),
+    ];
+    for (budget, want_rung, want_degraded) in cases {
+        let resp = run(&engine, &dimacs_line(1, budget));
+        let (rung, degraded, reason) = ok_fields(&resp);
+        assert_eq!(rung, want_rung, "budget {budget:?}");
+        assert_eq!(degraded, want_degraded, "budget {budget:?}");
+        if want_degraded {
+            assert_eq!(reason, Some("budget"));
+        }
+        assert_eq!(
+            resp.to_json().get("verified").and_then(Json::as_bool),
+            Some(true),
+            "rung {rung:?} must still produce a verifiable answer"
+        );
+    }
+}
+
+/// Same walk for the coalescing (challenge) ladder.
+#[test]
+fn every_challenge_rung_is_reachable_and_verified() {
+    let engine = verifying_engine();
+    let cases = [
+        (None, Rung::Exact, false),
+        (Some(20), Rung::ChordalIrc, true),
+        (Some(3), Rung::Greedy, true),
+    ];
+    for (budget, want_rung, want_degraded) in cases {
+        let resp = run(&engine, &challenge_line(2, budget));
+        let (rung, degraded, _) = ok_fields(&resp);
+        assert_eq!(rung, want_rung, "budget {budget:?}");
+        assert_eq!(degraded, want_degraded, "budget {budget:?}");
+        assert_eq!(
+            resp.to_json().get("verified").and_then(Json::as_bool),
+            Some(true),
+            "rung {rung:?} must still produce a verifiable answer"
+        );
+    }
+}
+
+/// Shrinking the budget can only descend the ladder, never climb it, and
+/// re-running any budget reproduces the identical response (selection is
+/// structural, not timing-based).
+#[test]
+fn rung_selection_is_monotone_in_budget_and_deterministic() {
+    let engine = verifying_engine();
+    let mut last = Rung::Exact;
+    for budget in (1..=60).rev() {
+        let line = dimacs_line(3, Some(budget));
+        let first = run(&engine, &line);
+        let (rung, _, _) = ok_fields(&first);
+        assert!(
+            rung >= last,
+            "budget {budget}: rung {rung:?} climbed above {last:?}"
+        );
+        last = rung;
+        assert_eq!(run(&engine, &line), first, "budget {budget} must replay");
+    }
+    assert_eq!(last, Rung::Greedy, "budget 1 must land on the floor");
+}
+
+/// Graphs over the exact-rung size gate answer at the chordal rung
+/// without being flagged degraded: gating by instance size is a
+/// configuration fact, not a service failure.
+#[test]
+fn size_gated_instances_answer_ungraded_at_the_chordal_rung() {
+    let engine = verifying_engine();
+    let n = engine.config().exact_max_vertices + 12;
+    let mut text = format!("p edge {n} {}\\n", n - 1);
+    for i in 1..n {
+        text.push_str(&format!("e {i} {}\\n", i + 1));
+    }
+    let resp = run(
+        &engine,
+        &format!(r#"{{"id":4,"kind":"dimacs","text":"{text}","k":2}}"#),
+    );
+    let (rung, degraded, reason) = ok_fields(&resp);
+    assert_eq!(rung, Rung::ChordalIrc);
+    assert!(!degraded, "size gating is not degradation");
+    assert_eq!(reason, None);
+    assert_eq!(
+        resp.to_json().get("verified").and_then(Json::as_bool),
+        Some(true)
+    );
+}
+
+/// The ladder constant itself is ordered most-precise-first and matches
+/// the `Ord` the monotonicity test leans on.
+#[test]
+fn the_ladder_is_ordered_most_precise_first() {
+    assert_eq!(Rung::LADDER, [Rung::Exact, Rung::ChordalIrc, Rung::Greedy]);
+    assert!(Rung::Exact < Rung::ChordalIrc && Rung::ChordalIrc < Rung::Greedy);
+}
